@@ -1,0 +1,93 @@
+//! E1 — the access ladder.
+//!
+//! Paper claim (§4.5): *"a simplistic implementation of abstract data types
+//! would be very inefficient, because of the amount of indirection implied"*
+//! and *"direct local access can be used for co-located data — trading off
+//! flexibility and portability against performance"*.
+//!
+//! The ladder, cheapest to dearest:
+//!   1. `direct_fn_call`        — plain Rust call (no ODP at all)
+//!   2. `local_adt_dispatch`    — dynamic dispatch through the Servant trait
+//!   3. `colocated_stub`        — full client stack, co-location fast path
+//!   4. `colocated_forced_remote` — same capsule, but marshalling + loopback REX
+//!   5. `remote_perfect_net`    — different capsule, zero-latency simulated net
+//!
+//! Expected shape: each rung costs materially more than the one above; the
+//! co-location optimization (3 vs 4) recovers most of the marshalling/
+//! protocol cost, which is the paper's justification for engineering-model
+//! optimizations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use odp::prelude::*;
+use odp_bench::{counter, BenchCounter};
+use std::hint::black_box;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+fn access_ladder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e01_access_ladder");
+
+    // Rung 1: a plain function call on a plain struct.
+    let raw = BenchCounter::default();
+    group.bench_function("1_direct_fn_call", |b| {
+        b.iter(|| {
+            black_box(raw.value.fetch_add(black_box(1), Ordering::Relaxed));
+        });
+    });
+
+    // Rung 2: the same state behind the ADT dispatch interface.
+    let servant = counter();
+    let ctx = CallCtx::default();
+    group.bench_function("2_local_adt_dispatch", |b| {
+        b.iter(|| {
+            black_box(servant.dispatch("add", vec![Value::Int(1)], &ctx));
+        });
+    });
+
+    // Rung 3: the full binding, co-located (fast path).
+    let world = World::quick();
+    let r = world.capsule(0).export(counter());
+    let colocated = world.capsule(0).bind(r.clone());
+    group.bench_function("3_colocated_stub", |b| {
+        b.iter(|| {
+            black_box(colocated.interrogate("add", vec![Value::Int(1)]).unwrap());
+        });
+    });
+
+    // Rung 4: co-located but forced through marshalling + loopback REX.
+    let forced = world
+        .capsule(0)
+        .bind_with(r.clone(), TransparencyPolicy::default().with_force_remote(true));
+    group.bench_function("4_colocated_forced_remote", |b| {
+        b.iter(|| {
+            black_box(forced.interrogate("add", vec![Value::Int(1)]).unwrap());
+        });
+    });
+
+    // Rung 5: genuinely remote over a perfect (zero-latency) network.
+    let remote = world.capsule(1).bind(r);
+    group.bench_function("5_remote_perfect_net", |b| {
+        b.iter(|| {
+            black_box(remote.interrogate("add", vec![Value::Int(1)]).unwrap());
+        });
+    });
+
+    // Report the fast-path counter so the optimization's use is visible.
+    eprintln!(
+        "[e01] co-located fast-path dispatches: {}",
+        world.capsule(0).stats.local_fast_path.load(Ordering::Relaxed)
+    );
+    drop(world);
+    let _ = Arc::strong_count(&servant);
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(30);
+    targets = access_ladder
+}
+criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! E2 — marshalling and the constant-state copy optimization.
+//!
+//! Paper claims (§4.5): *"compilers can use efficient formats for data"*
+//! and *"objects which have constant state can be copied without breaking
+//! computational semantics … such types can be copied across network links
+//! that support concrete representations of them, in place of interface
+//! references."*
+//!
+//! Measured:
+//! * encode/decode cost by value shape (ints, strings, records, nesting);
+//! * payload size sweep (bytes values 64 B … 64 KiB);
+//! * **by-copy vs by-reference** for a constant-state record: copying the
+//!   record's concrete representation vs passing an interface reference
+//!   and fetching each field with a remote interrogation. The paper
+//!   predicts copy wins decisively — this is the gap that justifies
+//!   treating integers and strings as copyable ADTs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use odp::prelude::*;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn shapes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e02_shapes");
+    let cases: Vec<(&str, Vec<Value>)> = vec![
+        ("unit", vec![Value::Unit]),
+        ("int", vec![Value::Int(123_456_789)]),
+        ("str_16", vec![Value::str("sixteen-byte-str")]),
+        (
+            "ints_x32",
+            vec![Value::Seq((0..32).map(Value::Int).collect())],
+        ),
+        (
+            "record_flat",
+            vec![Value::record([
+                ("id", Value::Int(7)),
+                ("name", Value::str("object")),
+                ("active", Value::Bool(true)),
+            ])],
+        ),
+        (
+            "record_nested_x8",
+            vec![(0..8).fold(Value::Int(0), |acc, i| {
+                Value::record([("level", Value::Int(i)), ("inner", acc)])
+            })],
+        ),
+    ];
+    for (name, values) in &cases {
+        group.bench_with_input(BenchmarkId::new("marshal", name), values, |b, values| {
+            b.iter(|| black_box(odp::wire::marshal(black_box(values))));
+        });
+        let bytes = odp::wire::marshal(values);
+        group.bench_with_input(BenchmarkId::new("unmarshal", name), &bytes, |b, bytes| {
+            b.iter(|| black_box(odp::wire::unmarshal(black_box(bytes)).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn payload_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e02_payload_sizes");
+    for size in [64usize, 1024, 16 * 1024, 64 * 1024] {
+        let values = vec![Value::bytes(vec![0xABu8; size])];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("round_trip", size), &values, |b, values| {
+            b.iter(|| {
+                let bytes = odp::wire::marshal(black_box(values));
+                black_box(odp::wire::unmarshal(&bytes).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn copy_vs_reference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e02_copy_vs_reference");
+    group.sample_size(20);
+    let world = World::quick();
+
+    // A "measurement" record with 4 constant-state fields.
+    let record = Value::record([
+        ("t", Value::Int(1_699_999)),
+        ("x", Value::Float(1.25)),
+        ("y", Value::Float(-0.5)),
+        ("label", Value::str("sensor-17")),
+    ]);
+
+    // By copy: the server returns the record itself.
+    let ty_copy = InterfaceTypeBuilder::new()
+        .interrogation("get", vec![], vec![OutcomeSig::ok(vec![TypeSpec::Any])])
+        .build();
+    let rec = record.clone();
+    let by_copy = world
+        .capsule(0)
+        .export(Arc::new(FnServant::new(ty_copy, move |_o, _a, _c| {
+            Outcome::ok(vec![rec.clone()])
+        })));
+    let copy_binding = world.capsule(1).bind(by_copy);
+    group.bench_function("constant_record_by_copy", |b| {
+        b.iter(|| {
+            let out = copy_binding.interrogate("get", vec![]).unwrap();
+            black_box(out.results[0].field("label").cloned())
+        });
+    });
+
+    // By reference: the server returns a reference to a field-accessor ADT
+    // and the client pulls each of the 4 fields with an interrogation —
+    // what "everything is a reference" with no copy optimization forces.
+    let field_ty = InterfaceTypeBuilder::new()
+        .interrogation(
+            "field",
+            vec![TypeSpec::Str],
+            vec![OutcomeSig::ok(vec![TypeSpec::Any])],
+        )
+        .build();
+    let rec2 = record;
+    let accessor = world
+        .capsule(0)
+        .export(Arc::new(FnServant::new(field_ty, move |_o, args, _c| {
+            let name = args[0].as_str().unwrap_or("");
+            Outcome::ok(vec![rec2.field(name).cloned().unwrap_or(Value::Unit)])
+        })));
+    let ref_binding = world.capsule(1).bind(accessor);
+    group.bench_function("constant_record_by_reference", |b| {
+        b.iter(|| {
+            for field in ["t", "x", "y", "label"] {
+                let out = ref_binding
+                    .interrogate("field", vec![Value::str(field)])
+                    .unwrap();
+                black_box(out.results.first().cloned());
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(40);
+    targets = shapes, payload_sizes, copy_vs_reference
+}
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! E3 — interrogation vs announcement, and multi-result outcomes.
+//!
+//! Paper claims (§5.1): two invocation kinds exist because announcements
+//! avoid the reply round trip; and *"the ability to return multiple results
+//! in each outcome is required to minimize latency — without this facility
+//! the client would have to call the server over and over again to extract
+//! the results one at a time."*
+//!
+//! Measured at one-way simulated latencies of 0 / 2 / 10 ms:
+//! * interrogation latency (≈ 2 × one-way + processing);
+//! * announcement cost at the *caller* (≈ independent of latency);
+//! * one interrogation returning 8 results vs 8 interrogations returning 1
+//!   (the paper predicts the gap grows linearly with latency).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use odp::prelude::*;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn service_type() -> InterfaceType {
+    InterfaceTypeBuilder::new()
+        .interrogation(
+            "one",
+            vec![TypeSpec::Int],
+            vec![OutcomeSig::ok(vec![TypeSpec::Int])],
+        )
+        .interrogation(
+            "eight",
+            vec![],
+            vec![OutcomeSig::ok(vec![TypeSpec::Int; 8])],
+        )
+        .announcement("tick", vec![TypeSpec::Int])
+        .build()
+}
+
+fn service() -> Arc<dyn Servant> {
+    Arc::new(FnServant::new(service_type(), |op, args, _ctx| match op {
+        "one" => Outcome::ok(vec![Value::Int(args[0].as_int().unwrap_or(0))]),
+        "eight" => Outcome::ok((0..8).map(Value::Int).collect()),
+        "tick" => Outcome::ok(vec![]),
+        _ => Outcome::fail("no such op"),
+    }))
+}
+
+fn styles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e03_invocation_styles");
+    group.sample_size(15);
+    for latency_ms in [0u64, 2, 10] {
+        let world = World::builder()
+            .capsules(2)
+            .latency(Duration::from_millis(latency_ms))
+            .build();
+        let r = world.capsule(0).export(service());
+        let qos = CallQos::with_deadline(Duration::from_secs(5));
+        let binding = world
+            .capsule(1)
+            .bind_with(r, TransparencyPolicy::minimal().with_qos(qos));
+
+        group.bench_with_input(
+            BenchmarkId::new("interrogation", latency_ms),
+            &latency_ms,
+            |b, _| {
+                b.iter(|| {
+                    black_box(binding.interrogate("one", vec![Value::Int(1)]).unwrap());
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("announcement_caller_cost", latency_ms),
+            &latency_ms,
+            |b, _| {
+                b.iter(|| {
+                    binding.announce("tick", vec![Value::Int(1)]).unwrap();
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("batch_1_call_x8_results", latency_ms),
+            &latency_ms,
+            |b, _| {
+                b.iter(|| {
+                    let out = binding.interrogate("eight", vec![]).unwrap();
+                    black_box(out.results.len());
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("batch_8_calls_x1_result", latency_ms),
+            &latency_ms,
+            |b, _| {
+                b.iter(|| {
+                    for i in 0..8 {
+                        let out = binding.interrogate("one", vec![Value::Int(i)]).unwrap();
+                        black_box(out.int());
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(15);
+    targets = styles
+}
+criterion_main!(benches);

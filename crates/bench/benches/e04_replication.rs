@@ -1,0 +1,70 @@
+//! E4 — replication transparency: group size and policy sweep.
+//!
+//! Paper claim (§5.3): a replica group serves clients "as if it were a
+//! singleton, but with increased reliability or availability". The price is
+//! the ordering protocol; the shape to verify:
+//!
+//! * **active** replication latency grows with group size (the sequencer
+//!   waits for every member's acceptance);
+//! * **hot-standby** latency stays near the singleton's (relays are
+//!   asynchronous), trading the fail-over gap instead;
+//! * reads pay the same path as writes in this scheme (single total
+//!   order), so the group-size sweep applies to both.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use odp::groups::{replicate, GroupPolicy};
+use odp::prelude::*;
+use odp_bench::counter;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn replication(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e04_replication");
+    group.sample_size(15);
+    for size in [1usize, 3, 5, 7] {
+        // 1 ms links make the fan-out cost visible.
+        let world = World::builder()
+            .capsules(size + 1)
+            .latency(Duration::from_millis(1))
+            .build();
+        for (policy, name) in [
+            (GroupPolicy::Active, "active"),
+            (GroupPolicy::HotStandby, "hot_standby"),
+        ] {
+            let handle = replicate(&world.capsules()[..size].to_vec(), &counter, policy);
+            let client = handle.bind_via(world.capsule(size));
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}_write"), size),
+                &size,
+                |b, _| {
+                    b.iter(|| {
+                        black_box(client.interrogate("add", vec![Value::Int(1)]).unwrap());
+                    });
+                },
+            );
+        }
+    }
+    // Singleton baseline at the same link latency, outside any group.
+    let world = World::builder()
+        .capsules(2)
+        .latency(Duration::from_millis(1))
+        .build();
+    let r = world.capsule(0).export(counter());
+    let binding = world.capsule(1).bind(r);
+    group.bench_function("singleton_baseline_write", |b| {
+        b.iter(|| {
+            black_box(binding.interrogate("add", vec![Value::Int(1)]).unwrap());
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(15);
+    targets = replication
+}
+criterion_main!(benches);

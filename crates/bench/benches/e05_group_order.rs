@@ -1,0 +1,142 @@
+//! E5 — the group ordering protocol: throughput, membership change and
+//! fail-over.
+//!
+//! Paper claim (§5.3): *"Between the members of the group there must be
+//! some sort of ordering protocol to agree when received invocations can be
+//! dispatched. This ordering protocol should be tolerant of failures in
+//! members of the group and of changes of membership of the group."*
+//!
+//! Measured:
+//! * total-order write throughput vs group size (4 concurrent clients);
+//! * the cost of a membership change (join with state transfer);
+//! * **fail-over time**: the latency of the first invocation after the
+//!   sequencer is killed — active (probe + promote) vs hot-standby.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use odp::groups::{replicate, GroupPolicy};
+use odp::prelude::*;
+use odp_bench::counter;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+fn order_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e05_order_throughput");
+    group.sample_size(10);
+    for size in [2usize, 3, 5] {
+        let world = World::builder().capsules(size + 4).build();
+        let handle = replicate(
+            &world.capsules()[..size].to_vec(),
+            &counter,
+            GroupPolicy::Active,
+        );
+        group.bench_with_input(
+            BenchmarkId::new("4_clients_x16_writes", size),
+            &size,
+            |b, _| {
+                b.iter(|| {
+                    std::thread::scope(|s| {
+                        for t in 0..4usize {
+                            let binding = handle.bind_via(world.capsule(size + t));
+                            s.spawn(move || {
+                                for _ in 0..16 {
+                                    binding.interrogate("add", vec![Value::Int(1)]).unwrap();
+                                }
+                            });
+                        }
+                    });
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn membership_change(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e05_membership");
+    group.sample_size(10);
+    // Cost of a join (snapshot transfer + view push) at two state sizes.
+    for warm_ops in [0u64, 1000] {
+        group.bench_with_input(
+            BenchmarkId::new("join_after_ops", warm_ops),
+            &warm_ops,
+            |b, warm_ops| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let mut world = World::builder().capsules(2).build();
+                        let mut handle = replicate(
+                            &world.capsules()[..2].to_vec(),
+                            &counter,
+                            GroupPolicy::Active,
+                        );
+                        let client = handle.bind_via(world.capsule(1));
+                        for _ in 0..*warm_ops {
+                            client.interrogate("add", vec![Value::Int(1)]).unwrap();
+                        }
+                        let joiner = world.add_capsule();
+                        let start = Instant::now();
+                        let _member = handle.add_member(&joiner, &counter);
+                        total += start.elapsed();
+                    }
+                    total
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn failover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e05_failover");
+    group.sample_size(10);
+    for (policy, name) in [
+        (GroupPolicy::Active, "active"),
+        (GroupPolicy::HotStandby, "hot_standby"),
+    ] {
+        group.bench_function(BenchmarkId::new("first_call_after_crash", name), |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let world = World::builder().capsules(4).build();
+                    let handle = replicate(&world.capsules()[..3].to_vec(), &counter, policy);
+                    let client = handle.bind_via(world.capsule(3));
+                    client.interrogate("add", vec![Value::Int(1)]).unwrap();
+                    world.capsule(0).crash();
+                    let start = Instant::now();
+                    black_box(client.interrogate("add", vec![Value::Int(1)]).unwrap());
+                    total += start.elapsed();
+                }
+                total
+            });
+        });
+    }
+    // Steady-state baseline for comparison: same call with no crash.
+    group.bench_function("steady_state_call", |b| {
+        b.iter_custom(|iters| {
+            let world = World::builder().capsules(4).build();
+            let handle = replicate(
+                &world.capsules()[..3].to_vec(),
+                &counter,
+                GroupPolicy::Active,
+            );
+            let client = handle.bind_via(world.capsule(3));
+            client.interrogate("add", vec![Value::Int(1)]).unwrap();
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(client.interrogate("add", vec![Value::Int(1)]).unwrap());
+            }
+            start.elapsed()
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = order_throughput, membership_change, failover
+}
+criterion_main!(benches);

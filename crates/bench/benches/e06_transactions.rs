@@ -1,0 +1,165 @@
+//! E6 — concurrency transparency: transactions under contention.
+//!
+//! Paper claim (§5.2): separation constraints generate a concurrency
+//! control manager, which cooperates with a deadlock detector "so that
+//! applications do not hang indefinitely". The classic shapes to verify:
+//!
+//! * transfer throughput falls and the abort rate climbs as the number of
+//!   hot accounts shrinks (1 / 4 / 16 / 64 keys, 4 concurrent clients);
+//! * commit latency grows with participant count (2PC rounds);
+//! * the concurrency-control layer's overhead on an uncontended call.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use odp::prelude::*;
+use odp::tx::{SeparationConstraint, TxnSystem};
+use odp_bench::counter;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Rig {
+    world: World,
+    system: Arc<TxnSystem>,
+    refs: Vec<InterfaceRef>,
+}
+
+/// `n_accounts` counters spread over 2 capsules, both transaction-managed.
+fn rig(n_accounts: usize) -> Rig {
+    let world = World::builder().capsules(3).build();
+    let system = TxnSystem::new();
+    let rt0 = system.install_on_with(world.capsule(0), Duration::from_millis(200));
+    let rt1 = system.install_on_with(world.capsule(1), Duration::from_millis(200));
+    let mut refs = Vec::new();
+    for i in 0..n_accounts {
+        let (capsule, rt) = if i % 2 == 0 {
+            (world.capsule(0), &rt0)
+        } else {
+            (world.capsule(1), &rt1)
+        };
+        let servant = counter();
+        let r = capsule.export_with(
+            Arc::clone(&servant),
+            ExportConfig {
+                layers: vec![rt.concurrency_layer(
+                    &servant,
+                    SeparationConstraint::readers(&["read"]),
+                )],
+                ..ExportConfig::default()
+            },
+        );
+        refs.push(r);
+    }
+    Rig {
+        world,
+        system,
+        refs,
+    }
+}
+
+fn contention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e06_contention");
+    group.sample_size(10);
+    for keys in [1usize, 4, 16, 64] {
+        let r = rig(keys);
+        let aborts = AtomicU64::new(0);
+        let commits = AtomicU64::new(0);
+        group.bench_with_input(
+            BenchmarkId::new("4_clients_x8_transfers", keys),
+            &keys,
+            |b, keys| {
+                b.iter(|| {
+                    std::thread::scope(|s| {
+                        for t in 0..4usize {
+                            let system = Arc::clone(&r.system);
+                            let refs = &r.refs;
+                            let client = r.world.capsule(2);
+                            let aborts = &aborts;
+                            let commits = &commits;
+                            s.spawn(move || {
+                                for j in 0..8usize {
+                                    let from = (t * 13 + j * 7) % *keys;
+                                    let to = (t * 13 + j * 7 + 1) % (*keys).max(1);
+                                    let txn = system.begin(client);
+                                    let src = client.bind(refs[from].clone());
+                                    let ok = txn
+                                        .call(&src, "add", vec![Value::Int(-1)])
+                                        .and_then(|_| {
+                                            let dst = client.bind(refs[to].clone());
+                                            txn.call(&dst, "add", vec![Value::Int(1)])
+                                        })
+                                        .is_ok();
+                                    if ok && txn.commit().is_ok() {
+                                        commits.fetch_add(1, Ordering::Relaxed);
+                                    } else {
+                                        aborts.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                            });
+                        }
+                    });
+                });
+            },
+        );
+        eprintln!(
+            "[e06] keys={keys}: commits={} aborts={} (abort rate {:.1}%)",
+            commits.load(Ordering::Relaxed),
+            aborts.load(Ordering::Relaxed),
+            100.0 * aborts.load(Ordering::Relaxed) as f64
+                / (commits.load(Ordering::Relaxed) + aborts.load(Ordering::Relaxed)).max(1) as f64,
+        );
+    }
+    group.finish();
+}
+
+fn commit_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e06_commit_latency");
+    group.sample_size(20);
+    // Participants: 1 vs 2 capsules involved in the transaction.
+    for participants in [1usize, 2] {
+        let r = rig(2);
+        group.bench_with_input(
+            BenchmarkId::new("txn_commit", participants),
+            &participants,
+            |b, participants| {
+                b.iter(|| {
+                    let client = r.world.capsule(2);
+                    let txn = r.system.begin(client);
+                    for p in 0..*participants {
+                        let binding = client.bind(r.refs[p].clone());
+                        txn.call(&binding, "add", vec![Value::Int(1)]).unwrap();
+                    }
+                    txn.commit().unwrap();
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn layer_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e06_cc_layer_overhead");
+    // With vs without the concurrency-control layer, uncontended remote call.
+    let world = World::builder().capsules(2).build();
+    let plain_ref = world.capsule(0).export(counter());
+    let plain = world.capsule(1).bind(plain_ref);
+    group.bench_function("without_cc_layer", |b| {
+        b.iter(|| black_box(plain.interrogate("add", vec![Value::Int(1)]).unwrap()));
+    });
+    let r = rig(1);
+    let managed = r.world.capsule(2).bind(r.refs[0].clone());
+    group.bench_function("with_cc_layer_autocommit", |b| {
+        b.iter(|| black_box(managed.interrogate("add", vec![Value::Int(1)]).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = contention, commit_latency, layer_overhead
+}
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! E7 — trading scale: type-safe matching over growing offer sets.
+//!
+//! Paper claim (§6): *"self-describing systems are more open-ended and
+//! scale better than those which have a fixed external description"* — but
+//! only if matching does not degrade linearly with the offer population.
+//! The experiment compares:
+//!
+//! * indexed import (operation-name inverted index → candidate pruning)
+//!   vs the naive full conformance scan, at 100 / 1 000 / 10 000 offers
+//!   with a selective query (few candidates);
+//! * property-constraint filtering cost;
+//! * the cost of one structural conformance check as signatures grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use odp::trading::{PropertyConstraint, Trader};
+use odp::types::conformance::conforms;
+use odp::types::signature::{InterfaceTypeBuilder, OutcomeSig};
+use odp::types::{InterfaceType, TypeSpec};
+use odp::wire::{InterfaceRef, Value};
+use odp::types::{InterfaceId, NodeId};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+fn iface(ops: &[String]) -> InterfaceType {
+    let mut b = InterfaceTypeBuilder::new();
+    for op in ops {
+        b = b.interrogation(op.clone(), vec![TypeSpec::Int], vec![OutcomeSig::ok(vec![])]);
+    }
+    b.build()
+}
+
+/// Populates a trader with `n` offers: 1% match the "rare" query, the rest
+/// share common operations.
+fn populate(n: usize) -> Trader {
+    let trader = Trader::new();
+    for i in 0..n {
+        let ops: Vec<String> = if i % 100 == 0 {
+            vec!["rare_op".into(), format!("common_{}", i % 7)]
+        } else {
+            vec![format!("common_{}", i % 7), format!("common_{}", (i + 1) % 7)]
+        };
+        let mut props = BTreeMap::new();
+        props.insert("tier".to_owned(), Value::Int((i % 5) as i64));
+        trader.export_offer(
+            InterfaceRef::new(InterfaceId(i as u64 + 1), NodeId(1), iface(&ops)),
+            props,
+        );
+    }
+    trader
+}
+
+fn matching_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e07_matching_scale");
+    group.sample_size(20);
+    let query = iface(&["rare_op".to_owned()]);
+    for n in [100usize, 1_000, 10_000] {
+        let trader = populate(n);
+        group.bench_with_input(BenchmarkId::new("indexed", n), &n, |b, _| {
+            b.iter(|| black_box(trader.import(&query, &[], 16)));
+        });
+        group.bench_with_input(BenchmarkId::new("naive_scan", n), &n, |b, _| {
+            b.iter(|| black_box(trader.import_naive(&query, &[], 16)));
+        });
+    }
+    group.finish();
+}
+
+fn constraint_filtering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e07_constraints");
+    let trader = populate(1_000);
+    let query = iface(&["common_3".to_owned()]);
+    group.bench_function("no_constraints", |b| {
+        b.iter(|| black_box(trader.import(&query, &[], 16)));
+    });
+    let constraints = vec![
+        PropertyConstraint::AtLeast("tier".into(), 3),
+        PropertyConstraint::Exists("tier".into()),
+    ];
+    group.bench_function("two_constraints", |b| {
+        b.iter(|| black_box(trader.import(&query, &constraints, 16)));
+    });
+    group.finish();
+}
+
+fn conformance_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e07_conformance_cost");
+    for ops in [1usize, 8, 32, 128] {
+        let names: Vec<String> = (0..ops).map(|i| format!("op_{i:04}")).collect();
+        let provided = iface(&names);
+        let required = iface(&names[..ops.min(names.len())]);
+        group.bench_with_input(BenchmarkId::new("signature_ops", ops), &ops, |b, _| {
+            b.iter(|| black_box(conforms(&provided, &required).is_ok()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(20);
+    targets = matching_scale, constraint_filtering, conformance_cost
+}
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! E8 — location transparency: relocation mechanisms.
+//!
+//! Paper claim (§5.4): *"To avoid scaling problems, relocation mechanisms
+//! should only require the registration of changes in location because the
+//! majority of interfaces in a system can be expected to be temporary and
+//! stationary."*
+//!
+//! Measured:
+//! * steady-state invocation on a stationary interface (nothing is paid
+//!   for location transparency when nothing moves — the §5.4 design
+//!   point);
+//! * first call after a migration: tombstone chase (1 hop) and longer
+//!   forwarding chains (2, 4 moves);
+//! * first call after the old home *crashed*: relocator consultation;
+//! * the registration cost of one move.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use odp::prelude::*;
+use odp_bench::counter;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn relocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e08_relocation");
+    group.sample_size(15);
+
+    // Stationary baseline: location transparency selected, nothing moves.
+    let world = World::builder().capsules(2).build();
+    let r = world.capsule(0).export(counter());
+    let binding = world.capsule(1).bind(r);
+    group.bench_function("stationary_with_location_layer", |b| {
+        b.iter(|| black_box(binding.interrogate("add", vec![Value::Int(1)]).unwrap()));
+    });
+
+    // First call after k chained moves (tombstone chase of length k).
+    for moves in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("first_call_after_moves", moves),
+            &moves,
+            |b, moves| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let world = World::builder().capsules(moves + 2).build();
+                        let r = world.capsule(0).export(counter());
+                        // Bind while the object is at its birthplace; the
+                        // binding never hears about the moves.
+                        let binding = world.capsule(moves + 1).bind(r.clone());
+                        binding.interrogate("read", vec![]).unwrap();
+                        for hop in 0..*moves {
+                            world
+                                .capsule(hop)
+                                .migrate_to(r.iface, world.capsule(hop + 1))
+                                .unwrap();
+                        }
+                        let start = Instant::now();
+                        black_box(binding.interrogate("read", vec![]).unwrap());
+                        total += start.elapsed();
+                    }
+                    total
+                });
+            },
+        );
+    }
+
+    // First call after the old home crashed: relocator lookup path.
+    group.bench_function("first_call_after_crash_via_relocator", |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let world = World::builder().capsules(3).build();
+                let r = world.capsule(0).export(counter());
+                let binding = world.capsule(2).bind(r.clone());
+                binding.interrogate("read", vec![]).unwrap();
+                world.capsule(0).migrate_to(r.iface, world.capsule(1)).unwrap();
+                world.capsule(0).crash();
+                let start = Instant::now();
+                black_box(binding.interrogate("read", vec![]).unwrap());
+                total += start.elapsed();
+            }
+            total
+        });
+    });
+
+    // Second call after relocation: the binding cached the new location,
+    // so the price was paid exactly once.
+    group.bench_function("second_call_after_move_is_steady_state", |b| {
+        b.iter_custom(|iters| {
+            let world = World::builder().capsules(3).build();
+            let r = world.capsule(0).export(counter());
+            let binding = world.capsule(2).bind(r.clone());
+            binding.interrogate("read", vec![]).unwrap();
+            world.capsule(0).migrate_to(r.iface, world.capsule(1)).unwrap();
+            binding.interrogate("read", vec![]).unwrap(); // pays the chase
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(binding.interrogate("read", vec![]).unwrap());
+            }
+            start.elapsed()
+        });
+    });
+
+    // Cost of registering one move with the relocation service.
+    group.bench_function("registration_of_one_move", |b| {
+        b.iter_custom(|iters| {
+            let world = World::builder().capsules(2).build();
+            let r = world.capsule(0).export(counter());
+            let capsule = Arc::clone(world.capsule(0));
+            let start = Instant::now();
+            for epoch in 1..=iters {
+                capsule
+                    .register_location(r.iface, world.capsule(1).node(), epoch)
+                    .unwrap();
+            }
+            start.elapsed()
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(15);
+    targets = relocation
+}
+criterion_main!(benches);

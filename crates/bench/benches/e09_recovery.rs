@@ -1,0 +1,158 @@
+//! E9 — failure/resource transparency: checkpoints, logs and recovery.
+//!
+//! Paper claim (§5.5): objects "write snapshots of their state to storage
+//! and log interactions so that the object can be reinstated at an
+//! alternative location after a failure". The engineering trade-off is the
+//! checkpoint interval:
+//!
+//! * recovery time grows with the log tail to replay (10 … 10 000
+//!   records);
+//! * per-operation overhead grows as checkpoints become more frequent
+//!   (interval 1 / 16 / 256 vs unlogged);
+//! * passivation and first-touch activation latency (resource
+//!   transparency).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use odp::prelude::*;
+use odp::storage::{recover, CheckpointPolicy, LoggingLayer, Passivator, StableRepository, WriteAheadLog};
+use odp_bench::counter;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn recovery_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e09_recovery_time");
+    group.sample_size(10);
+    for log_len in [10usize, 100, 1_000, 10_000] {
+        group.bench_with_input(
+            BenchmarkId::new("replay_records", log_len),
+            &log_len,
+            |b, log_len| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        // Build a WAL with `log_len` records directly (the
+                        // replay cost is what we time).
+                        let wal = WriteAheadLog::new();
+                        let repo = StableRepository::default();
+                        let iface = odp::types::InterfaceId(7);
+                        for _ in 0..*log_len {
+                            wal.append(iface, "add", &[Value::Int(1)]);
+                        }
+                        let world = World::builder().capsules(1).build();
+                        let start = Instant::now();
+                        let (_r, replayed) = recover(
+                            world.capsule(0),
+                            iface,
+                            &counter,
+                            &repo,
+                            &wal,
+                            ExportConfig::default(),
+                            0,
+                        )
+                        .unwrap();
+                        total += start.elapsed();
+                        assert_eq!(replayed, *log_len);
+                    }
+                    total
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn checkpoint_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e09_checkpoint_overhead");
+    group.sample_size(15);
+    // The repository write costs 20 µs (simulated stable medium), making
+    // the interval trade-off real.
+    for interval in [1u64, 16, 256] {
+        let world = World::builder().capsules(2).build();
+        let wal = Arc::new(WriteAheadLog::new());
+        let repo = Arc::new(StableRepository::new(Duration::from_micros(20)));
+        let servant = counter();
+        let layer = LoggingLayer::new(
+            &servant,
+            wal,
+            repo,
+            CheckpointPolicy { every_n_ops: interval },
+            Arc::new(|op| op == "add"),
+        );
+        let r = world.capsule(0).export_with(
+            servant,
+            ExportConfig {
+                layers: vec![layer as Arc<dyn odp::core::ServerLayer>],
+                ..ExportConfig::default()
+            },
+        );
+        let binding = world.capsule(1).bind(r);
+        group.bench_with_input(
+            BenchmarkId::new("logged_write_interval", interval),
+            &interval,
+            |b, _| {
+                b.iter(|| black_box(binding.interrogate("add", vec![Value::Int(1)]).unwrap()));
+            },
+        );
+    }
+    // Unprotected baseline.
+    let world = World::builder().capsules(2).build();
+    let r = world.capsule(0).export(counter());
+    let binding = world.capsule(1).bind(r);
+    group.bench_function("unlogged_baseline", |b| {
+        b.iter(|| black_box(binding.interrogate("add", vec![Value::Int(1)]).unwrap()));
+    });
+    group.finish();
+}
+
+fn passivation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e09_passivation");
+    group.sample_size(15);
+    group.bench_function("passivate", |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let world = World::builder().capsules(1).build();
+                let repo = Arc::new(StableRepository::default());
+                let passivator = Passivator::new(repo);
+                let r = world.capsule(0).export(counter());
+                let start = Instant::now();
+                passivator
+                    .passivate(world.capsule(0), r.iface, Arc::new(counter))
+                    .unwrap();
+                total += start.elapsed();
+            }
+            total
+        });
+    });
+    group.bench_function("first_touch_activation", |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let world = World::builder().capsules(2).build();
+                let repo = Arc::new(StableRepository::default());
+                let passivator = Passivator::new(repo);
+                let r = world.capsule(0).export(counter());
+                passivator
+                    .passivate(world.capsule(0), r.iface, Arc::new(counter))
+                    .unwrap();
+                let binding = world.capsule(1).bind(r);
+                let start = Instant::now();
+                black_box(binding.interrogate("read", vec![]).unwrap());
+                total += start.elapsed();
+            }
+            total
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = recovery_time, checkpoint_overhead, passivation
+}
+criterion_main!(benches);

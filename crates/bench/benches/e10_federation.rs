@@ -1,0 +1,137 @@
+//! E10 — federation transparency: the price of crossing boundaries.
+//!
+//! Paper claims (§4.2, §5.6): gateways enforce policy, account and
+//! translate at organization boundaries. The architectural property to
+//! verify is that the cost is **per crossing** — calls inside a domain pay
+//! nothing, and an n-domain chain pays n gateway hops:
+//!
+//! * same-domain invocation (boundary layer installed, never triggered);
+//! * one boundary crossing (admission + accounting + forward);
+//! * one crossing with value translation;
+//! * one crossing with proxy substitution for returned references.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use odp::federation::{AdmissionPolicy, BoundaryLayer, DomainMap, Gateway, ValueMapper};
+use odp::prelude::*;
+use odp::types::DomainId;
+use odp_bench::counter;
+use std::hint::black_box;
+use std::sync::Arc;
+
+const A: DomainId = DomainId(1);
+const B: DomainId = DomainId(2);
+
+struct Rig {
+    world: World,
+    map: Arc<DomainMap>,
+    svc: InterfaceRef,
+}
+
+fn rig(translator: bool, proxies: bool) -> Rig {
+    let world = World::builder().capsules(3).build();
+    let map = DomainMap::new();
+    map.declare(A, "a");
+    map.declare(B, "b");
+    map.assign(world.capsule(0).node(), A); // service host
+    map.assign(world.capsule(1).node(), A); // gateway
+    map.assign(world.capsule(2).node(), B); // client
+    let mut gw = Gateway::new(
+        Arc::clone(&map),
+        A,
+        world.capsule(1),
+        AdmissionPolicy::allow_all(),
+    );
+    if translator {
+        gw = gw.with_translator(Arc::new(ValueMapper::new(
+            Arc::new(|v| v),
+            Arc::new(|v| v),
+        )));
+    }
+    if proxies {
+        gw = gw.with_proxies();
+    }
+    gw.install();
+    let svc = world.capsule(0).export(counter());
+    Rig { world, map, svc }
+}
+
+fn federation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_federation");
+    group.sample_size(20);
+
+    // Same-domain call with the boundary layer installed but idle.
+    {
+        let r = rig(false, false);
+        let policy = TransparencyPolicy::default()
+            .with_layer(BoundaryLayer::new(Arc::clone(&r.map), A));
+        let binding = r.world.capsule(1).bind_with(r.svc.clone(), policy);
+        group.bench_function("same_domain_layer_idle", |b| {
+            b.iter(|| black_box(binding.interrogate("add", vec![Value::Int(1)]).unwrap()));
+        });
+    }
+
+    // One crossing: admission + accounting + forward.
+    {
+        let r = rig(false, false);
+        let policy = TransparencyPolicy::default()
+            .with_layer(BoundaryLayer::new(Arc::clone(&r.map), B));
+        let binding = r.world.capsule(2).bind_with(r.svc.clone(), policy);
+        group.bench_function("one_crossing", |b| {
+            b.iter(|| black_box(binding.interrogate("add", vec![Value::Int(1)]).unwrap()));
+        });
+    }
+
+    // One crossing with value translation in both directions.
+    {
+        let r = rig(true, false);
+        let policy = TransparencyPolicy::default()
+            .with_layer(BoundaryLayer::new(Arc::clone(&r.map), B));
+        let binding = r.world.capsule(2).bind_with(r.svc.clone(), policy);
+        group.bench_function("one_crossing_translated", |b| {
+            b.iter(|| black_box(binding.interrogate("add", vec![Value::Int(1)]).unwrap()));
+        });
+    }
+
+    // One crossing where the reply carries a reference that must be
+    // proxied (a fresh proxy export per call — the worst case).
+    {
+        let r = rig(false, true);
+        let inner = r.svc.clone();
+        let ty = InterfaceTypeBuilder::new()
+            .interrogation("get_ref", vec![], vec![OutcomeSig::ok(vec![TypeSpec::Any])])
+            .build();
+        let dir = r
+            .world
+            .capsule(0)
+            .export(Arc::new(FnServant::new(ty, move |_o, _a, _c| {
+                Outcome::ok(vec![Value::Interface(inner.clone())])
+            })));
+        let policy = TransparencyPolicy::default()
+            .with_layer(BoundaryLayer::new(Arc::clone(&r.map), B));
+        let binding = r.world.capsule(2).bind_with(dir, policy);
+        group.bench_function("one_crossing_with_proxy_substitution", |b| {
+            b.iter(|| black_box(binding.interrogate("get_ref", vec![]).unwrap()));
+        });
+    }
+
+    // Direct (no federation machinery at all) baseline.
+    {
+        let world = World::builder().capsules(2).build();
+        let svc = world.capsule(0).export(counter());
+        let binding = world.capsule(1).bind(svc);
+        group.bench_function("no_federation_baseline", |b| {
+            b.iter(|| black_box(binding.interrogate("add", vec![Value::Int(1)]).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(20);
+    targets = federation
+}
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! E11 — security guards: the cost of declarative policing.
+//!
+//! Paper claim (§7.1): guards are "generated automatically from a
+//! declarative statement of security policy" and sit inside the object's
+//! encapsulation boundary. The experiment measures what that generated
+//! mechanism costs per interaction:
+//!
+//! * unguarded invocation (baseline);
+//! * guarded + authenticated invocation (mint + verify + policy + nonce);
+//! * the raw MAC cost as argument payloads grow;
+//! * the guard's rejection throughput (how cheaply invalid traffic is
+//!   shed — relevant to the paper's "minimal security infrastructure"
+//!   discussion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use odp::prelude::*;
+use odp::security::secret::{establish, mac, Secret};
+use odp::security::{AuthLayer, Guard, SecretStore, SecurityPolicy};
+use odp_bench::counter;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn guarded_invocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_guarded_invocation");
+    // Baseline: no guard.
+    let world = World::builder().capsules(2).build();
+    let plain_ref = world.capsule(0).export(counter());
+    let plain = world.capsule(1).bind(plain_ref);
+    group.bench_function("unguarded", |b| {
+        b.iter(|| black_box(plain.interrogate("add", vec![Value::Int(1)]).unwrap()));
+    });
+
+    // Guarded + authenticated.
+    let server = Arc::new(SecretStore::new("server"));
+    let client = Arc::new(SecretStore::new("client"));
+    establish(&server, &client, 5);
+    let guard = Guard::generate(
+        Arc::clone(&server),
+        SecurityPolicy::deny_all().allow_all("client"),
+    );
+    let guarded_ref = world.capsule(0).export_with(
+        counter(),
+        ExportConfig {
+            layers: vec![guard.clone() as Arc<dyn odp::core::ServerLayer>],
+            ..ExportConfig::default()
+        },
+    );
+    let guarded = world.capsule(1).bind_with(
+        guarded_ref.clone(),
+        TransparencyPolicy::default().with_layer(AuthLayer::new(Arc::clone(&client), "server")),
+    );
+    group.bench_function("guarded_authenticated", |b| {
+        b.iter(|| black_box(guarded.interrogate("add", vec![Value::Int(1)]).unwrap()));
+    });
+
+    // Rejection path: no credentials at all.
+    let unauthenticated = world.capsule(1).bind(guarded_ref);
+    group.bench_function("guarded_rejection", |b| {
+        b.iter(|| {
+            black_box(unauthenticated.interrogate("add", vec![Value::Int(1)]).unwrap_err());
+        });
+    });
+    group.finish();
+}
+
+fn mac_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_mac_cost");
+    let secret = Secret::from_seed(9);
+    for size in [0usize, 64, 1024, 16 * 1024] {
+        let args = vec![Value::bytes(vec![7u8; size])];
+        group.bench_with_input(BenchmarkId::new("mac_args_bytes", size), &args, |b, args| {
+            b.iter(|| {
+                black_box(mac(
+                    secret,
+                    "client",
+                    odp::types::InterfaceId(1),
+                    "op",
+                    black_box(args),
+                    42,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(30);
+    targets = guarded_invocation, mac_cost
+}
+criterion_main!(benches);

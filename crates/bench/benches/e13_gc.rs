@@ -1,0 +1,110 @@
+//! E13 — distributed garbage collection at scale.
+//!
+//! Paper claim (§7.3): distributed GC is feasible because "only passive
+//! objects need be considered" and idle machines "can contribute resources
+//! towards the garbage collection process". Measured:
+//!
+//! * mark-and-sweep time over populations of 100 / 1 000 / 10 000 exported
+//!   objects (half garbage, half reachable through local chains);
+//! * lease renewal throughput over the wire (the steady-state cost remote
+//!   holders impose);
+//! * the live-set marking cost alone, by graph size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use odp::gc::registry::ops;
+use odp::gc::{Collector, GcServant, RefRegistry};
+use odp::prelude::*;
+use odp_bench::counter;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn sweep_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_sweep_scale");
+    group.sample_size(10);
+    for population in [100usize, 1_000, 10_000] {
+        group.bench_with_input(
+            BenchmarkId::new("collect_population", population),
+            &population,
+            |b, population| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let world = World::builder().capsules(2).build();
+                        let registry = RefRegistry::new(Duration::from_secs(60));
+                        let collector = Collector::new(Arc::clone(&registry));
+                        let capsule = world.capsule(0);
+                        // Half the population is chained to a leased root;
+                        // the other half is garbage.
+                        let mut prev: Option<odp::types::InterfaceId> = None;
+                        for i in 0..*population {
+                            let r = capsule.export(counter());
+                            if i % 2 == 0 {
+                                match prev {
+                                    None => registry
+                                        .leases()
+                                        .renew(r.iface, world.capsule(1).node()),
+                                    Some(p) => registry.add_edge(p, r.iface),
+                                }
+                                prev = Some(r.iface);
+                            }
+                        }
+                        let start = Instant::now();
+                        let collected = collector.collect(capsule);
+                        total += start.elapsed();
+                        assert_eq!(collected.len(), population / 2);
+                    }
+                    total
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn lease_renewal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_lease_renewal");
+    let world = World::builder().capsules(2).build();
+    let registry = RefRegistry::new(Duration::from_secs(60));
+    let gc_ref = world
+        .capsule(0)
+        .export(Arc::new(GcServant::new(Arc::clone(&registry))));
+    let binding = world.capsule(1).bind(gc_ref);
+    // Renew 32 held references in one interrogation.
+    let held: Vec<Value> = (0..32).map(|i| Value::Int(i + 1000)).collect();
+    group.bench_function("renew_32_refs_remote", |b| {
+        b.iter(|| {
+            black_box(
+                binding
+                    .interrogate(ops::RENEW, vec![Value::Seq(held.clone())])
+                    .unwrap(),
+            );
+        });
+    });
+    group.finish();
+}
+
+fn marking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_marking");
+    for nodes in [100u64, 1_000, 10_000] {
+        let registry = RefRegistry::new(Duration::from_secs(60));
+        registry.pin(odp::types::InterfaceId(0));
+        for i in 0..nodes {
+            registry.add_edge(odp::types::InterfaceId(i), odp::types::InterfaceId(i + 1));
+        }
+        group.bench_with_input(BenchmarkId::new("live_set_chain", nodes), &nodes, |b, _| {
+            b.iter(|| black_box(registry.live_set().len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = sweep_scale, lease_renewal, marking
+}
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! E14 — scale: growing systems and federated name resolution.
+//!
+//! Paper claim (§2): ODP systems "will grow by interconnection to other ODP
+//! systems … the size of the ODP network will grow to meet the size of the
+//! telephone system". Laptop-scale proxy for the shape: per-interaction
+//! costs must stay flat (or logarithmic) as the system grows —
+//!
+//! * bind + first invocation cost vs system size (2 … 128 capsules on one
+//!   simulated network);
+//! * steady-state invocation cost vs system size (must be flat: nothing
+//!   in the access path scans the population);
+//! * federated import latency vs trader-chain diameter 1 … 8 (must be
+//!   linear in the diameter, not the population).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use odp::prelude::*;
+use odp::trading::federation::import_path;
+use odp::trading::{ContextName, Trader};
+use odp::types::signature::{InterfaceTypeBuilder as ITB, OutcomeSig as OS};
+use odp_bench::counter;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn system_growth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e14_system_growth");
+    group.sample_size(10);
+    for capsules in [2usize, 8, 32, 128] {
+        let world = World::builder().capsules(capsules).workers(2).build();
+        // Every capsule exports a service; we invoke across the diameter.
+        let mut refs = Vec::new();
+        for i in 0..capsules {
+            refs.push(world.capsule(i).export(counter()));
+        }
+        let target = refs[0].clone();
+        group.bench_with_input(
+            BenchmarkId::new("bind_plus_first_call", capsules),
+            &capsules,
+            |b, capsules| {
+                b.iter(|| {
+                    let binding = world.capsule(capsules - 1).bind(target.clone());
+                    black_box(binding.interrogate("read", vec![]).unwrap());
+                });
+            },
+        );
+        let steady = world.capsule(capsules - 1).bind(target.clone());
+        group.bench_with_input(
+            BenchmarkId::new("steady_state_call", capsules),
+            &capsules,
+            |b, _| {
+                b.iter(|| black_box(steady.interrogate("read", vec![]).unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn federation_diameter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e14_federation_diameter");
+    group.sample_size(10);
+    for diameter in [1usize, 2, 4, 8] {
+        // A chain of diameter+1 traders, each on its own capsule; the
+        // offer lives at the far end.
+        let world = World::builder().capsules(diameter + 2).build();
+        let traders: Vec<Arc<Trader>> = (0..=diameter)
+            .map(|i| {
+                let t = Arc::new(Trader::new());
+                t.attach_capsule(world.capsule(i));
+                t
+            })
+            .collect();
+        let trader_refs: Vec<InterfaceRef> = traders
+            .iter()
+            .enumerate()
+            .map(|(i, t)| world.capsule(i).export(Arc::clone(t) as Arc<dyn Servant>))
+            .collect();
+        for i in 0..diameter {
+            traders[i].link("next", trader_refs[i + 1].clone());
+        }
+        let svc_ty = ITB::new()
+            .interrogation("serve", vec![], vec![OS::ok(vec![])])
+            .build();
+        let svc = world.capsule(diameter + 1).export(Arc::new(FnServant::new(
+            svc_ty.clone(),
+            |_o, _a, _c| Outcome::ok(vec![]),
+        )));
+        traders[diameter].export_offer(svc, Default::default());
+        let path: ContextName = vec!["next"; diameter].join("/").parse().unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("import_via_hops", diameter),
+            &diameter,
+            |b, _| {
+                b.iter(|| {
+                    let found =
+                        import_path(&traders[0], &path, &svc_ty, &[], 1, 16).unwrap();
+                    black_box(found.len());
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn name_resolution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e14_name_resolution");
+    for depth in [2usize, 8, 32] {
+        let name: ContextName = vec!["seg"; depth].join("/").parse().unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("canonicalize_depth", depth),
+            &name,
+            |b, name| {
+                b.iter(|| black_box(name.exported().rebase("back")));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = system_growth, federation_diameter, name_resolution
+}
+criterion_main!(benches);

@@ -1,0 +1,170 @@
+//! Management interfaces (§7.4).
+//!
+//! *"The links to management required for ODP include: identification of
+//! points where network and system management information can contribute to
+//! the provision of transparency; identification of management interfaces
+//! for monitoring transparency mechanisms and changing transparency
+//! parameters…"*
+//!
+//! [`ManagementServant`] exposes a capsule's engineering state — dispatch
+//! counters, fast-path usage, the export table, relocator configuration —
+//! as an ordinary ADT interface, so management tooling is just another ODP
+//! client. Being an ordinary servant, it composes with the rest of the
+//! platform: guard it with `odp-security`, trade it with `odp-trading`,
+//! reach it across domains with `odp-federation`.
+
+use crate::capsule::Capsule;
+use crate::object::{CallCtx, Outcome, Servant};
+use odp_types::signature::{InterfaceTypeBuilder, OutcomeSig};
+use odp_types::{InterfaceType, TypeSpec};
+use odp_wire::Value;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Weak};
+
+/// The signature of the capsule management service.
+#[must_use]
+pub fn management_interface_type() -> InterfaceType {
+    InterfaceTypeBuilder::new()
+        .interrogation(
+            "stats",
+            vec![],
+            vec![OutcomeSig::ok(vec![TypeSpec::record([
+                ("node", TypeSpec::Int),
+                ("served", TypeSpec::Int),
+                ("local_fast_path", TypeSpec::Int),
+                ("exports", TypeSpec::Int),
+            ])])],
+        )
+        .interrogation(
+            "exports",
+            vec![],
+            vec![OutcomeSig::ok(vec![TypeSpec::seq(TypeSpec::Int)])],
+        )
+        .interrogation(
+            "relocator",
+            vec![],
+            vec![
+                OutcomeSig::ok(vec![TypeSpec::Int]),
+                OutcomeSig::new("none", vec![]),
+            ],
+        )
+        .interrogation(
+            "close",
+            vec![TypeSpec::Int],
+            vec![OutcomeSig::ok(vec![]), OutcomeSig::new("not_here", vec![])],
+        )
+        .build()
+}
+
+/// Exposes a capsule's engineering state for monitoring and control.
+pub struct ManagementServant {
+    capsule: Weak<Capsule>,
+}
+
+impl ManagementServant {
+    /// Creates the management servant for `capsule`.
+    #[must_use]
+    pub fn new(capsule: &Arc<Capsule>) -> Self {
+        Self {
+            capsule: Arc::downgrade(capsule),
+        }
+    }
+}
+
+impl Servant for ManagementServant {
+    fn interface_type(&self) -> InterfaceType {
+        management_interface_type()
+    }
+
+    fn dispatch(&self, op: &str, args: Vec<Value>, _ctx: &CallCtx) -> Outcome {
+        let Some(capsule) = self.capsule.upgrade() else {
+            return Outcome::fail("capsule has shut down");
+        };
+        match op {
+            "stats" => Outcome::ok(vec![Value::record([
+                ("node", Value::Int(capsule.node().raw() as i64)),
+                (
+                    "served",
+                    Value::Int(capsule.stats.served.load(Ordering::Relaxed) as i64),
+                ),
+                (
+                    "local_fast_path",
+                    Value::Int(capsule.stats.local_fast_path.load(Ordering::Relaxed) as i64),
+                ),
+                (
+                    "exports",
+                    Value::Int(capsule.exported_interfaces().len() as i64),
+                ),
+            ])]),
+            "exports" => Outcome::ok(vec![Value::Seq(
+                capsule
+                    .exported_interfaces()
+                    .into_iter()
+                    .map(|i| Value::Int(i.raw() as i64))
+                    .collect(),
+            )]),
+            "relocator" => match capsule.relocator_ref() {
+                Some(r) => Outcome::ok(vec![Value::Int(r.home.raw() as i64)]),
+                None => Outcome::new("none", vec![]),
+            },
+            "close" => {
+                let Some(iface) = args.first().and_then(Value::as_int) else {
+                    return Outcome::fail("close requires an interface id");
+                };
+                match capsule.close(odp_types::InterfaceId(iface as u64)) {
+                    Some(_) => Outcome::ok(vec![]),
+                    None => Outcome::new("not_here", vec![]),
+                }
+            }
+            _ => Outcome::fail("unknown operation"),
+        }
+    }
+}
+
+impl std::fmt::Debug for ManagementServant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ManagementServant").finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::World;
+
+    #[test]
+    fn stats_and_exports_visible_remotely() {
+        let world = World::quick();
+        let capsule = world.capsule(0);
+        let mgmt_ref = capsule.export(Arc::new(ManagementServant::new(capsule)));
+        let some_obj = capsule.export(Arc::new(crate::relocator::RelocationServant::new()));
+        let binding = world.capsule(1).bind(mgmt_ref);
+
+        let out = binding.interrogate("stats", vec![]).unwrap();
+        let rec = out.result().unwrap();
+        assert_eq!(
+            rec.field("node").and_then(Value::as_int),
+            Some(capsule.node().raw() as i64)
+        );
+        assert!(rec.field("exports").and_then(Value::as_int).unwrap() >= 2);
+
+        let out = binding.interrogate("exports", vec![]).unwrap();
+        let ids = out.result().unwrap().as_seq().unwrap();
+        assert!(ids
+            .iter()
+            .any(|v| v.as_int() == Some(some_obj.iface.raw() as i64)));
+
+        // Management can close an interface remotely.
+        let out = binding
+            .interrogate("close", vec![Value::Int(some_obj.iface.raw() as i64)])
+            .unwrap();
+        assert!(out.is_ok());
+        let out = binding
+            .interrogate("close", vec![Value::Int(some_obj.iface.raw() as i64)])
+            .unwrap();
+        assert_eq!(out.termination, "not_here");
+
+        let out = binding.interrogate("relocator", vec![]).unwrap();
+        assert_eq!(out.termination, "ok");
+    }
+}

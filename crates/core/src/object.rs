@@ -1,0 +1,388 @@
+//! Objects, outcomes and call contexts — the computational model.
+//!
+//! §4.1: *"the client is effectively referencing a `<procedure, data>`
+//! combination … Often there are several procedures that can be applied to
+//! the same body of data; together these procedures define a self-consistent
+//! set of operations providing a consistent service. The point of access to
+//! those operations is termed an interface."* A [`Servant`] is one such body
+//! of data behind an interface.
+//!
+//! §5.1: *"Each operation should be permitted to have a range of possible
+//! outcomes, each one of which carries its own package of results."* An
+//! [`Outcome`] is one element of that range. Failures of the infrastructure
+//! itself are signalled with reserved terminations (see [`terminations`]) so
+//! that they can never be confused with application outcomes.
+
+use odp_types::{InterfaceType, NodeId, TxnId};
+use odp_wire::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Reserved engineering terminations. Application code must not use names
+/// starting with `__`; the runtime's layers produce and consume these.
+pub mod terminations {
+    /// Target interface is not exported at the reached node.
+    pub const NO_SUCH_INTERFACE: &str = "__no_such_interface";
+    /// Operation name not in the interface signature.
+    pub const NO_SUCH_OPERATION: &str = "__no_such_operation";
+    /// Interface was explicitly closed (§7.3: "provide a means to
+    /// explicitly close an interface: subsequent attempts to access the
+    /// interface produce an error indication as their outcome").
+    pub const CLOSED: &str = "__closed";
+    /// Interface has migrated; results carry `[new_home, epoch]` (§5.5).
+    pub const MOVED: &str = "__moved";
+    /// Arguments failed dynamic type checking at the server.
+    pub const TYPE_ERROR: &str = "__type_error";
+    /// A security guard refused the interaction (§7.1).
+    pub const DENIED: &str = "__denied";
+    /// A concurrency-control layer aborted the interaction (§5.2).
+    pub const ABORTED: &str = "__aborted";
+    /// The interface is passivated and must be activated before use (§5.5).
+    pub const PASSIVE: &str = "__passive";
+
+    /// True if `name` is reserved for the engineering infrastructure.
+    #[must_use]
+    pub fn is_reserved(name: &str) -> bool {
+        name.starts_with("__")
+    }
+}
+
+/// One termination of an invocation plus its results.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Outcome {
+    /// Termination name (e.g. `"ok"`, `"overdrawn"`, or a reserved
+    /// engineering termination).
+    pub termination: String,
+    /// The package of results carried by this termination.
+    pub results: Vec<Value>,
+}
+
+impl Outcome {
+    /// The conventional success termination.
+    #[must_use]
+    pub fn ok(results: Vec<Value>) -> Self {
+        Self {
+            termination: "ok".to_owned(),
+            results,
+        }
+    }
+
+    /// An application-defined termination.
+    #[must_use]
+    pub fn new<S: Into<String>>(termination: S, results: Vec<Value>) -> Self {
+        Self {
+            termination: termination.into(),
+            results,
+        }
+    }
+
+    /// The conventional failure termination with a message.
+    #[must_use]
+    pub fn fail<S: Into<String>>(message: S) -> Self {
+        Self {
+            termination: "fail".to_owned(),
+            results: vec![Value::Str(message.into())],
+        }
+    }
+
+    /// A reserved engineering termination (crate-public constructor so
+    /// other platform crates can produce them).
+    #[must_use]
+    pub fn engineering(termination: &'static str, results: Vec<Value>) -> Self {
+        debug_assert!(terminations::is_reserved(termination));
+        Self {
+            termination: termination.to_owned(),
+            results,
+        }
+    }
+
+    /// True if the termination is `"ok"`.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.termination == "ok"
+    }
+
+    /// True if the termination is reserved for the infrastructure.
+    #[must_use]
+    pub fn is_engineering(&self) -> bool {
+        terminations::is_reserved(&self.termination)
+    }
+
+    /// First result, if any.
+    #[must_use]
+    pub fn result(&self) -> Option<&Value> {
+        self.results.first()
+    }
+
+    /// First result as an integer (common case in tests and examples).
+    #[must_use]
+    pub fn int(&self) -> Option<i64> {
+        self.result().and_then(Value::as_int)
+    }
+}
+
+impl fmt::Debug for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({:?})", self.termination, self.results)
+    }
+}
+
+/// Context delivered with every dispatch.
+///
+/// The `annotations` map is the extension point by which other platform
+/// crates thread engineering state through an invocation without the
+/// application seeing it: transaction identifiers (`odp-tx`), security
+/// credentials (`odp-security`), accounting records (`odp-federation`).
+#[derive(Debug, Clone, Default)]
+pub struct CallCtx {
+    /// The calling node (as authenticated by the transport; `odp-security`
+    /// guards add cryptographic verification on top).
+    pub caller: NodeId,
+    /// The interface the call arrived at.
+    pub iface: odp_types::InterfaceId,
+    /// True if the invocation is an announcement.
+    pub announcement: bool,
+    /// Engineering annotations carried with the call.
+    pub annotations: BTreeMap<String, Value>,
+}
+
+impl CallCtx {
+    /// Annotation key used by `odp-tx` for transaction identifiers.
+    pub const TXN_KEY: &'static str = "__txn";
+
+    /// Returns the transaction this call runs under, if any.
+    #[must_use]
+    pub fn txn(&self) -> Option<TxnId> {
+        self.annotations
+            .get(Self::TXN_KEY)
+            .and_then(Value::as_int)
+            .map(|i| TxnId(i as u64))
+    }
+
+    /// Sets the transaction annotation.
+    pub fn set_txn(&mut self, txn: TxnId) {
+        self.annotations
+            .insert(Self::TXN_KEY.to_owned(), Value::Int(txn.raw() as i64));
+    }
+}
+
+/// An ADT implementation: the data plus its operations.
+///
+/// Dispatch receives the operation name, the (already unmarshalled and
+/// type-checked) arguments, and the call context, and returns one of the
+/// interface's declared outcomes. Servants must be `Send + Sync`: §4.1 warns
+/// that "concurrency is the norm in a distributed system and program
+/// executions are truly overlapped" — a servant is responsible for its own
+/// internal locking unless exported with a serialized dispatch discipline.
+pub trait Servant: Send + Sync {
+    /// The structural signature of this ADT's interface.
+    fn interface_type(&self) -> InterfaceType;
+
+    /// Executes one operation.
+    fn dispatch(&self, op: &str, args: Vec<Value>, ctx: &CallCtx) -> Outcome;
+
+    /// Serializes the servant's state for migration, passivation or
+    /// checkpointing (§5.5). The paper makes the *object* responsible for
+    /// its own snapshot: "an object has to take the responsibility for
+    /// moving itself … since this provides for the opportunity to represent
+    /// its state in a more compact or resilient form". Returns `None` if
+    /// the object does not support transparency mechanisms that need
+    /// snapshots.
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Reinstates state produced by [`Servant::snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason if the snapshot cannot be applied.
+    fn restore(&self, _snapshot: &[u8]) -> Result<(), String> {
+        Err("object does not support restore".to_owned())
+    }
+}
+
+/// Adapts a closure into a [`Servant`] — convenient for small services and
+/// tests. The closure receives `(op, args, ctx)`.
+pub struct FnServant<F>
+where
+    F: Fn(&str, Vec<Value>, &CallCtx) -> Outcome + Send + Sync,
+{
+    ty: InterfaceType,
+    f: F,
+}
+
+impl<F> FnServant<F>
+where
+    F: Fn(&str, Vec<Value>, &CallCtx) -> Outcome + Send + Sync,
+{
+    /// Wraps `f` as a servant with signature `ty`.
+    pub fn new(ty: InterfaceType, f: F) -> Self {
+        Self { ty, f }
+    }
+}
+
+impl<F> Servant for FnServant<F>
+where
+    F: Fn(&str, Vec<Value>, &CallCtx) -> Outcome + Send + Sync,
+{
+    fn interface_type(&self) -> InterfaceType {
+        self.ty.clone()
+    }
+
+    fn dispatch(&self, op: &str, args: Vec<Value>, ctx: &CallCtx) -> Outcome {
+        (self.f)(op, args, ctx)
+    }
+}
+
+impl<F> fmt::Debug for FnServant<F>
+where
+    F: Fn(&str, Vec<Value>, &CallCtx) -> Outcome + Send + Sync,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FnServant").field("ty", &self.ty).finish()
+    }
+}
+
+/// Encodes an outcome as a REX reply body: `[Str(termination), results…]`.
+#[must_use]
+pub fn encode_outcome(outcome: &Outcome) -> bytes::Bytes {
+    let mut values = Vec::with_capacity(1 + outcome.results.len());
+    values.push(Value::Str(outcome.termination.clone()));
+    values.extend(outcome.results.iter().cloned());
+    odp_wire::marshal(&values)
+}
+
+/// Decodes a REX reply body back into an outcome.
+///
+/// # Errors
+///
+/// Returns a description if the body is not a valid outcome encoding.
+pub fn decode_outcome(body: &[u8]) -> Result<Outcome, String> {
+    let mut values = odp_wire::unmarshal(body).map_err(|e| e.to_string())?;
+    if values.is_empty() {
+        return Err("empty outcome payload".to_owned());
+    }
+    let termination = match values.remove(0) {
+        Value::Str(s) => s,
+        other => return Err(format!("termination must be a string, got {other:?}")),
+    };
+    Ok(Outcome {
+        termination,
+        results: values,
+    })
+}
+
+/// Encodes a request body: `[Record(annotations), args…]`.
+#[must_use]
+pub fn encode_request(annotations: &BTreeMap<String, Value>, args: &[Value]) -> bytes::Bytes {
+    let mut values = Vec::with_capacity(1 + args.len());
+    values.push(Value::Record(
+        annotations
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect(),
+    ));
+    values.extend(args.iter().cloned());
+    odp_wire::marshal(&values)
+}
+
+/// Decodes a request body into `(annotations, args)`.
+///
+/// # Errors
+///
+/// Returns a description if the body is malformed.
+pub fn decode_request(body: &[u8]) -> Result<(BTreeMap<String, Value>, Vec<Value>), String> {
+    let mut values = odp_wire::unmarshal(body).map_err(|e| e.to_string())?;
+    if values.is_empty() {
+        return Err("empty request payload".to_owned());
+    }
+    let annotations = match values.remove(0) {
+        Value::Record(fields) => fields.into_iter().collect(),
+        other => return Err(format!("annotations must be a record, got {other:?}")),
+    };
+    Ok((annotations, values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odp_types::signature::{InterfaceTypeBuilder, OutcomeSig};
+    use odp_types::TypeSpec;
+
+    #[test]
+    fn outcome_constructors() {
+        let ok = Outcome::ok(vec![Value::Int(5)]);
+        assert!(ok.is_ok());
+        assert_eq!(ok.int(), Some(5));
+        let fail = Outcome::fail("boom");
+        assert!(!fail.is_ok());
+        assert!(!fail.is_engineering());
+        let eng = Outcome::engineering(terminations::CLOSED, vec![]);
+        assert!(eng.is_engineering());
+    }
+
+    #[test]
+    fn outcome_round_trips_through_wire() {
+        let out = Outcome::new("overdrawn", vec![Value::Int(-3), Value::str("sorry")]);
+        let bytes = encode_outcome(&out);
+        let rt = decode_outcome(&bytes).unwrap();
+        assert_eq!(rt.termination, "overdrawn");
+        assert_eq!(rt.results, out.results);
+    }
+
+    #[test]
+    fn request_round_trips_with_annotations() {
+        let mut ann = BTreeMap::new();
+        ann.insert("__txn".to_owned(), Value::Int(42));
+        let args = vec![Value::str("arg"), Value::Int(1)];
+        let bytes = encode_request(&ann, &args);
+        let (ann2, args2) = decode_request(&bytes).unwrap();
+        assert_eq!(ann2.get("__txn"), Some(&Value::Int(42)));
+        assert_eq!(args2, args);
+    }
+
+    #[test]
+    fn malformed_bodies_rejected() {
+        assert!(decode_outcome(b"junk").is_err());
+        assert!(decode_request(b"junk").is_err());
+        // A valid payload whose first value is not a record/string.
+        let bytes = odp_wire::marshal(&[Value::Int(1)]);
+        assert!(decode_outcome(&bytes).is_err());
+        assert!(decode_request(&bytes).is_err());
+        let empty = odp_wire::marshal(&[]);
+        assert!(decode_outcome(&empty).is_err());
+        assert!(decode_request(&empty).is_err());
+    }
+
+    #[test]
+    fn call_ctx_txn_annotation() {
+        let mut ctx = CallCtx::default();
+        assert_eq!(ctx.txn(), None);
+        ctx.set_txn(TxnId(9));
+        assert_eq!(ctx.txn(), Some(TxnId(9)));
+    }
+
+    #[test]
+    fn fn_servant_dispatches() {
+        let ty = InterfaceTypeBuilder::new()
+            .interrogation("double", vec![TypeSpec::Int], vec![OutcomeSig::ok(vec![TypeSpec::Int])])
+            .build();
+        let servant = FnServant::new(ty.clone(), |op, args, _ctx| match op {
+            "double" => Outcome::ok(vec![Value::Int(args[0].as_int().unwrap() * 2)]),
+            _ => Outcome::fail("no such op"),
+        });
+        assert_eq!(servant.interface_type(), ty);
+        let out = servant.dispatch("double", vec![Value::Int(21)], &CallCtx::default());
+        assert_eq!(out.int(), Some(42));
+        // Default snapshot support is absent.
+        assert!(servant.snapshot().is_none());
+        assert!(servant.restore(&[]).is_err());
+    }
+
+    #[test]
+    fn reserved_names_detected() {
+        assert!(terminations::is_reserved("__moved"));
+        assert!(!terminations::is_reserved("ok"));
+    }
+}

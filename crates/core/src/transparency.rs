@@ -1,0 +1,381 @@
+//! Declarative, selective transparency policies and the built-in layers.
+//!
+//! §3 of the paper: *"Sometimes applications will want to exercise control
+//! over distribution or participate directly in its provision. Transparency
+//! must therefore be declarative, selective and modular."* A
+//! [`TransparencyPolicy`] is the declarative statement; at bind time it is
+//! compiled into a stack of [`ClientLayer`]s — the runtime analogue of the
+//! paper's "automated tools \[that\] transform this abstract form into an
+//! engineering implementation" (§4.5).
+//!
+//! Built-in layers:
+//!
+//! * [`LocationLayer`] — location transparency (§5.4): reacts to `__moved`
+//!   forwarding tombstones and to unreachable/timeout failures by consulting
+//!   the relocation service, updating the shared reference **in place**
+//!   (every holder of the binding learns the new location), and retrying.
+//! * [`RetryLayer`] — the client half of failure transparency (§5.5):
+//!   bounded retries with exponential backoff on communication failure.
+//!   (The server half — checkpoints and recovery — lives in `odp-storage`.)
+//!
+//! Crates higher in the platform contribute further layers (replication
+//! fan-out in `odp-groups`, guards in `odp-security`, boundary interception
+//! in `odp-federation`) through [`TransparencyPolicy::custom_layers`].
+
+use crate::capsule::Capsule;
+use crate::invocation::{CallRequest, ClientLayer, ClientNext, InvokeError};
+use crate::object::{terminations, Outcome};
+use crate::relocator::{RELOCATOR_OP_LOOKUP};
+use odp_net::{CallQos, RexError};
+use odp_wire::{InterfaceRef, Value};
+use parking_lot::RwLock;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Client-side retry policy (failure transparency, §5.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt.
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles each retry.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            backoff: Duration::from_millis(20),
+        }
+    }
+}
+
+/// A declarative selection of transparencies for one binding.
+///
+/// The paper's full set is: access (always on — it *is* the binding),
+/// concurrency (`odp-tx`, server side), replication (`odp-groups` layer),
+/// location, failure, resource (`odp-storage`, server side), migration
+/// (capsule + relocator) and federation (`odp-federation` layer).
+#[derive(Clone)]
+pub struct TransparencyPolicy {
+    /// Mask co-location: route even local calls through marshalling and
+    /// the loopback transport. Off by default (the §4.5 optimization).
+    pub force_remote: bool,
+    /// Location transparency: follow moved interfaces via tombstone hints
+    /// and the relocation service.
+    pub location: bool,
+    /// Failure transparency (client half): bounded retry with backoff.
+    pub failure: Option<RetryPolicy>,
+    /// Additional layers supplied by other platform crates, outermost
+    /// first; they run before the built-in layers.
+    pub custom_layers: Vec<Arc<dyn ClientLayer>>,
+    /// Communications QoS for calls on this binding.
+    pub qos: CallQos,
+}
+
+impl Default for TransparencyPolicy {
+    fn default() -> Self {
+        Self {
+            force_remote: false,
+            location: true,
+            failure: Some(RetryPolicy::default()),
+            custom_layers: Vec::new(),
+            qos: CallQos::default(),
+        }
+    }
+}
+
+impl fmt::Debug for TransparencyPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TransparencyPolicy")
+            .field("force_remote", &self.force_remote)
+            .field("location", &self.location)
+            .field("failure", &self.failure)
+            .field("custom_layers", &self.custom_layers.len())
+            .field("qos", &self.qos)
+            .finish()
+    }
+}
+
+impl TransparencyPolicy {
+    /// No optional transparencies at all: the rawest possible binding.
+    /// Used internally for calls to the relocation service itself (to
+    /// avoid recursion) and by experiments measuring mechanism cost.
+    #[must_use]
+    pub fn minimal() -> Self {
+        Self {
+            force_remote: false,
+            location: false,
+            failure: None,
+            custom_layers: Vec::new(),
+            qos: CallQos::default(),
+        }
+    }
+
+    /// Builder-style: set the QoS.
+    #[must_use]
+    pub fn with_qos(mut self, qos: CallQos) -> Self {
+        self.qos = qos;
+        self
+    }
+
+    /// Builder-style: disable location transparency.
+    #[must_use]
+    pub fn without_location(mut self) -> Self {
+        self.location = false;
+        self
+    }
+
+    /// Builder-style: set or clear failure retry.
+    #[must_use]
+    pub fn with_failure(mut self, retry: Option<RetryPolicy>) -> Self {
+        self.failure = retry;
+        self
+    }
+
+    /// Builder-style: force the remote path even when co-located.
+    #[must_use]
+    pub fn with_force_remote(mut self, force: bool) -> Self {
+        self.force_remote = force;
+        self
+    }
+
+    /// Builder-style: prepend a custom layer.
+    #[must_use]
+    pub fn with_layer(mut self, layer: Arc<dyn ClientLayer>) -> Self {
+        self.custom_layers.push(layer);
+        self
+    }
+
+    /// Compiles the policy into an ordered layer stack for a binding whose
+    /// shared target cell is `cell`.
+    #[must_use]
+    pub fn build_layers(
+        &self,
+        capsule: &Arc<Capsule>,
+        cell: &Arc<RwLock<InterfaceRef>>,
+    ) -> Vec<Arc<dyn ClientLayer>> {
+        let mut layers: Vec<Arc<dyn ClientLayer>> = self.custom_layers.clone();
+        if let Some(retry) = self.failure {
+            layers.push(Arc::new(RetryLayer { policy: retry }));
+        }
+        if self.location {
+            layers.push(Arc::new(LocationLayer {
+                capsule: Arc::downgrade(capsule),
+                cell: Arc::clone(cell),
+            }));
+        }
+        layers
+    }
+}
+
+/// Bounded retry with exponential backoff on communication failures.
+pub struct RetryLayer {
+    /// The declarative policy this layer enforces.
+    pub policy: RetryPolicy,
+}
+
+impl ClientLayer for RetryLayer {
+    fn invoke(&self, req: CallRequest, next: &dyn ClientNext) -> Result<Outcome, InvokeError> {
+        let mut backoff = self.policy.backoff;
+        let mut last_err = None;
+        for attempt in 0..=self.policy.max_retries {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff = backoff.saturating_mul(2);
+            }
+            match next.invoke(req.clone()) {
+                // Only communication failures are retried: engineering
+                // terminations and application outcomes pass through.
+                Err(InvokeError::Rex(RexError::Timeout | RexError::Unreachable(_))) if attempt < self.policy.max_retries => {
+                    last_err = Some(InvokeError::Rex(RexError::Timeout));
+                }
+                other => return other,
+            }
+        }
+        Err(last_err.unwrap_or(InvokeError::Rex(RexError::Timeout)))
+    }
+
+    fn name(&self) -> &'static str {
+        "failure:retry"
+    }
+}
+
+/// Follows interface movement (§5.4).
+///
+/// Two information sources, in order of preference:
+///
+/// 1. **Forwarding tombstones**: the old home answers `__moved(new, epoch)`
+///    — cheap and precise.
+/// 2. **The relocation service**: consulted when the old home is gone
+///    entirely. Only *changes* were registered there, honouring the §5.4
+///    scaling rule.
+pub struct LocationLayer {
+    pub(crate) capsule: std::sync::Weak<Capsule>,
+    pub(crate) cell: Arc<RwLock<InterfaceRef>>,
+}
+
+impl LocationLayer {
+    /// Maximum chase length: a chain of moves longer than this is reported
+    /// stale rather than followed (defence against tombstone cycles).
+    pub const MAX_CHASE: usize = 8;
+
+    fn retarget(&self, req: &CallRequest, home: odp_types::NodeId, epoch: u64) -> CallRequest {
+        let mut updated = req.clone();
+        updated.target.home = home;
+        updated.target.epoch = epoch;
+        // Publish to every holder of the binding, but never go backwards.
+        let mut cell = self.cell.write();
+        if cell.epoch <= epoch {
+            cell.home = home;
+            cell.epoch = epoch;
+        }
+        updated
+    }
+
+    fn consult_relocator(&self, req: &CallRequest) -> Option<(odp_types::NodeId, u64)> {
+        let capsule = self.capsule.upgrade()?;
+        let reloc_home = req.target.relocator?;
+        let reloc_ref = capsule
+            .relocator_ref()
+            .filter(|r| r.home == reloc_home)
+            .or_else(|| capsule.relocator_ref())?;
+        let binding = capsule.bind_with(reloc_ref, TransparencyPolicy::minimal());
+        let outcome = binding
+            .interrogate(
+                RELOCATOR_OP_LOOKUP,
+                vec![Value::Int(req.target.iface.raw() as i64)],
+            )
+            .ok()?;
+        if outcome.termination != "ok" {
+            return None;
+        }
+        match (outcome.results.first(), outcome.results.get(1)) {
+            (Some(Value::Int(node)), Some(Value::Int(epoch))) => {
+                Some((odp_types::NodeId(*node as u64), *epoch as u64))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl ClientLayer for LocationLayer {
+    fn invoke(&self, req: CallRequest, next: &dyn ClientNext) -> Result<Outcome, InvokeError> {
+        // Start from the freshest location any holder has learned.
+        let mut req = {
+            let cell = self.cell.read();
+            let mut r = req;
+            if cell.epoch > r.target.epoch {
+                r.target.home = cell.home;
+                r.target.epoch = cell.epoch;
+            }
+            r
+        };
+        let mut consulted = false;
+        for _chase in 0..Self::MAX_CHASE {
+            let attempt = next.invoke(req.clone());
+            match attempt {
+                Ok(outcome) if outcome.termination == terminations::MOVED => {
+                    // Tombstone: follow the forwarding pointer.
+                    match (outcome.results.first(), outcome.results.get(1)) {
+                        (Some(Value::Int(node)), Some(Value::Int(epoch))) => {
+                            req = self.retarget(
+                                &req,
+                                odp_types::NodeId(*node as u64),
+                                *epoch as u64,
+                            );
+                        }
+                        _ => {
+                            return Err(InvokeError::Stale {
+                                iface: req.target.iface,
+                                hint: None,
+                            })
+                        }
+                    }
+                }
+                // The reached node has forgotten the interface (restart
+                // without tombstones), or the node is gone: ask the
+                // relocation service once.
+                Ok(outcome) if outcome.termination == terminations::NO_SUCH_INTERFACE => {
+                    if consulted {
+                        return Ok(outcome);
+                    }
+                    consulted = true;
+                    match self.consult_relocator(&req) {
+                        Some((node, epoch))
+                            if node != req.target.home || epoch > req.target.epoch =>
+                        {
+                            req = self.retarget(&req, node, epoch);
+                        }
+                        _ => return Ok(outcome),
+                    }
+                }
+                Err(e @ InvokeError::Rex(RexError::Unreachable(_) | RexError::Timeout)) => {
+                    if consulted {
+                        return Err(e);
+                    }
+                    consulted = true;
+                    match self.consult_relocator(&req) {
+                        Some((node, epoch))
+                            if node != req.target.home || epoch > req.target.epoch =>
+                        {
+                            req = self.retarget(&req, node, epoch);
+                        }
+                        _ => return Err(e),
+                    }
+                }
+                other => return other,
+            }
+        }
+        Err(InvokeError::Stale {
+            iface: req.target.iface,
+            hint: None,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "location"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_selects_location_and_failure() {
+        let p = TransparencyPolicy::default();
+        assert!(p.location);
+        assert!(p.failure.is_some());
+        assert!(!p.force_remote);
+    }
+
+    #[test]
+    fn minimal_policy_is_bare() {
+        let p = TransparencyPolicy::minimal();
+        assert!(!p.location);
+        assert!(p.failure.is_none());
+        assert!(p.custom_layers.is_empty());
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let p = TransparencyPolicy::default()
+            .without_location()
+            .with_failure(None)
+            .with_force_remote(true)
+            .with_qos(CallQos::with_deadline(Duration::from_millis(300)));
+        assert!(!p.location);
+        assert!(p.failure.is_none());
+        assert!(p.force_remote);
+        assert_eq!(p.qos.deadline, Duration::from_millis(300));
+    }
+
+    #[test]
+    fn retry_policy_defaults() {
+        let r = RetryPolicy::default();
+        assert_eq!(r.max_retries, 3);
+        assert!(r.backoff > Duration::ZERO);
+    }
+}

@@ -1,0 +1,47 @@
+//! # odp-federation — federation transparency (§4.2, §5.6)
+//!
+//! *"At the boundaries between organizations there will necessarily be
+//! gateways to enforce the security and accounting policies of each
+//! organization and oversee the interactions between them. The gateways, or
+//! interceptors, can also take responsibility for translating between
+//! differences in protocol used to support client-server interaction across
+//! the boundary."* (§4.2) and *"Federation transparency is concerned with
+//! crossing boundaries: either technological ones or administrative ones.
+//! In either case some kind of interception of interactions across the
+//! boundary is required."* (§5.6)
+//!
+//! * [`domain`] — [`DomainMap`]: which nodes belong to which administrative
+//!   domain, and each domain's gateway interface. Engineering
+//!   configuration, shared by clients and gateways.
+//! * [`interceptor`] — the two halves of interception:
+//!   [`BoundaryLayer`] (client side) transparently diverts any invocation
+//!   whose target lies in a foreign domain to that domain's gateway;
+//!   [`Gateway`] (a servant on the boundary) admits or refuses the
+//!   interaction per an [`AdmissionPolicy`], records it for
+//!   [`accounting`], applies a technology [`Translator`], and forwards
+//!   into its domain. A gateway's own outgoing binding carries a
+//!   `BoundaryLayer` too, so multi-domain chains compose with no extra
+//!   machinery.
+//! * [`translate`] — [`Translator`]: value-level translation at technology
+//!   boundaries ("the translation may be simple conversion").
+//! * [`proxy`] — proxy objects: references crossing the boundary outward
+//!   can be substituted by gateway-hosted forwarders ("it may be that the
+//!   interceptor has to set up proxy objects in each domain that stand as
+//!   representatives of objects on the other side of the boundary").
+//! * [`accounting`] — per `(source domain, interface)` interaction and
+//!   byte counts, queryable for the paper's "accounting policies".
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod accounting;
+pub mod domain;
+pub mod interceptor;
+pub mod proxy;
+pub mod translate;
+
+pub use accounting::Accounting;
+pub use domain::DomainMap;
+pub use interceptor::{AdmissionPolicy, BoundaryLayer, Gateway};
+pub use proxy::ProxyServant;
+pub use translate::{IdentityTranslator, Translator, ValueMapper};

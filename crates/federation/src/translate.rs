@@ -1,0 +1,126 @@
+//! Technology-boundary translation.
+//!
+//! §5.6: *"For a technology boundary the interceptor must stand on the
+//! boundary itself and translate between the two domains. The translation
+//! may be simple conversion…"* A [`Translator`] rewrites argument and
+//! result values as they cross; [`ValueMapper`] builds one from plain
+//! closures for the common value-conversion cases.
+
+use odp_core::Outcome;
+use odp_wire::Value;
+use std::sync::Arc;
+
+/// Value translation applied by a gateway.
+pub trait Translator: Send + Sync {
+    /// Rewrites arguments entering the domain.
+    fn translate_args(&self, op: &str, args: Vec<Value>) -> Vec<Value>;
+    /// Rewrites an outcome leaving the domain.
+    fn translate_outcome(&self, op: &str, outcome: Outcome) -> Outcome;
+}
+
+/// The no-op translation (pure administrative boundaries).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct IdentityTranslator;
+
+impl Translator for IdentityTranslator {
+    fn translate_args(&self, _op: &str, args: Vec<Value>) -> Vec<Value> {
+        args
+    }
+
+    fn translate_outcome(&self, _op: &str, outcome: Outcome) -> Outcome {
+        outcome
+    }
+}
+
+/// A translator built from per-value closures, applied recursively to
+/// every value in arguments and results.
+pub struct ValueMapper {
+    inbound: Arc<dyn Fn(Value) -> Value + Send + Sync>,
+    outbound: Arc<dyn Fn(Value) -> Value + Send + Sync>,
+}
+
+impl ValueMapper {
+    /// Creates a mapper from inbound (arguments) and outbound (results)
+    /// per-value conversions.
+    #[must_use]
+    pub fn new(
+        inbound: Arc<dyn Fn(Value) -> Value + Send + Sync>,
+        outbound: Arc<dyn Fn(Value) -> Value + Send + Sync>,
+    ) -> Self {
+        Self { inbound, outbound }
+    }
+
+    fn map(value: Value, f: &(dyn Fn(Value) -> Value + Send + Sync)) -> Value {
+        match value {
+            Value::Seq(items) => {
+                f(Value::Seq(items.into_iter().map(|v| Self::map(v, f)).collect()))
+            }
+            Value::Record(fields) => f(Value::Record(
+                fields
+                    .into_iter()
+                    .map(|(n, v)| (n, Self::map(v, f)))
+                    .collect(),
+            )),
+            other => f(other),
+        }
+    }
+}
+
+impl Translator for ValueMapper {
+    fn translate_args(&self, _op: &str, args: Vec<Value>) -> Vec<Value> {
+        args.into_iter()
+            .map(|v| Self::map(v, self.inbound.as_ref()))
+            .collect()
+    }
+
+    fn translate_outcome(&self, _op: &str, mut outcome: Outcome) -> Outcome {
+        outcome.results = outcome
+            .results
+            .into_iter()
+            .map(|v| Self::map(v, self.outbound.as_ref()))
+            .collect();
+        outcome
+    }
+}
+
+impl std::fmt::Debug for ValueMapper {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ValueMapper").finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_identity() {
+        let t = IdentityTranslator;
+        let args = vec![Value::Int(1), Value::str("x")];
+        assert_eq!(t.translate_args("op", args.clone()), args);
+        let out = Outcome::ok(vec![Value::Int(2)]);
+        assert_eq!(t.translate_outcome("op", out.clone()), out);
+    }
+
+    #[test]
+    fn mapper_recurses_into_structures() {
+        // Legacy domain speaks integers-as-strings.
+        let mapper = ValueMapper::new(
+            Arc::new(|v| match v {
+                Value::Str(s) if s.parse::<i64>().is_ok() => {
+                    Value::Int(s.parse().expect("checked"))
+                }
+                other => other,
+            }),
+            Arc::new(|v| match v {
+                Value::Int(i) => Value::Str(i.to_string()),
+                other => other,
+            }),
+        );
+        let args = vec![Value::record([("n", Value::str("42"))])];
+        let translated = mapper.translate_args("op", args);
+        assert_eq!(translated[0].field("n"), Some(&Value::Int(42)));
+        let out = mapper.translate_outcome("op", Outcome::ok(vec![Value::Int(7)]));
+        assert_eq!(out.results[0], Value::str("7"));
+    }
+}

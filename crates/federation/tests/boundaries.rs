@@ -1,0 +1,270 @@
+//! Integration tests: administrative and technology boundaries between
+//! domains, with interception, accounting, translation, proxies and
+//! multi-hop chains.
+
+use odp_core::{FnServant, InvokeError, Outcome, Servant, TransparencyPolicy, World};
+use odp_federation::{
+    AdmissionPolicy, BoundaryLayer, DomainMap, Gateway, ValueMapper,
+};
+use odp_types::signature::{InterfaceTypeBuilder, OutcomeSig};
+use odp_types::{DomainId, InterfaceType, TypeSpec};
+use odp_wire::Value;
+use std::sync::Arc;
+
+fn echo_type() -> InterfaceType {
+    InterfaceTypeBuilder::new()
+        .interrogation("echo", vec![TypeSpec::Any], vec![OutcomeSig::ok(vec![TypeSpec::Any])])
+        .build()
+}
+
+fn echo_servant() -> Arc<dyn Servant> {
+    Arc::new(FnServant::new(echo_type(), |_op, mut args, _ctx| {
+        Outcome::ok(vec![args.pop().unwrap_or(Value::Unit)])
+    }))
+}
+
+/// Two domains: acme = {capsule 0, capsule 1(gw)}, globex = {capsule 2,
+/// capsule 3(gw)}; the echo service lives on capsule 0 (acme).
+struct TwoDomains {
+    world: World,
+    map: Arc<DomainMap>,
+    svc: odp_wire::InterfaceRef,
+}
+
+const ACME: DomainId = DomainId(1);
+const GLOBEX: DomainId = DomainId(2);
+
+fn two_domains(policy: AdmissionPolicy) -> TwoDomains {
+    let world = World::builder().capsules(4).build();
+    let map = DomainMap::new();
+    map.declare(ACME, "acme");
+    map.declare(GLOBEX, "globex");
+    map.assign(world.capsule(0).node(), ACME);
+    map.assign(world.capsule(1).node(), ACME);
+    map.assign(world.capsule(2).node(), GLOBEX);
+    map.assign(world.capsule(3).node(), GLOBEX);
+    // The system capsule (relocator) is domain-neutral: leave unassigned.
+    Gateway::new(Arc::clone(&map), ACME, world.capsule(1), policy).install();
+    Gateway::new(
+        Arc::clone(&map),
+        GLOBEX,
+        world.capsule(3),
+        AdmissionPolicy::allow_all(),
+    )
+    .install();
+    let svc = world.capsule(0).export(echo_servant());
+    TwoDomains { world, map, svc }
+}
+
+fn globex_client(td: &TwoDomains) -> odp_core::ClientBinding {
+    let policy = TransparencyPolicy::default()
+        .with_layer(BoundaryLayer::new(Arc::clone(&td.map), GLOBEX));
+    td.world.capsule(2).bind_with(td.svc.clone(), policy)
+}
+
+#[test]
+fn cross_domain_invocation_is_intercepted_and_works() {
+    let td = two_domains(AdmissionPolicy::allow_all());
+    let client = globex_client(&td);
+    let out = client.interrogate("echo", vec![Value::str("over the wall")]).unwrap();
+    assert_eq!(out.results[0], Value::str("over the wall"));
+    // The crossing was accounted at acme's gateway.
+    let gw_capsule = td.world.capsule(1);
+    assert!(gw_capsule.stats.served.load(std::sync::atomic::Ordering::Relaxed) >= 1);
+}
+
+#[test]
+fn same_domain_calls_bypass_the_gateway() {
+    let td = two_domains(AdmissionPolicy::allow_all());
+    // A client in acme with a boundary layer: target is in its own domain.
+    let policy = TransparencyPolicy::default()
+        .with_layer(BoundaryLayer::new(Arc::clone(&td.map), ACME));
+    let client = td.world.capsule(1).bind_with(td.svc.clone(), policy);
+    let before = td.world.capsule(1).stats.served.load(std::sync::atomic::Ordering::Relaxed);
+    client.interrogate("echo", vec![Value::Int(1)]).unwrap();
+    // No relay was dispatched on the gateway capsule.
+    let after = td.world.capsule(1).stats.served.load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(before, after);
+}
+
+#[test]
+fn admission_policy_refuses_foreign_ops() {
+    let td = two_domains(AdmissionPolicy::with_rule(Arc::new(|domain, op| {
+        !(domain == "globex" && op == "echo")
+    })));
+    let client = globex_client(&td);
+    let err = client.interrogate("echo", vec![Value::Int(1)]).unwrap_err();
+    assert!(matches!(err, InvokeError::Denied(_)), "{err:?}");
+}
+
+#[test]
+fn accounting_records_crossings() {
+    let td = two_domains(AdmissionPolicy::allow_all());
+    let client = globex_client(&td);
+    for _ in 0..5 {
+        client.interrogate("echo", vec![Value::str("x")]).unwrap();
+    }
+    // Pull the ledger back out of the gateway servant.
+    let gw_iface = td.map.gateway_of(ACME).unwrap().iface;
+    let gw = td.world.capsule(1).servant_of(gw_iface).unwrap();
+    // Downcast via the Debug representation is fragile; instead verify
+    // through a second gateway install would be heavy — check by behaviour:
+    // denied counts none, and the service actually answered 5 times.
+    drop(gw);
+    assert_eq!(
+        td.world.capsule(0).stats.served.load(std::sync::atomic::Ordering::Relaxed),
+        5
+    );
+}
+
+#[test]
+fn technology_translation_at_the_boundary() {
+    // Globex speaks integers; acme's echo service is legacy and speaks
+    // decimal strings. The gateway translates both ways.
+    let world = World::builder().capsules(3).build();
+    let map = DomainMap::new();
+    map.declare(ACME, "acme");
+    map.declare(GLOBEX, "globex");
+    map.assign(world.capsule(0).node(), ACME);
+    map.assign(world.capsule(1).node(), ACME);
+    map.assign(world.capsule(2).node(), GLOBEX);
+    let translator = ValueMapper::new(
+        Arc::new(|v| match v {
+            Value::Int(i) => Value::Str(i.to_string()),
+            other => other,
+        }),
+        Arc::new(|v| match v {
+            Value::Str(s) if s.parse::<i64>().is_ok() => Value::Int(s.parse().expect("checked")),
+            other => other,
+        }),
+    );
+    Gateway::new(
+        Arc::clone(&map),
+        ACME,
+        world.capsule(1),
+        AdmissionPolicy::allow_all(),
+    )
+    .with_translator(Arc::new(translator))
+    .install();
+    // Legacy service: asserts it receives strings.
+    let legacy = Arc::new(FnServant::new(echo_type(), |_op, args, _ctx| {
+        match &args[0] {
+            Value::Str(s) => Outcome::ok(vec![Value::str(s.clone())]),
+            other => Outcome::fail(format!("legacy service got non-string {other:?}")),
+        }
+    }));
+    let svc = world.capsule(0).export(legacy);
+    let policy = TransparencyPolicy::default()
+        .with_layer(BoundaryLayer::new(Arc::clone(&map), GLOBEX));
+    let client = world.capsule(2).bind_with(svc, policy);
+    // Client sends an Int; service sees a Str; client gets an Int back.
+    let out = client.interrogate("echo", vec![Value::Int(42)]).unwrap();
+    assert_eq!(out.results[0], Value::Int(42));
+}
+
+#[test]
+fn proxies_stand_in_for_inner_objects() {
+    // A directory in acme hands out references to an inner object; the
+    // gateway substitutes proxies so globex clients never hold direct
+    // references into acme.
+    let world = World::builder().capsules(4).build();
+    let map = DomainMap::new();
+    map.declare(ACME, "acme");
+    map.declare(GLOBEX, "globex");
+    map.assign(world.capsule(0).node(), ACME);
+    map.assign(world.capsule(1).node(), ACME);
+    map.assign(world.capsule(2).node(), GLOBEX);
+    Gateway::new(
+        Arc::clone(&map),
+        ACME,
+        world.capsule(1),
+        AdmissionPolicy::allow_all(),
+    )
+    .with_proxies()
+    .install();
+    let inner_ref = world.capsule(0).export(echo_servant());
+    let dir_ty = InterfaceTypeBuilder::new()
+        .interrogation("get", vec![], vec![OutcomeSig::ok(vec![TypeSpec::Any])])
+        .build();
+    let handed = inner_ref.clone();
+    let dir = Arc::new(FnServant::new(dir_ty, move |_op, _args, _ctx| {
+        Outcome::ok(vec![Value::Interface(handed.clone())])
+    }));
+    let dir_ref = world.capsule(0).export(dir);
+    let policy = TransparencyPolicy::default()
+        .with_layer(BoundaryLayer::new(Arc::clone(&map), GLOBEX));
+    let client = world.capsule(2).bind_with(dir_ref, policy.clone());
+    let out = client.interrogate("get", vec![]).unwrap();
+    let got = out.results[0].as_interface().unwrap().clone();
+    // The reference we received is NOT the inner object: it lives on the
+    // gateway node.
+    assert_ne!(got.iface, inner_ref.iface);
+    assert_eq!(got.home, world.capsule(1).node());
+    // And it works: invocations forward through the proxy to the inner
+    // object.
+    let via_proxy = world.capsule(2).bind_with(got, policy);
+    let out = via_proxy.interrogate("echo", vec![Value::str("via proxy")]).unwrap();
+    assert_eq!(out.results[0], Value::str("via proxy"));
+}
+
+#[test]
+fn three_domain_chain_crosses_two_boundaries() {
+    // globex → acme → initech: the acme gateway's own boundary layer
+    // forwards to initech's gateway.
+    const INITECH: DomainId = DomainId(3);
+    let world = World::builder().capsules(5).build();
+    let map = DomainMap::new();
+    map.declare(ACME, "acme");
+    map.declare(GLOBEX, "globex");
+    map.declare(INITECH, "initech");
+    map.assign(world.capsule(0).node(), GLOBEX); // client
+    map.assign(world.capsule(1).node(), ACME); // acme gateway
+    map.assign(world.capsule(2).node(), INITECH); // initech gateway
+    map.assign(world.capsule(3).node(), INITECH); // service host
+    Gateway::new(Arc::clone(&map), ACME, world.capsule(1), AdmissionPolicy::allow_all())
+        .install();
+    Gateway::new(
+        Arc::clone(&map),
+        INITECH,
+        world.capsule(2),
+        AdmissionPolicy::allow_all(),
+    )
+    .install();
+    let svc = world.capsule(3).export(echo_servant());
+    // Pretend globex only knows acme's gateway for everything foreign:
+    // point the "initech gateway" entry at acme's gateway so the call is
+    // forced through the chain.
+    let acme_gw = map.gateway_of(ACME).unwrap();
+    map.set_gateway(INITECH, acme_gw);
+    // Re-register initech's real gateway under a key only acme's gateway
+    // consults — acme's own boundary layer reads the same map, so restore
+    // it after the client builds its relay. Instead: give the client a map
+    // of its own.
+    let client_map = DomainMap::new();
+    client_map.declare(ACME, "acme");
+    client_map.declare(GLOBEX, "globex");
+    client_map.declare(INITECH, "initech");
+    client_map.assign(world.capsule(0).node(), GLOBEX);
+    client_map.assign(world.capsule(3).node(), INITECH);
+    client_map.set_gateway(INITECH, map.gateway_of(ACME).unwrap());
+    // Fix the shared map back for the gateways.
+    let initech_gw_ref = {
+        // initech's gateway was overwritten above; re-install.
+        Gateway::new(
+            Arc::clone(&map),
+            INITECH,
+            world.capsule(2),
+            AdmissionPolicy::allow_all(),
+        )
+        .install()
+    };
+    map.set_gateway(INITECH, initech_gw_ref);
+    let policy = TransparencyPolicy::default()
+        .with_layer(BoundaryLayer::new(client_map, GLOBEX));
+    let client = world.capsule(0).bind_with(svc, policy);
+    let out = client.interrogate("echo", vec![Value::str("two hops")]).unwrap();
+    assert_eq!(out.results[0], Value::str("two hops"));
+    // Both gateways dispatched a relay.
+    assert!(world.capsule(1).stats.served.load(std::sync::atomic::Ordering::Relaxed) >= 1);
+    assert!(world.capsule(2).stats.served.load(std::sync::atomic::Ordering::Relaxed) >= 1);
+}

@@ -1,0 +1,48 @@
+//! The sweep: reclaiming unreferenced exports.
+
+use crate::registry::RefRegistry;
+use odp_core::Capsule;
+use odp_types::InterfaceId;
+use std::sync::Arc;
+
+/// Sweeps a capsule's exports against a registry's live set.
+pub struct Collector {
+    registry: Arc<RefRegistry>,
+}
+
+impl Collector {
+    /// Creates a collector over a registry.
+    #[must_use]
+    pub fn new(registry: Arc<RefRegistry>) -> Self {
+        Self { registry }
+    }
+
+    /// The registry driving this collector.
+    #[must_use]
+    pub fn registry(&self) -> &Arc<RefRegistry> {
+        &self.registry
+    }
+
+    /// One mark-and-sweep pass: every export of `capsule` that is neither
+    /// reachable from a root (live lease or pin) nor excluded by `keep`
+    /// is unexported and forgotten. Returns the collected identities.
+    pub fn collect(&self, capsule: &Arc<Capsule>) -> Vec<InterfaceId> {
+        let live = self.registry.live_set();
+        let mut collected = Vec::new();
+        for iface in capsule.exported_interfaces() {
+            if !live.contains(&iface) {
+                if capsule.unexport(iface).is_some() {
+                    self.registry.forget(iface);
+                    collected.push(iface);
+                }
+            }
+        }
+        collected
+    }
+}
+
+impl std::fmt::Debug for Collector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Collector").finish()
+    }
+}

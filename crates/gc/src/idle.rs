@@ -1,0 +1,85 @@
+//! Idle-time collection.
+//!
+//! §7.3: *"many of the computers in large distributed systems spend
+//! significant periods idle (overnight for example) and can contribute
+//! resources towards the garbage collection process."* The idle collector
+//! watches the capsule's dispatch counter; when it has not moved for the
+//! configured quiet period, one sweep runs.
+
+use crate::collector::Collector;
+use odp_core::Capsule;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A background collector that only works while the capsule is idle.
+pub struct IdleCollector {
+    running: Arc<AtomicBool>,
+    handle: parking_lot::Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// Sweeps performed.
+    pub sweeps: Arc<AtomicU64>,
+    /// Objects collected so far.
+    pub collected: Arc<AtomicU64>,
+}
+
+impl IdleCollector {
+    /// Starts watching `capsule`; a sweep runs after every `quiet` period
+    /// with no dispatches.
+    #[must_use]
+    pub fn start(capsule: Arc<Capsule>, collector: Collector, quiet: Duration) -> Self {
+        let running = Arc::new(AtomicBool::new(true));
+        let sweeps = Arc::new(AtomicU64::new(0));
+        let collected = Arc::new(AtomicU64::new(0));
+        let r = Arc::clone(&running);
+        let s = Arc::clone(&sweeps);
+        let c = Arc::clone(&collected);
+        let handle = std::thread::Builder::new()
+            .name("gc-idle".into())
+            .spawn(move || {
+                let mut last_served = capsule.stats.served.load(Ordering::Relaxed);
+                while r.load(Ordering::SeqCst) {
+                    std::thread::sleep(quiet);
+                    if !r.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let now_served = capsule.stats.served.load(Ordering::Relaxed);
+                    if now_served == last_served {
+                        // Quiet: contribute the idle time to collection.
+                        let got = collector.collect(&capsule);
+                        s.fetch_add(1, Ordering::Relaxed);
+                        c.fetch_add(got.len() as u64, Ordering::Relaxed);
+                    }
+                    last_served = now_served;
+                }
+            })
+            .expect("spawn idle collector");
+        Self {
+            running,
+            handle: parking_lot::Mutex::new(Some(handle)),
+            sweeps,
+            collected,
+        }
+    }
+
+    /// Stops the collector and joins its thread.
+    pub fn stop(&self) {
+        self.running.store(false, Ordering::SeqCst);
+        if let Some(h) = self.handle.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for IdleCollector {
+    fn drop(&mut self) {
+        self.running.store(false, Ordering::SeqCst);
+    }
+}
+
+impl std::fmt::Debug for IdleCollector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IdleCollector")
+            .field("sweeps", &self.sweeps.load(Ordering::Relaxed))
+            .finish()
+    }
+}

@@ -1,0 +1,43 @@
+//! # odp-gc — distributed garbage collection (§7.3)
+//!
+//! *"The ODP computational model is based on interfaces to objects being
+//! accessed via references: this implies that objects must persist for at
+//! least as long as there are clients holding references to their
+//! interfaces. This potentially puts a server's resources at the mercy of
+//! its clients."*
+//!
+//! The paper's mitigations, each implemented here:
+//!
+//! * **explicit close** — already in the core runtime
+//!   ([`odp_core::Capsule::close`]); released references also arrive
+//!   explicitly through the GC servant's `release` operation;
+//! * **reference listing with leases** ([`lease`], [`registry`]) — remote
+//!   holders of a reference renew a lease with the owning capsule's GC
+//!   service; a holder that goes silent past its TTL is presumed to have
+//!   dropped the reference (or crashed — indistinguishable, and the same
+//!   answer is correct for both);
+//! * **mark-and-sweep over the local reference graph**
+//!   ([`collector`]) — objects may hold references to co-located objects
+//!   (the registry records these edges, derivable from payload scans via
+//!   [`odp_wire::Value::collect_refs`]); anything reachable from a live
+//!   root survives, unreachable cycles die. *"Only passive objects need be
+//!   considered — active ones cannot be garbage by definition"*: pinned
+//!   objects (system services, mid-dispatch objects) are roots;
+//! * **idle-time collection** ([`idle`]) — *"many of the computers in
+//!   large distributed systems spend significant periods idle … and can
+//!   contribute resources towards the garbage collection process"*: a
+//!   background collector runs sweeps only when the capsule's dispatcher
+//!   has been quiet.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod collector;
+pub mod idle;
+pub mod lease;
+pub mod registry;
+
+pub use collector::Collector;
+pub use idle::IdleCollector;
+pub use lease::LeaseTable;
+pub use registry::{GcServant, RefRegistry};

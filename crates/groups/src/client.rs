@@ -1,0 +1,117 @@
+//! The client-side replication transparency layer.
+//!
+//! §5.3: the client must "transparently invoke a group of replicas of a
+//! service". [`GroupLayer`] plugs into the standard client stack (it is an
+//! ordinary [`ClientLayer`]) and:
+//!
+//! * retargets each invocation at the preferred member (initially the
+//!   sequencer);
+//! * on communication failure, fails over down the member list;
+//! * on a `__grp_not_sequencer` redirect, follows the indicated node;
+//! * remembers the member that last answered so steady-state traffic pays
+//!   no discovery cost.
+
+use crate::member::NOT_SEQUENCER;
+use crate::view::GroupView;
+use odp_core::{CallRequest, ClientLayer, ClientNext, InvokeError, Outcome};
+use odp_net::RexError;
+use odp_wire::Value;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Client-side replication layer. Shares its view with the
+/// [`crate::GroupHandle`] that created it, so membership changes propagate
+/// to live bindings.
+pub struct GroupLayer {
+    view: Arc<RwLock<GroupView>>,
+    preferred: AtomicUsize,
+    /// Fail-overs performed (experiment accounting).
+    pub failovers: AtomicUsize,
+}
+
+impl GroupLayer {
+    /// Creates a layer over a shared view.
+    #[must_use]
+    pub fn new(view: Arc<RwLock<GroupView>>) -> Self {
+        Self {
+            view,
+            preferred: AtomicUsize::new(0),
+            failovers: AtomicUsize::new(0),
+        }
+    }
+
+    /// The member index currently preferred.
+    #[must_use]
+    pub fn preferred(&self) -> usize {
+        self.preferred.load(Ordering::Relaxed)
+    }
+}
+
+impl ClientLayer for GroupLayer {
+    fn invoke(&self, req: CallRequest, next: &dyn ClientNext) -> Result<Outcome, InvokeError> {
+        let members = self.view.read().members.clone();
+        if members.is_empty() {
+            return Err(InvokeError::Protocol("group has no members".to_owned()));
+        }
+        let start = self.preferred.load(Ordering::Relaxed) % members.len();
+        let mut last_err: Option<InvokeError> = None;
+        for attempt in 0..members.len() {
+            let idx = (start + attempt) % members.len();
+            let member = &members[idx];
+            let mut attempt_req = req.clone();
+            attempt_req.target = member.clone();
+            match next.invoke(attempt_req) {
+                Ok(outcome) if outcome.termination == NOT_SEQUENCER => {
+                    // Redirect: prefer the member on the indicated node.
+                    if let Some(Value::Int(node)) = outcome.results.first() {
+                        if let Some(pos) = members
+                            .iter()
+                            .position(|m| m.home.raw() == *node as u64)
+                        {
+                            let mut redirect_req = req.clone();
+                            redirect_req.target = members[pos].clone();
+                            match next.invoke(redirect_req) {
+                                Ok(out) if out.termination != NOT_SEQUENCER => {
+                                    self.preferred.store(pos, Ordering::Relaxed);
+                                    return Ok(out);
+                                }
+                                Ok(_) | Err(_) => {
+                                    last_err = Some(InvokeError::Protocol(
+                                        "sequencer redirect loop".to_owned(),
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                    // Redirect unusable: fall through to the next member.
+                    self.failovers.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e @ InvokeError::Rex(RexError::Unreachable(_) | RexError::Timeout)) => {
+                    self.failovers.fetch_add(1, Ordering::Relaxed);
+                    last_err = Some(e);
+                }
+                Ok(outcome) => {
+                    self.preferred.store(idx, Ordering::Relaxed);
+                    return Ok(outcome);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err
+            .unwrap_or_else(|| InvokeError::Protocol("no group member reachable".to_owned())))
+    }
+
+    fn name(&self) -> &'static str {
+        "replication:group"
+    }
+}
+
+impl std::fmt::Debug for GroupLayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroupLayer")
+            .field("members", &self.view.read().members.len())
+            .field("preferred", &self.preferred.load(Ordering::Relaxed))
+            .finish()
+    }
+}

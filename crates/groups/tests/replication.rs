@@ -1,0 +1,368 @@
+//! Integration tests: replicated groups behave "as if a singleton, but with
+//! increased reliability or availability" (§5.3).
+
+use odp_core::{CallCtx, Outcome, Servant, World};
+use odp_groups::{replicate, GroupPolicy};
+use odp_types::signature::{InterfaceTypeBuilder, OutcomeSig};
+use odp_types::{InterfaceType, TypeSpec};
+use odp_wire::Value;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A replica that records the exact order of applied operations — the
+/// total-order safety witness.
+struct Ledger {
+    entries: Mutex<Vec<i64>>,
+}
+
+impl Ledger {
+    fn new() -> Arc<dyn Servant> {
+        Arc::new(Self {
+            entries: Mutex::new(Vec::new()),
+        })
+    }
+}
+
+fn ledger_type() -> InterfaceType {
+    InterfaceTypeBuilder::new()
+        .interrogation(
+            "append",
+            vec![TypeSpec::Int],
+            vec![OutcomeSig::ok(vec![TypeSpec::Int])],
+        )
+        .interrogation(
+            "entries",
+            vec![],
+            vec![OutcomeSig::ok(vec![TypeSpec::seq(TypeSpec::Int)])],
+        )
+        .build()
+}
+
+impl Servant for Ledger {
+    fn interface_type(&self) -> InterfaceType {
+        ledger_type()
+    }
+
+    fn dispatch(&self, op: &str, args: Vec<Value>, _ctx: &CallCtx) -> Outcome {
+        match op {
+            "append" => {
+                let mut entries = self.entries.lock();
+                entries.push(args[0].as_int().unwrap_or(0));
+                Outcome::ok(vec![Value::Int(entries.len() as i64)])
+            }
+            "entries" => {
+                let entries = self.entries.lock();
+                Outcome::ok(vec![Value::Seq(
+                    entries.iter().map(|v| Value::Int(*v)).collect(),
+                )])
+            }
+            _ => Outcome::fail("no such op"),
+        }
+    }
+
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        let entries = self.entries.lock();
+        let values: Vec<Value> = entries.iter().map(|v| Value::Int(*v)).collect();
+        Some(odp_wire::marshal(&values).to_vec())
+    }
+
+    fn restore(&self, snapshot: &[u8]) -> Result<(), String> {
+        let values = odp_wire::unmarshal(snapshot).map_err(|e| e.to_string())?;
+        *self.entries.lock() = values.iter().filter_map(Value::as_int).collect();
+        Ok(())
+    }
+}
+
+fn ledger_entries(servant: &Arc<odp_groups::GroupServant>) -> Vec<i64> {
+    let out = servant
+        .app()
+        .dispatch("entries", vec![], &CallCtx::default());
+    out.result()
+        .and_then(Value::as_seq)
+        .map(|s| s.iter().filter_map(Value::as_int).collect())
+        .unwrap_or_default()
+}
+
+fn wait_until(pred: impl Fn() -> bool, timeout: Duration) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if pred() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    pred()
+}
+
+#[test]
+fn active_group_serves_like_a_singleton() {
+    let world = World::builder().capsules(4).build();
+    let group = replicate(
+        &world.capsules()[..3].to_vec(),
+        &Ledger::new,
+        GroupPolicy::Active,
+    );
+    let client = group.bind_via(world.capsule(3));
+    for i in 0..10 {
+        let out = client.interrogate("append", vec![Value::Int(i)]).unwrap();
+        assert_eq!(out.int(), Some(i + 1));
+    }
+    // Every member applied the same sequence.
+    for member in group.members() {
+        assert!(
+            wait_until(|| ledger_entries(member).len() == 10, Duration::from_secs(3)),
+            "member missing entries: {:?}",
+            ledger_entries(member)
+        );
+        assert_eq!(ledger_entries(member), (0..10).collect::<Vec<_>>());
+    }
+}
+
+#[test]
+fn concurrent_clients_yield_identical_order_on_all_members() {
+    let world = World::builder().capsules(5).build();
+    let group = replicate(
+        &world.capsules()[..3].to_vec(),
+        &Ledger::new,
+        GroupPolicy::Active,
+    );
+    std::thread::scope(|s| {
+        for t in 0..4i64 {
+            let client = group.bind_via(world.capsule(3 + (t as usize % 2)));
+            s.spawn(move || {
+                for i in 0..10 {
+                    client
+                        .interrogate("append", vec![Value::Int(t * 100 + i)])
+                        .unwrap();
+                }
+            });
+        }
+    });
+    let reference = {
+        let m = &group.members()[0];
+        assert!(wait_until(
+            || ledger_entries(m).len() == 40,
+            Duration::from_secs(5)
+        ));
+        ledger_entries(m)
+    };
+    assert_eq!(reference.len(), 40);
+    for member in &group.members()[1..] {
+        assert!(wait_until(
+            || ledger_entries(member).len() == 40,
+            Duration::from_secs(5)
+        ));
+        assert_eq!(
+            ledger_entries(member),
+            reference,
+            "members disagree on operation order"
+        );
+    }
+}
+
+#[test]
+fn hot_standby_propagates_asynchronously() {
+    let world = World::builder().capsules(3).build();
+    let group = replicate(
+        &world.capsules()[..2].to_vec(),
+        &Ledger::new,
+        GroupPolicy::HotStandby,
+    );
+    let client = group.bind_via(world.capsule(2));
+    for i in 0..5 {
+        client.interrogate("append", vec![Value::Int(i)]).unwrap();
+    }
+    // Primary has everything immediately.
+    assert_eq!(ledger_entries(&group.members()[0]).len(), 5);
+    // Backup catches up asynchronously.
+    assert!(wait_until(
+        || ledger_entries(&group.members()[1]).len() == 5,
+        Duration::from_secs(3)
+    ));
+    assert_eq!(ledger_entries(&group.members()[1]), vec![0, 1, 2, 3, 4]);
+}
+
+#[test]
+fn failover_to_backup_when_sequencer_dies() {
+    let world = World::builder().capsules(4).build();
+    let group = replicate(
+        &world.capsules()[..3].to_vec(),
+        &Ledger::new,
+        GroupPolicy::Active,
+    );
+    let client = group.bind_via(world.capsule(3));
+    for i in 0..5 {
+        client.interrogate("append", vec![Value::Int(i)]).unwrap();
+    }
+    // Kill the sequencer's capsule.
+    world.capsule(0).crash();
+    // The next call fails over; the backup promotes itself.
+    let out = client.interrogate("append", vec![Value::Int(99)]).unwrap();
+    assert_eq!(out.int(), Some(6));
+    assert!(group.members()[1].promotions.load(std::sync::atomic::Ordering::Relaxed) >= 1);
+    // Surviving members stay consistent.
+    assert!(wait_until(
+        || ledger_entries(&group.members()[2]).len() == 6,
+        Duration::from_secs(3)
+    ));
+    assert_eq!(
+        ledger_entries(&group.members()[1]),
+        ledger_entries(&group.members()[2])
+    );
+}
+
+#[test]
+fn client_redirected_when_contacting_backup_first() {
+    let world = World::builder().capsules(3).build();
+    let group = replicate(
+        &world.capsules()[..2].to_vec(),
+        &Ledger::new,
+        GroupPolicy::Active,
+    );
+    // Build a client whose preferred member is the backup.
+    let client = group.bind_via(world.capsule(2));
+    let layer = group.layer();
+    // Force the layer to start at index 1 by invoking through a custom
+    // binding: simplest is to crash nothing and call the backup's ref via
+    // the handle's layer — invoke once normally, then verify redirect path
+    // by asking the backup directly.
+    let backup_ref = {
+        let mut r = group.view().members[1].clone();
+        r.ty = group.members()[1].app().interface_type();
+        r
+    };
+    let direct = world.capsule(2).bind_with(
+        backup_ref,
+        odp_core::TransparencyPolicy::minimal().with_layer(layer),
+    );
+    let out = direct.interrogate("append", vec![Value::Int(1)]).unwrap();
+    assert_eq!(out.int(), Some(1));
+    // And the plain client still works.
+    let out = client.interrogate("append", vec![Value::Int(2)]).unwrap();
+    assert_eq!(out.int(), Some(2));
+}
+
+#[test]
+fn membership_join_transfers_state() {
+    let world = World::builder().capsules(4).build();
+    let mut group = replicate(
+        &world.capsules()[..2].to_vec(),
+        &Ledger::new,
+        GroupPolicy::Active,
+    );
+    let client = group.bind_via(world.capsule(3));
+    for i in 0..5 {
+        client.interrogate("append", vec![Value::Int(i)]).unwrap();
+    }
+    // Join a third member; it must arrive with the full history.
+    let newcomer = group.add_member(world.capsule(2), &Ledger::new);
+    assert_eq!(ledger_entries(&newcomer), vec![0, 1, 2, 3, 4]);
+    assert_eq!(group.view().version, 2);
+    assert_eq!(group.view().members.len(), 3);
+    // And it receives subsequent operations.
+    client.interrogate("append", vec![Value::Int(5)]).unwrap();
+    assert!(wait_until(
+        || ledger_entries(&newcomer).len() == 6,
+        Duration::from_secs(3)
+    ));
+}
+
+#[test]
+fn membership_leave_stops_relays() {
+    let world = World::builder().capsules(4).build();
+    let group = replicate(
+        &world.capsules()[..3].to_vec(),
+        &Ledger::new,
+        GroupPolicy::Active,
+    );
+    let client = group.bind_via(world.capsule(3));
+    client.interrogate("append", vec![Value::Int(1)]).unwrap();
+    group.remove_member(2);
+    client.interrogate("append", vec![Value::Int(2)]).unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+    // The removed member kept only the first entry.
+    assert_eq!(ledger_entries(&group.members()[2]), vec![1]);
+    assert_eq!(ledger_entries(&group.members()[1]), vec![1, 2]);
+}
+
+#[test]
+fn group_of_one_degenerates_to_singleton() {
+    let world = World::builder().capsules(2).build();
+    let group = replicate(
+        &world.capsules()[..1].to_vec(),
+        &Ledger::new,
+        GroupPolicy::Active,
+    );
+    let client = group.bind_via(world.capsule(1));
+    for i in 0..3 {
+        client.interrogate("append", vec![Value::Int(i)]).unwrap();
+    }
+    assert_eq!(ledger_entries(&group.members()[0]), vec![0, 1, 2]);
+}
+
+#[test]
+fn standby_failover_may_lose_unpropagated_tail_but_stays_ordered() {
+    let world = World::builder().capsules(3).build();
+    let group = replicate(
+        &world.capsules()[..2].to_vec(),
+        &Ledger::new,
+        GroupPolicy::HotStandby,
+    );
+    let client = group.bind_via(world.capsule(2));
+    for i in 0..10 {
+        client.interrogate("append", vec![Value::Int(i)]).unwrap();
+    }
+    // Give the backup a moment, then kill the primary.
+    assert!(wait_until(
+        || !ledger_entries(&group.members()[1]).is_empty(),
+        Duration::from_secs(3)
+    ));
+    world.capsule(0).crash();
+    let out = client.interrogate("append", vec![Value::Int(999)]).unwrap();
+    assert!(out.is_ok());
+    let entries = ledger_entries(&group.members()[1]);
+    // The backup's history is a prefix of the primary's plus the new op:
+    // ordered, possibly with a lost tail — never reordered.
+    let without_last: Vec<i64> = entries[..entries.len() - 1].to_vec();
+    let expected_prefix: Vec<i64> = (0..without_last.len() as i64).collect();
+    assert_eq!(without_last, expected_prefix, "standby reordered operations");
+    assert_eq!(*entries.last().unwrap(), 999);
+}
+
+#[test]
+fn dropped_groups_release_their_applier_threads() {
+    fn thread_count() -> usize {
+        std::fs::read_to_string("/proc/self/status")
+            .ok()
+            .and_then(|s| {
+                s.lines()
+                    .find(|l| l.starts_with("Threads:"))
+                    .and_then(|l| l.split_whitespace().nth(1))
+                    .and_then(|n| n.parse().ok())
+            })
+            .unwrap_or(0)
+    }
+    {
+        let world = World::builder().capsules(3).build();
+        let _warm = replicate(&world.capsules()[..3].to_vec(), &Ledger::new, GroupPolicy::Active);
+    }
+    std::thread::sleep(Duration::from_millis(300));
+    let before = thread_count();
+    for _ in 0..10 {
+        let world = World::builder().capsules(3).build();
+        let group = replicate(
+            &world.capsules()[..3].to_vec(),
+            &Ledger::new,
+            GroupPolicy::Active,
+        );
+        let client = group.bind_via(world.capsule(2));
+        client.interrogate("append", vec![Value::Int(1)]).unwrap();
+    }
+    std::thread::sleep(Duration::from_millis(800));
+    let after = thread_count();
+    assert!(
+        after <= before + 8,
+        "groups leak threads: {before} -> {after}"
+    );
+}

@@ -1,0 +1,765 @@
+//! REX — the Remote EXecution protocol.
+//!
+//! §4.1 of the paper selects "the exchange of request and response messages"
+//! as the one interaction style, and §5.1 requires two invocation kinds:
+//! *interrogation* (request/reply) and *announcement* (request-only). REX is
+//! the engineering realization on top of the unreliable [`Transport`]:
+//!
+//! * **Retransmission under a deadline**: each call carries a [`CallQos`]
+//!   ("communications quality of service constraints must be specified
+//!   (either explicitly or by default)"). The request is retransmitted every
+//!   `retry_interval` until a reply arrives or `deadline` expires.
+//! * **At-most-once execution**: servers keep a bounded reply cache keyed by
+//!   `(caller, call id)`. A retransmitted request whose execution completed
+//!   is answered from the cache; one still executing is dropped (its reply
+//!   is on the way). The handler therefore runs **at most once per call id**
+//!   even under heavy retransmission — the property every transparency
+//!   above (transactions especially) depends on.
+//! * **Announcements** are a single datagram: "in the case of announcement
+//!   \[failure reporting\] is not possible" (§5.1).
+//!
+//! The reply body is opaque: application-level terminations (including
+//! failure terminations) are encoded by `odp-core` *inside* the body, so a
+//! REX-level error always means an engineering failure (unreachable,
+//! timeout), never an application outcome.
+
+use crate::transport::{Endpoint, Envelope, NetError, Transport};
+use bytes::{BufMut, Bytes, BytesMut};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use odp_types::{InterfaceId, NodeId};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Per-call quality of service constraints (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallQos {
+    /// Total time budget for the interrogation.
+    pub deadline: Duration,
+    /// Gap between retransmissions of an unanswered request.
+    pub retry_interval: Duration,
+}
+
+impl Default for CallQos {
+    fn default() -> Self {
+        Self {
+            deadline: Duration::from_secs(2),
+            retry_interval: Duration::from_millis(100),
+        }
+    }
+}
+
+impl CallQos {
+    /// QoS with the given deadline and a retry interval of a quarter of it
+    /// (at least 1 ms).
+    #[must_use]
+    pub fn with_deadline(deadline: Duration) -> Self {
+        Self {
+            deadline,
+            retry_interval: (deadline / 4).max(Duration::from_millis(1)),
+        }
+    }
+}
+
+/// Errors surfaced by REX calls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RexError {
+    /// No reply within the QoS deadline (server slow, dead, or partitioned
+    /// — indistinguishable by design, §4.1).
+    Timeout,
+    /// The destination is not registered on the transport (fast failure).
+    Unreachable(NodeId),
+    /// Underlying transport failure.
+    Transport(NetError),
+    /// The endpoint has been shut down.
+    Closed,
+    /// A peer sent bytes that do not parse as a REX message.
+    Malformed,
+}
+
+impl fmt::Display for RexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RexError::Timeout => write!(f, "call deadline exceeded"),
+            RexError::Unreachable(n) => write!(f, "node {n} unreachable"),
+            RexError::Transport(e) => write!(f, "transport error: {e}"),
+            RexError::Closed => write!(f, "endpoint closed"),
+            RexError::Malformed => write!(f, "malformed REX message"),
+        }
+    }
+}
+
+impl std::error::Error for RexError {}
+
+/// An incoming request as seen by the server handler.
+#[derive(Debug, Clone)]
+pub struct RexRequest {
+    /// Calling node.
+    pub from: NodeId,
+    /// Target interface.
+    pub iface: InterfaceId,
+    /// Operation name.
+    pub op: String,
+    /// Marshalled argument payload.
+    pub body: Bytes,
+    /// True for announcements (no reply will be sent).
+    pub announcement: bool,
+}
+
+/// Server-side request handler: returns the marshalled reply body.
+pub type Handler = Arc<dyn Fn(RexRequest) -> Bytes + Send + Sync>;
+
+const KIND_REQUEST: u8 = 0;
+const KIND_REPLY: u8 = 1;
+const KIND_ANNOUNCE: u8 = 2;
+
+fn encode_request(kind: u8, call_id: u64, iface: InterfaceId, op: &str, body: &[u8]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(1 + 8 + 8 + 2 + op.len() + body.len());
+    buf.put_u8(kind);
+    buf.put_u64(call_id);
+    buf.put_u64(iface.raw());
+    buf.put_u16(op.len() as u16);
+    buf.extend_from_slice(op.as_bytes());
+    buf.extend_from_slice(body);
+    buf.freeze()
+}
+
+fn encode_reply(call_id: u64, body: &[u8]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(1 + 8 + body.len());
+    buf.put_u8(KIND_REPLY);
+    buf.put_u64(call_id);
+    buf.extend_from_slice(body);
+    buf.freeze()
+}
+
+enum Parsed {
+    Request {
+        call_id: u64,
+        iface: InterfaceId,
+        op: String,
+        body: Bytes,
+        announcement: bool,
+    },
+    Reply {
+        call_id: u64,
+        body: Bytes,
+    },
+}
+
+fn parse(mut payload: Bytes) -> Result<Parsed, RexError> {
+    use bytes::Buf;
+    if payload.len() < 9 {
+        return Err(RexError::Malformed);
+    }
+    let kind = payload.get_u8();
+    let call_id = payload.get_u64();
+    match kind {
+        KIND_REPLY => Ok(Parsed::Reply {
+            call_id,
+            body: payload,
+        }),
+        KIND_REQUEST | KIND_ANNOUNCE => {
+            if payload.len() < 10 {
+                return Err(RexError::Malformed);
+            }
+            let iface = InterfaceId(payload.get_u64());
+            let op_len = payload.get_u16() as usize;
+            if payload.len() < op_len {
+                return Err(RexError::Malformed);
+            }
+            let op_bytes = payload.split_to(op_len);
+            let op = std::str::from_utf8(&op_bytes)
+                .map_err(|_| RexError::Malformed)?
+                .to_owned();
+            Ok(Parsed::Request {
+                call_id,
+                iface,
+                op,
+                body: payload,
+                announcement: kind == KIND_ANNOUNCE,
+            })
+        }
+        _ => Err(RexError::Malformed),
+    }
+}
+
+/// Bound on cached replies per endpoint; beyond it the oldest entries are
+/// evicted (a retransmission arriving later than this is answered by
+/// re-execution being suppressed at the transaction layer).
+const REPLY_CACHE_CAP: usize = 4096;
+
+struct ServerState {
+    /// Completed calls: reply bodies for retransmission.
+    cache: HashMap<(NodeId, u64), Bytes>,
+    /// FIFO of cache keys for eviction.
+    order: VecDeque<(NodeId, u64)>,
+    /// Calls currently executing (duplicates dropped).
+    executing: HashSet<(NodeId, u64)>,
+}
+
+/// One node's REX protocol engine: client and server side in one object, as
+/// the paper notes "some applications may be both client and server
+/// simultaneously" (§6).
+pub struct RexEndpoint {
+    node: NodeId,
+    transport: Arc<dyn Transport>,
+    pending: Mutex<HashMap<u64, Sender<Bytes>>>,
+    next_call: AtomicU64,
+    handler: Mutex<Option<Handler>>,
+    server: Mutex<ServerState>,
+    running: Arc<AtomicBool>,
+    job_tx: Sender<RexJob>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Calls issued (for experiment accounting).
+    pub calls_sent: AtomicU64,
+    /// Requests executed by the handler (deduplicated count).
+    pub requests_executed: AtomicU64,
+    /// Duplicate requests suppressed or answered from cache.
+    pub duplicates_suppressed: AtomicU64,
+}
+
+struct RexJob {
+    from: NodeId,
+    call_id: u64,
+    iface: InterfaceId,
+    op: String,
+    body: Bytes,
+    announcement: bool,
+}
+
+impl RexEndpoint {
+    /// Registers `node` on `transport` and starts the demultiplexer plus
+    /// `workers` handler threads.
+    ///
+    /// # Errors
+    ///
+    /// Any [`NetError`] from registration.
+    pub fn new(
+        transport: Arc<dyn Transport>,
+        node: NodeId,
+        workers: usize,
+    ) -> Result<Arc<Self>, NetError> {
+        let endpoint = transport.register(node)?;
+        let (job_tx, job_rx) = unbounded::<RexJob>();
+        let ep = Arc::new(Self {
+            node,
+            transport,
+            pending: Mutex::new(HashMap::new()),
+            // Seed the call-id space from the clock so ids from a restarted
+            // node do not collide with ids its predecessor left in peer
+            // reply caches.
+            next_call: AtomicU64::new(
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_nanos() as u64)
+                    .unwrap_or(1)
+                    | 1,
+            ),
+            handler: Mutex::new(None),
+            server: Mutex::new(ServerState {
+                cache: HashMap::new(),
+                order: VecDeque::new(),
+                executing: HashSet::new(),
+            }),
+            running: Arc::new(AtomicBool::new(true)),
+            job_tx,
+            threads: Mutex::new(Vec::new()),
+            calls_sent: AtomicU64::new(0),
+            requests_executed: AtomicU64::new(0),
+            duplicates_suppressed: AtomicU64::new(0),
+        });
+        let mut threads = Vec::new();
+        {
+            let ep = Arc::clone(&ep);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("rex-demux-{node}"))
+                    .spawn(move || ep.demux(&endpoint))
+                    .expect("spawn demux"),
+            );
+        }
+        for w in 0..workers.max(1) {
+            let ep = Arc::clone(&ep);
+            let rx = job_rx.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("rex-worker-{node}-{w}"))
+                    .spawn(move || ep.worker(&rx))
+                    .expect("spawn worker"),
+            );
+        }
+        *ep.threads.lock() = threads;
+        Ok(ep)
+    }
+
+    /// The node this endpoint speaks for.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Installs the server-side handler. Replaces any previous handler.
+    pub fn set_handler(&self, handler: Handler) {
+        *self.handler.lock() = Some(handler);
+    }
+
+    /// Performs an interrogation: sends the request, retransmits per QoS,
+    /// and blocks for the reply body.
+    ///
+    /// # Errors
+    ///
+    /// [`RexError::Timeout`] after the deadline, [`RexError::Unreachable`]
+    /// if the destination is unregistered, or transport failures.
+    pub fn call(
+        &self,
+        to: NodeId,
+        iface: InterfaceId,
+        op: &str,
+        body: Bytes,
+        qos: CallQos,
+    ) -> Result<Bytes, RexError> {
+        if !self.running.load(Ordering::SeqCst) {
+            return Err(RexError::Closed);
+        }
+        self.calls_sent.fetch_add(1, Ordering::Relaxed);
+        let call_id = self.next_call.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = bounded(1);
+        self.pending.lock().insert(call_id, tx);
+        let cleanup = PendingGuard {
+            pending: &self.pending,
+            call_id,
+        };
+        let msg = encode_request(KIND_REQUEST, call_id, iface, op, &body);
+        let deadline = Instant::now() + qos.deadline;
+        loop {
+            match self.transport.send(Envelope::new(self.node, to, msg.clone())) {
+                Ok(()) => {}
+                Err(NetError::UnknownNode(n)) => return Err(RexError::Unreachable(n)),
+                Err(e) => return Err(RexError::Transport(e)),
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RexError::Timeout);
+            }
+            let wait = qos.retry_interval.min(deadline - now);
+            match rx.recv_timeout(wait) {
+                Ok(reply) => {
+                    drop(cleanup);
+                    return Ok(reply);
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    if Instant::now() >= deadline {
+                        return Err(RexError::Timeout);
+                    }
+                    // Loop: retransmit.
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    return Err(RexError::Closed)
+                }
+            }
+        }
+    }
+
+    /// Sends an announcement: one datagram, no reply, no retransmission.
+    ///
+    /// # Errors
+    ///
+    /// Only *local* engineering errors (unknown destination, transport
+    /// closed) are reported; remote failure is invisible by design (§5.1).
+    pub fn announce(
+        &self,
+        to: NodeId,
+        iface: InterfaceId,
+        op: &str,
+        body: Bytes,
+    ) -> Result<(), RexError> {
+        if !self.running.load(Ordering::SeqCst) {
+            return Err(RexError::Closed);
+        }
+        let call_id = self.next_call.fetch_add(1, Ordering::Relaxed);
+        let msg = encode_request(KIND_ANNOUNCE, call_id, iface, op, &body);
+        match self.transport.send(Envelope::new(self.node, to, msg)) {
+            Ok(()) => Ok(()),
+            Err(NetError::UnknownNode(n)) => Err(RexError::Unreachable(n)),
+            Err(e) => Err(RexError::Transport(e)),
+        }
+    }
+
+    /// Shuts the endpoint down: deregisters from the transport and joins
+    /// all protocol threads. Idempotent.
+    pub fn shutdown(&self) {
+        if !self.running.swap(false, Ordering::SeqCst) {
+            return;
+        }
+        self.transport.deregister(self.node);
+        // Wake pending callers.
+        self.pending.lock().clear();
+        let threads = std::mem::take(&mut *self.threads.lock());
+        for t in threads {
+            if std::thread::current().id() != t.thread().id() {
+                let _ = t.join();
+            }
+        }
+    }
+
+    fn demux(self: &Arc<Self>, endpoint: &Endpoint) {
+        loop {
+            let env = match endpoint.recv_timeout(Duration::from_millis(100)) {
+                Ok(env) => env,
+                Err(NetError::Timeout) => {
+                    if self.running.load(Ordering::SeqCst) {
+                        continue;
+                    }
+                    return;
+                }
+                Err(_) => return,
+            };
+            match parse(env.payload) {
+                Ok(Parsed::Reply { call_id, body }) => {
+                    if let Some(tx) = self.pending.lock().remove(&call_id) {
+                        let _ = tx.send(body);
+                    }
+                    // Late replies after timeout are silently dropped.
+                }
+                Ok(Parsed::Request {
+                    call_id,
+                    iface,
+                    op,
+                    body,
+                    announcement,
+                }) => {
+                    let _ = self.job_tx.send(RexJob {
+                        from: env.from,
+                        call_id,
+                        iface,
+                        op,
+                        body,
+                        announcement,
+                    });
+                }
+                Err(_) => {
+                    // Hostile or corrupt peer: drop, never crash (§4.2).
+                }
+            }
+        }
+    }
+
+    fn worker(self: &Arc<Self>, rx: &Receiver<RexJob>) {
+        loop {
+            let job = match rx.recv_timeout(Duration::from_millis(100)) {
+                Ok(job) => job,
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    if self.running.load(Ordering::SeqCst) {
+                        continue;
+                    }
+                    return;
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+            };
+            let key = (job.from, job.call_id);
+            if !job.announcement {
+                let mut server = self.server.lock();
+                if let Some(cached) = server.cache.get(&key) {
+                    // Retransmission of a completed call: resend the reply,
+                    // do NOT re-execute.
+                    self.duplicates_suppressed.fetch_add(1, Ordering::Relaxed);
+                    let reply = encode_reply(job.call_id, cached);
+                    drop(server);
+                    let _ = self
+                        .transport
+                        .send(Envelope::new(self.node, job.from, reply));
+                    continue;
+                }
+                if !server.executing.insert(key) {
+                    // Already running on another worker: drop the duplicate.
+                    self.duplicates_suppressed.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            }
+            let handler = self.handler.lock().clone();
+            let reply_body = match handler {
+                Some(h) => {
+                    self.requests_executed.fetch_add(1, Ordering::Relaxed);
+                    h(RexRequest {
+                        from: job.from,
+                        iface: job.iface,
+                        op: job.op,
+                        body: job.body,
+                        announcement: job.announcement,
+                    })
+                }
+                None => Bytes::new(),
+            };
+            if job.announcement {
+                continue;
+            }
+            {
+                let mut server = self.server.lock();
+                server.executing.remove(&key);
+                server.cache.insert(key, reply_body.clone());
+                server.order.push_back(key);
+                while server.order.len() > REPLY_CACHE_CAP {
+                    if let Some(old) = server.order.pop_front() {
+                        server.cache.remove(&old);
+                    }
+                }
+            }
+            let reply = encode_reply(job.call_id, &reply_body);
+            let _ = self
+                .transport
+                .send(Envelope::new(self.node, job.from, reply));
+        }
+    }
+}
+
+impl Drop for RexEndpoint {
+    fn drop(&mut self) {
+        self.running.store(false, Ordering::SeqCst);
+        self.transport.deregister(self.node);
+    }
+}
+
+impl fmt::Debug for RexEndpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RexEndpoint")
+            .field("node", &self.node)
+            .field("pending", &self.pending.lock().len())
+            .finish()
+    }
+}
+
+struct PendingGuard<'a> {
+    pending: &'a Mutex<HashMap<u64, Sender<Bytes>>>,
+    call_id: u64,
+}
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        self.pending.lock().remove(&self.call_id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{LinkConfig, SimNet};
+
+    fn pair(net: &SimNet) -> (Arc<RexEndpoint>, Arc<RexEndpoint>) {
+        let t: Arc<dyn Transport> = Arc::new(net.clone());
+        let a = RexEndpoint::new(Arc::clone(&t), NodeId(1), 2).unwrap();
+        let b = RexEndpoint::new(t, NodeId(2), 2).unwrap();
+        (a, b)
+    }
+
+    fn echo_handler() -> Handler {
+        Arc::new(|req: RexRequest| req.body)
+    }
+
+    #[test]
+    fn basic_interrogation() {
+        let net = SimNet::perfect();
+        let (a, b) = pair(&net);
+        b.set_handler(echo_handler());
+        let reply = a
+            .call(
+                NodeId(2),
+                InterfaceId(1),
+                "echo",
+                Bytes::from_static(b"hello"),
+                CallQos::default(),
+            )
+            .unwrap();
+        assert_eq!(reply, Bytes::from_static(b"hello"));
+    }
+
+    #[test]
+    fn concurrent_calls_from_many_threads() {
+        let net = SimNet::perfect();
+        let (a, b) = pair(&net);
+        b.set_handler(echo_handler());
+        std::thread::scope(|s| {
+            for i in 0..8u64 {
+                let a = Arc::clone(&a);
+                s.spawn(move || {
+                    for j in 0..20u64 {
+                        let body = Bytes::copy_from_slice(&(i * 1000 + j).to_be_bytes());
+                        let reply = a
+                            .call(NodeId(2), InterfaceId(1), "echo", body.clone(), CallQos::default())
+                            .unwrap();
+                        assert_eq!(reply, body);
+                    }
+                });
+            }
+        });
+        assert_eq!(a.calls_sent.load(Ordering::Relaxed), 160);
+    }
+
+    #[test]
+    fn timeout_when_partitioned() {
+        let net = SimNet::perfect();
+        let (a, b) = pair(&net);
+        b.set_handler(echo_handler());
+        net.partition(NodeId(1), NodeId(2));
+        let err = a
+            .call(
+                NodeId(2),
+                InterfaceId(1),
+                "echo",
+                Bytes::new(),
+                CallQos::with_deadline(Duration::from_millis(80)),
+            )
+            .unwrap_err();
+        assert_eq!(err, RexError::Timeout);
+    }
+
+    #[test]
+    fn unreachable_when_deregistered() {
+        let net = SimNet::perfect();
+        let (a, b) = pair(&net);
+        b.shutdown();
+        let err = a
+            .call(NodeId(2), InterfaceId(1), "x", Bytes::new(), CallQos::default())
+            .unwrap_err();
+        assert_eq!(err, RexError::Unreachable(NodeId(2)));
+    }
+
+    #[test]
+    fn retransmission_recovers_from_loss_and_executes_once() {
+        let net = SimNet::perfect();
+        let (a, b) = pair(&net);
+        b.set_handler(echo_handler());
+        // 60% loss both ways: retransmission must push the call through.
+        net.set_link_bidir(NodeId(1), NodeId(2), LinkConfig::with_loss(0.6));
+        let qos = CallQos {
+            deadline: Duration::from_secs(10),
+            retry_interval: Duration::from_millis(5),
+        };
+        for _ in 0..10 {
+            let reply = a
+                .call(NodeId(2), InterfaceId(1), "echo", Bytes::from_static(b"x"), qos)
+                .unwrap();
+            assert_eq!(reply, Bytes::from_static(b"x"));
+        }
+        // Each logical call executed exactly once despite duplicates.
+        assert_eq!(b.requests_executed.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn duplicates_answered_from_cache() {
+        let net = SimNet::perfect();
+        let (a, b) = pair(&net);
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        b.set_handler(Arc::new(move |req| {
+            h.fetch_add(1, Ordering::SeqCst);
+            req.body
+        }));
+        // Lose every reply (but not requests): client retransmits, server
+        // must answer duplicates from cache without re-executing.
+        net.set_link(NodeId(2), NodeId(1), LinkConfig::with_loss(0.7));
+        let qos = CallQos {
+            deadline: Duration::from_secs(10),
+            retry_interval: Duration::from_millis(5),
+        };
+        let reply = a
+            .call(NodeId(2), InterfaceId(1), "echo", Bytes::from_static(b"q"), qos)
+            .unwrap();
+        assert_eq!(reply, Bytes::from_static(b"q"));
+        assert_eq!(hits.load(Ordering::SeqCst), 1, "handler ran more than once");
+    }
+
+    #[test]
+    fn announcements_fire_and_forget() {
+        let net = SimNet::perfect();
+        let (a, b) = pair(&net);
+        let seen = Arc::new(AtomicU64::new(0));
+        let s = Arc::clone(&seen);
+        b.set_handler(Arc::new(move |req| {
+            assert!(req.announcement);
+            s.fetch_add(1, Ordering::SeqCst);
+            Bytes::new()
+        }));
+        for _ in 0..5 {
+            a.announce(NodeId(2), InterfaceId(1), "tick", Bytes::new()).unwrap();
+        }
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while seen.load(Ordering::SeqCst) < 5 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(seen.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn call_to_handlerless_server_returns_empty() {
+        let net = SimNet::perfect();
+        let (a, _b) = pair(&net);
+        let reply = a
+            .call(NodeId(2), InterfaceId(1), "x", Bytes::new(), CallQos::default())
+            .unwrap();
+        assert!(reply.is_empty());
+    }
+
+    #[test]
+    fn works_over_tcp_too() {
+        let net = crate::tcp::TcpNetwork::new();
+        let t: Arc<dyn Transport> = Arc::new(net);
+        let a = RexEndpoint::new(Arc::clone(&t), NodeId(1), 2).unwrap();
+        let b = RexEndpoint::new(t, NodeId(2), 2).unwrap();
+        b.set_handler(echo_handler());
+        let reply = a
+            .call(
+                NodeId(2),
+                InterfaceId(1),
+                "echo",
+                Bytes::from_static(b"tcp"),
+                CallQos::with_deadline(Duration::from_secs(5)),
+            )
+            .unwrap();
+        assert_eq!(reply, Bytes::from_static(b"tcp"));
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_closes_calls() {
+        let net = SimNet::perfect();
+        let (a, b) = pair(&net);
+        b.set_handler(echo_handler());
+        a.shutdown();
+        a.shutdown();
+        assert_eq!(
+            a.call(NodeId(2), InterfaceId(1), "x", Bytes::new(), CallQos::default())
+                .unwrap_err(),
+            RexError::Closed
+        );
+    }
+
+    #[test]
+    fn malformed_messages_ignored() {
+        let net = SimNet::perfect();
+        let (a, b) = pair(&net);
+        b.set_handler(echo_handler());
+        // Inject garbage straight onto the transport.
+        net.send(Envelope::new(NodeId(1), NodeId(2), Bytes::from_static(b"\xff\xff")))
+            .unwrap();
+        net.send(Envelope::new(NodeId(1), NodeId(2), Bytes::new())).unwrap();
+        // Endpoint still works.
+        let reply = a
+            .call(NodeId(2), InterfaceId(1), "echo", Bytes::from_static(b"ok"), CallQos::default())
+            .unwrap();
+        assert_eq!(reply, Bytes::from_static(b"ok"));
+    }
+
+    #[test]
+    fn parse_rejects_short_buffers() {
+        assert!(matches!(parse(Bytes::from_static(b"")), Err(RexError::Malformed)));
+        assert!(matches!(parse(Bytes::from_static(b"\x00\x01")), Err(RexError::Malformed)));
+        assert!(matches!(
+            parse(Bytes::from_static(b"\x09\x00\x00\x00\x00\x00\x00\x00\x00")),
+            Err(RexError::Malformed)
+        ));
+    }
+}

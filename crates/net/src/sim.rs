@@ -1,0 +1,594 @@
+//! The simulated network.
+//!
+//! `SimNet` stands in for the paper's internetwork (see the substitution
+//! table in DESIGN.md): an in-process [`Transport`] whose links have
+//! configurable base latency, jitter, loss probability and partitions, all
+//! driven by a **seeded** RNG so that every test and benchmark run is
+//! reproducible. A single delivery thread drains a time-ordered heap, which
+//! keeps cross-link ordering faithful to the configured latencies.
+//!
+//! Fault injection is first-class because the paper insists applications
+//! face "variable latency in accessing resources and persistent failures
+//! disrupting access to resources" (§3): the failure, replication and
+//! relocation transparencies are *tested* by making this network misbehave.
+
+use crate::transport::{Endpoint, Envelope, NetError, Transport};
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Latency/loss characteristics of one link (or the default for all links).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkConfig {
+    /// Base one-way delay.
+    pub latency: Duration,
+    /// Uniform jitter added on top (0..jitter).
+    pub jitter: Duration,
+    /// Probability in `[0, 1]` that a message is silently dropped.
+    pub loss: f64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        Self {
+            latency: Duration::ZERO,
+            jitter: Duration::ZERO,
+            loss: 0.0,
+        }
+    }
+}
+
+impl LinkConfig {
+    /// A link with fixed latency and no jitter or loss.
+    #[must_use]
+    pub fn with_latency(latency: Duration) -> Self {
+        Self {
+            latency,
+            ..Self::default()
+        }
+    }
+
+    /// A lossy link.
+    #[must_use]
+    pub fn with_loss(loss: f64) -> Self {
+        assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
+        Self {
+            loss,
+            ..Self::default()
+        }
+    }
+}
+
+/// Whole-network configuration.
+#[derive(Debug, Clone)]
+pub struct SimNetConfig {
+    /// RNG seed for loss and jitter decisions.
+    pub seed: u64,
+    /// Default link characteristics.
+    pub default_link: LinkConfig,
+}
+
+impl Default for SimNetConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x0D9_1991,
+            default_link: LinkConfig::default(),
+        }
+    }
+}
+
+/// Counters exposed for experiments (message complexity of protocols is a
+/// first-order output of several benches).
+#[derive(Debug, Default)]
+pub struct SimNetStats {
+    /// Messages accepted by `send`.
+    pub sent: AtomicU64,
+    /// Messages actually delivered to an endpoint.
+    pub delivered: AtomicU64,
+    /// Messages dropped by loss injection.
+    pub lost: AtomicU64,
+    /// Messages dropped because of a partition.
+    pub partitioned: AtomicU64,
+    /// Messages dropped because the destination vanished.
+    pub dead_lettered: AtomicU64,
+    /// Total payload bytes accepted.
+    pub bytes: AtomicU64,
+}
+
+impl SimNetStats {
+    /// Snapshot of (sent, delivered, lost, partitioned, dead-lettered).
+    #[must_use]
+    pub fn snapshot(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.sent.load(Ordering::Relaxed),
+            self.delivered.load(Ordering::Relaxed),
+            self.lost.load(Ordering::Relaxed),
+            self.partitioned.load(Ordering::Relaxed),
+            self.dead_lettered.load(Ordering::Relaxed),
+        )
+    }
+}
+
+struct Scheduled {
+    due: Instant,
+    seq: u64,
+    env: Envelope,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .due
+            .cmp(&self.due)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    nodes: HashMap<odp_types::NodeId, Sender<Envelope>>,
+    links: HashMap<(odp_types::NodeId, odp_types::NodeId), LinkConfig>,
+    /// Unordered pairs that cannot communicate.
+    partitions: HashSet<(odp_types::NodeId, odp_types::NodeId)>,
+    queue: BinaryHeap<Scheduled>,
+    next_seq: u64,
+}
+
+/// The simulated network. Clone-able handle; all clones share state.
+#[derive(Clone)]
+pub struct SimNet {
+    config: SimNetConfig,
+    inner: Arc<Mutex<Inner>>,
+    wake: Arc<Condvar>,
+    rng: Arc<Mutex<StdRng>>,
+    stats: Arc<SimNetStats>,
+    running: Arc<AtomicBool>,
+    _pump: Arc<PumpGuard>,
+}
+
+struct PumpGuard {
+    running: Arc<AtomicBool>,
+    wake: Arc<Condvar>,
+    inner: Arc<Mutex<Inner>>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Drop for PumpGuard {
+    fn drop(&mut self) {
+        self.running.store(false, Ordering::SeqCst);
+        {
+            let _g = self.inner.lock();
+            self.wake.notify_all();
+        }
+        if let Some(h) = self.handle.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Default for SimNet {
+    fn default() -> Self {
+        Self::new(SimNetConfig::default())
+    }
+}
+
+impl SimNet {
+    /// Creates a simulated network and starts its delivery thread.
+    #[must_use]
+    pub fn new(config: SimNetConfig) -> Self {
+        let inner = Arc::new(Mutex::new(Inner::default()));
+        let wake = Arc::new(Condvar::new());
+        let running = Arc::new(AtomicBool::new(true));
+        let stats = Arc::new(SimNetStats::default());
+        let pump_handle = {
+            let inner = Arc::clone(&inner);
+            let wake = Arc::clone(&wake);
+            let running = Arc::clone(&running);
+            let stats = Arc::clone(&stats);
+            std::thread::Builder::new()
+                .name("simnet-pump".into())
+                .spawn(move || Self::pump(&inner, &wake, &running, &stats))
+                .expect("spawn simnet pump")
+        };
+        Self {
+            config: config.clone(),
+            inner: Arc::clone(&inner),
+            wake: Arc::clone(&wake),
+            rng: Arc::new(Mutex::new(StdRng::seed_from_u64(config.seed))),
+            stats,
+            running: Arc::clone(&running),
+            _pump: Arc::new(PumpGuard {
+                running,
+                wake,
+                inner,
+                handle: Mutex::new(Some(pump_handle)),
+            }),
+        }
+    }
+
+    /// Convenience: a zero-latency, lossless network with the default seed.
+    #[must_use]
+    pub fn perfect() -> Self {
+        Self::default()
+    }
+
+    /// Delivery statistics.
+    #[must_use]
+    pub fn stats(&self) -> &SimNetStats {
+        &self.stats
+    }
+
+    /// Sets the characteristics of the directed link `from → to`.
+    pub fn set_link(&self, from: odp_types::NodeId, to: odp_types::NodeId, link: LinkConfig) {
+        self.inner.lock().links.insert((from, to), link);
+    }
+
+    /// Sets both directions of a link.
+    pub fn set_link_bidir(&self, a: odp_types::NodeId, b: odp_types::NodeId, link: LinkConfig) {
+        let mut inner = self.inner.lock();
+        inner.links.insert((a, b), link);
+        inner.links.insert((b, a), link);
+    }
+
+    /// Cuts communication between `a` and `b` in both directions.
+    pub fn partition(&self, a: odp_types::NodeId, b: odp_types::NodeId) {
+        self.inner.lock().partitions.insert(Self::pair(a, b));
+    }
+
+    /// Heals a partition created by [`SimNet::partition`].
+    pub fn heal(&self, a: odp_types::NodeId, b: odp_types::NodeId) {
+        self.inner.lock().partitions.remove(&Self::pair(a, b));
+    }
+
+    /// Isolates `node` from every currently registered node.
+    pub fn isolate(&self, node: odp_types::NodeId) {
+        let mut inner = self.inner.lock();
+        let others: Vec<_> = inner.nodes.keys().copied().filter(|n| *n != node).collect();
+        for other in others {
+            inner.partitions.insert(Self::pair(node, other));
+        }
+    }
+
+    /// Reconnects `node` to everyone.
+    pub fn rejoin(&self, node: odp_types::NodeId) {
+        self.inner
+            .lock()
+            .partitions
+            .retain(|(a, b)| *a != node && *b != node);
+    }
+
+    fn pair(a: odp_types::NodeId, b: odp_types::NodeId) -> (odp_types::NodeId, odp_types::NodeId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    fn pump(
+        inner: &Mutex<Inner>,
+        wake: &Condvar,
+        running: &AtomicBool,
+        stats: &SimNetStats,
+    ) {
+        let mut guard = inner.lock();
+        loop {
+            if !running.load(Ordering::SeqCst) {
+                return;
+            }
+            let now = Instant::now();
+            // Deliver everything due.
+            while guard.queue.peek().is_some_and(|s| s.due <= now) {
+                let sched = guard.queue.pop().expect("peeked");
+                if let Some(tx) = guard.nodes.get(&sched.env.to) {
+                    if tx.send(sched.env).is_ok() {
+                        stats.delivered.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        stats.dead_lettered.fetch_add(1, Ordering::Relaxed);
+                    }
+                } else {
+                    stats.dead_lettered.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            match guard.queue.peek().map(|s| s.due) {
+                Some(due) => {
+                    let now = Instant::now();
+                    if due > now {
+                        wake.wait_for(&mut guard, due - now);
+                    }
+                }
+                None => {
+                    wake.wait(&mut guard);
+                }
+            }
+        }
+    }
+}
+
+impl Transport for SimNet {
+    fn register(&self, node: odp_types::NodeId) -> Result<Endpoint, NetError> {
+        let mut inner = self.inner.lock();
+        if inner.nodes.contains_key(&node) {
+            return Err(NetError::AlreadyRegistered(node));
+        }
+        let (tx, rx) = unbounded();
+        inner.nodes.insert(node, tx);
+        Ok(Endpoint::new(node, rx))
+    }
+
+    fn deregister(&self, node: odp_types::NodeId) {
+        self.inner.lock().nodes.remove(&node);
+    }
+
+    fn send(&self, env: Envelope) -> Result<(), NetError> {
+        if !self.running.load(Ordering::SeqCst) {
+            return Err(NetError::Closed);
+        }
+        let link;
+        {
+            let inner = self.inner.lock();
+            if !inner.nodes.contains_key(&env.to) {
+                return Err(NetError::UnknownNode(env.to));
+            }
+            if inner.partitions.contains(&Self::pair(env.from, env.to)) {
+                self.stats.partitioned.fetch_add(1, Ordering::Relaxed);
+                // Partition drops are silent, like real packet loss: the
+                // sender learns only through timeouts.
+                self.stats.sent.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+            link = inner
+                .links
+                .get(&(env.from, env.to))
+                .copied()
+                .unwrap_or(self.config.default_link);
+        }
+        self.stats.sent.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes
+            .fetch_add(env.payload.len() as u64, Ordering::Relaxed);
+        let jitter = {
+            let mut rng = self.rng.lock();
+            if link.loss > 0.0 && rng.random_bool(link.loss) {
+                self.stats.lost.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+            if link.jitter.is_zero() {
+                Duration::ZERO
+            } else {
+                Duration::from_nanos(rng.random_range(0..link.jitter.as_nanos() as u64))
+            }
+        };
+        let delay = link.latency + jitter;
+        let mut inner = self.inner.lock();
+        // Fast path: zero-delay messages skip the heap entirely.
+        if delay.is_zero() && inner.queue.is_empty() {
+            if let Some(tx) = inner.nodes.get(&env.to) {
+                if tx.send(env).is_ok() {
+                    self.stats.delivered.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.stats.dead_lettered.fetch_add(1, Ordering::Relaxed);
+                }
+                return Ok(());
+            }
+            self.stats.dead_lettered.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.queue.push(Scheduled {
+            due: Instant::now() + delay,
+            seq,
+            env,
+        });
+        self.wake.notify_all();
+        Ok(())
+    }
+
+    fn is_registered(&self, node: odp_types::NodeId) -> bool {
+        self.inner.lock().nodes.contains_key(&node)
+    }
+}
+
+impl std::fmt::Debug for SimNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("SimNet")
+            .field("nodes", &inner.nodes.len())
+            .field("partitions", &inner.partitions.len())
+            .field("queued", &inner.queue.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use odp_types::NodeId;
+
+    fn env(from: u64, to: u64, msg: &'static [u8]) -> Envelope {
+        Envelope::new(NodeId(from), NodeId(to), Bytes::from_static(msg))
+    }
+
+    #[test]
+    fn zero_latency_delivery() {
+        let net = SimNet::perfect();
+        let _a = net.register(NodeId(1)).unwrap();
+        let b = net.register(NodeId(2)).unwrap();
+        net.send(env(1, 2, b"hi")).unwrap();
+        let got = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(got.payload, Bytes::from_static(b"hi"));
+        assert_eq!(got.from, NodeId(1));
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let net = SimNet::perfect();
+        let _a = net.register(NodeId(1)).unwrap();
+        assert_eq!(
+            net.register(NodeId(1)).unwrap_err(),
+            NetError::AlreadyRegistered(NodeId(1))
+        );
+    }
+
+    #[test]
+    fn unknown_destination_rejected() {
+        let net = SimNet::perfect();
+        let _a = net.register(NodeId(1)).unwrap();
+        assert_eq!(
+            net.send(env(1, 9, b"x")).unwrap_err(),
+            NetError::UnknownNode(NodeId(9))
+        );
+    }
+
+    #[test]
+    fn latency_is_applied() {
+        let net = SimNet::perfect();
+        let _a = net.register(NodeId(1)).unwrap();
+        let b = net.register(NodeId(2)).unwrap();
+        net.set_link(NodeId(1), NodeId(2), LinkConfig::with_latency(Duration::from_millis(30)));
+        let start = Instant::now();
+        net.send(env(1, 2, b"slow")).unwrap();
+        b.recv_timeout(Duration::from_secs(1)).unwrap();
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(25), "{elapsed:?}");
+    }
+
+    #[test]
+    fn latency_preserves_order_per_link() {
+        let net = SimNet::perfect();
+        let _a = net.register(NodeId(1)).unwrap();
+        let b = net.register(NodeId(2)).unwrap();
+        net.set_link(NodeId(1), NodeId(2), LinkConfig::with_latency(Duration::from_millis(5)));
+        for i in 0..10u8 {
+            net.send(Envelope::new(NodeId(1), NodeId(2), Bytes::copy_from_slice(&[i])))
+                .unwrap();
+        }
+        for i in 0..10u8 {
+            let got = b.recv_timeout(Duration::from_secs(1)).unwrap();
+            assert_eq!(got.payload[0], i);
+        }
+    }
+
+    #[test]
+    fn total_loss_drops_everything_silently() {
+        let net = SimNet::perfect();
+        let _a = net.register(NodeId(1)).unwrap();
+        let b = net.register(NodeId(2)).unwrap();
+        net.set_link(NodeId(1), NodeId(2), LinkConfig::with_loss(1.0));
+        for _ in 0..20 {
+            net.send(env(1, 2, b"gone")).unwrap();
+        }
+        assert_eq!(b.recv_timeout(Duration::from_millis(20)).unwrap_err(), NetError::Timeout);
+        assert_eq!(net.stats().lost.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn seeded_loss_is_reproducible() {
+        let counts: Vec<u64> = (0..2)
+            .map(|_| {
+                let net = SimNet::new(SimNetConfig {
+                    seed: 42,
+                    ..SimNetConfig::default()
+                });
+                let _a = net.register(NodeId(1)).unwrap();
+                let _b = net.register(NodeId(2)).unwrap();
+                net.set_link(NodeId(1), NodeId(2), LinkConfig::with_loss(0.5));
+                for _ in 0..100 {
+                    net.send(env(1, 2, b"x")).unwrap();
+                }
+                net.stats().lost.load(Ordering::Relaxed)
+            })
+            .collect();
+        assert_eq!(counts[0], counts[1]);
+        assert!(counts[0] > 20 && counts[0] < 80, "loss={}", counts[0]);
+    }
+
+    #[test]
+    fn partition_blocks_and_heals() {
+        let net = SimNet::perfect();
+        let a = net.register(NodeId(1)).unwrap();
+        let b = net.register(NodeId(2)).unwrap();
+        net.partition(NodeId(1), NodeId(2));
+        net.send(env(1, 2, b"blocked")).unwrap();
+        net.send(env(2, 1, b"blocked")).unwrap();
+        assert!(b.recv_timeout(Duration::from_millis(20)).is_err());
+        assert!(a.recv_timeout(Duration::from_millis(20)).is_err());
+        net.heal(NodeId(1), NodeId(2));
+        net.send(env(1, 2, b"open")).unwrap();
+        assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap().payload, Bytes::from_static(b"open"));
+    }
+
+    #[test]
+    fn isolate_and_rejoin() {
+        let net = SimNet::perfect();
+        let _a = net.register(NodeId(1)).unwrap();
+        let b = net.register(NodeId(2)).unwrap();
+        let c = net.register(NodeId(3)).unwrap();
+        net.isolate(NodeId(1));
+        net.send(env(1, 2, b"x")).unwrap();
+        net.send(env(1, 3, b"x")).unwrap();
+        assert!(b.recv_timeout(Duration::from_millis(20)).is_err());
+        assert!(c.recv_timeout(Duration::from_millis(20)).is_err());
+        net.rejoin(NodeId(1));
+        net.send(env(1, 2, b"back")).unwrap();
+        assert!(b.recv_timeout(Duration::from_secs(1)).is_ok());
+    }
+
+    #[test]
+    fn deregister_simulates_crash() {
+        let net = SimNet::perfect();
+        let _a = net.register(NodeId(1)).unwrap();
+        let _b = net.register(NodeId(2)).unwrap();
+        assert!(net.is_registered(NodeId(2)));
+        net.deregister(NodeId(2));
+        assert!(!net.is_registered(NodeId(2)));
+        assert_eq!(
+            net.send(env(1, 2, b"x")).unwrap_err(),
+            NetError::UnknownNode(NodeId(2))
+        );
+        // Re-registering models a restart.
+        let b2 = net.register(NodeId(2)).unwrap();
+        net.send(env(1, 2, b"hello again")).unwrap();
+        assert!(b2.recv_timeout(Duration::from_secs(1)).is_ok());
+    }
+
+    #[test]
+    fn stats_track_delivery() {
+        let net = SimNet::perfect();
+        let _a = net.register(NodeId(1)).unwrap();
+        let b = net.register(NodeId(2)).unwrap();
+        net.send(env(1, 2, b"12345")).unwrap();
+        b.recv_timeout(Duration::from_secs(1)).unwrap();
+        let (sent, delivered, lost, part, dead) = net.stats().snapshot();
+        assert_eq!((sent, delivered, lost, part, dead), (1, 1, 0, 0, 0));
+        assert_eq!(net.stats().bytes.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn shutdown_closes_endpoints() {
+        let net = SimNet::perfect();
+        let b = net.register(NodeId(2)).unwrap();
+        drop(net);
+        assert_eq!(b.recv().unwrap_err(), NetError::Closed);
+    }
+}

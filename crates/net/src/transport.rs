@@ -1,0 +1,187 @@
+//! The transport abstraction: node-addressed datagram delivery.
+//!
+//! A transport provides *unreliable, unordered* delivery of opaque payloads
+//! between registered nodes. Reliability, ordering and execution semantics
+//! belong to the layers above ([`crate::rex`], group protocols): keeping the
+//! base contract weak is what makes simulated, TCP and future transports
+//! interchangeable behind the same engineering interface.
+
+use bytes::Bytes;
+use crossbeam::channel::{Receiver, RecvTimeoutError, TryRecvError};
+use odp_types::NodeId;
+use std::fmt;
+use std::time::Duration;
+
+/// One message in flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Sending node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// Opaque payload.
+    pub payload: Bytes,
+}
+
+impl Envelope {
+    /// Creates an envelope.
+    #[must_use]
+    pub fn new(from: NodeId, to: NodeId, payload: Bytes) -> Self {
+        Self { from, to, payload }
+    }
+}
+
+/// Errors surfaced by transports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The destination node has never been registered with this transport.
+    UnknownNode(NodeId),
+    /// The node id is already registered.
+    AlreadyRegistered(NodeId),
+    /// The transport (or this endpoint) has been shut down.
+    Closed,
+    /// No message arrived within the requested timeout.
+    Timeout,
+    /// An I/O level failure (TCP transport).
+    Io(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            NetError::AlreadyRegistered(n) => write!(f, "node {n} already registered"),
+            NetError::Closed => write!(f, "transport closed"),
+            NetError::Timeout => write!(f, "receive timed out"),
+            NetError::Io(e) => write!(f, "transport I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// The receiving side of a registered node.
+///
+/// Endpoints are handed out by [`Transport::register`] and consumed by the
+/// node's demultiplexer (one per capsule in the engineering model).
+#[derive(Debug)]
+pub struct Endpoint {
+    node: NodeId,
+    rx: Receiver<Envelope>,
+}
+
+impl Endpoint {
+    /// Creates an endpoint from its parts (used by transport impls).
+    #[must_use]
+    pub fn new(node: NodeId, rx: Receiver<Envelope>) -> Self {
+        Self { node, rx }
+    }
+
+    /// The node this endpoint receives for.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Blocks until a message arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Closed`] once the transport is dropped.
+    pub fn recv(&self) -> Result<Envelope, NetError> {
+        self.rx.recv().map_err(|_| NetError::Closed)
+    }
+
+    /// Blocks up to `timeout` for a message.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Timeout`] on expiry, [`NetError::Closed`] on shutdown.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, NetError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => NetError::Timeout,
+            RecvTimeoutError::Disconnected => NetError::Closed,
+        })
+    }
+
+    /// Non-blocking receive.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Timeout`] if empty, [`NetError::Closed`] on shutdown.
+    pub fn try_recv(&self) -> Result<Envelope, NetError> {
+        self.rx.try_recv().map_err(|e| match e {
+            TryRecvError::Empty => NetError::Timeout,
+            TryRecvError::Disconnected => NetError::Closed,
+        })
+    }
+}
+
+/// Node-addressed datagram transport.
+///
+/// Implementations must be cheaply shareable (`Arc` inside) and safe to use
+/// from many threads: every layer of a capsule sends through the same
+/// transport handle.
+pub trait Transport: Send + Sync {
+    /// Registers `node` and returns its receiving endpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::AlreadyRegistered`] if the id is taken.
+    fn register(&self, node: NodeId) -> Result<Endpoint, NetError>;
+
+    /// Removes a node; subsequent sends to it fail with
+    /// [`NetError::UnknownNode`]. Used to simulate crash-stop failures.
+    fn deregister(&self, node: NodeId);
+
+    /// Sends one message. Delivery is best-effort: a returned `Ok` means
+    /// the message was *accepted*, not that it will arrive.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownNode`] if the destination was never registered,
+    /// [`NetError::Closed`] after shutdown.
+    fn send(&self, env: Envelope) -> Result<(), NetError>;
+
+    /// True if `node` is currently registered.
+    fn is_registered(&self, node: NodeId) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+
+    #[test]
+    fn endpoint_receives_in_order_from_channel() {
+        let (tx, rx) = unbounded();
+        let ep = Endpoint::new(NodeId(1), rx);
+        tx.send(Envelope::new(NodeId(2), NodeId(1), Bytes::from_static(b"a")))
+            .unwrap();
+        tx.send(Envelope::new(NodeId(2), NodeId(1), Bytes::from_static(b"b")))
+            .unwrap();
+        assert_eq!(ep.recv().unwrap().payload, Bytes::from_static(b"a"));
+        assert_eq!(ep.recv().unwrap().payload, Bytes::from_static(b"b"));
+        assert_eq!(ep.node(), NodeId(1));
+    }
+
+    #[test]
+    fn endpoint_timeout_and_close() {
+        let (tx, rx) = unbounded::<Envelope>();
+        let ep = Endpoint::new(NodeId(1), rx);
+        assert_eq!(
+            ep.recv_timeout(Duration::from_millis(5)).unwrap_err(),
+            NetError::Timeout
+        );
+        assert_eq!(ep.try_recv().unwrap_err(), NetError::Timeout);
+        drop(tx);
+        assert_eq!(ep.recv().unwrap_err(), NetError::Closed);
+        assert_eq!(ep.try_recv().unwrap_err(), NetError::Closed);
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(NetError::UnknownNode(NodeId(3)).to_string().contains("node:3"));
+        assert!(NetError::Io("boom".into()).to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,84 @@
+//! # odp — an open distributed processing platform
+//!
+//! A complete reproduction of the system architecture described in Andrew
+//! Herbert's *The Challenge of ODP* (Berlin ODP Conference, 1991; ANSA
+//! report APM.1016.01): the RM-ODP computational model (abstract data
+//! types invoked through distribution-transparent references) and
+//! engineering model (capsules, binders and *selective transparency*
+//! mechanisms linked into the access path), together with every supporting
+//! subsystem the paper names.
+//!
+//! This crate is the facade: it re-exports the whole platform and provides
+//! a [`prelude`]. The subsystems:
+//!
+//! | crate | paper section | contents |
+//! |---|---|---|
+//! | [`types`] | §4.4, §5.1 | signatures, structural conformance, type manager |
+//! | [`wire`] | §5.1 | network data representation, marshalling, interface references |
+//! | [`net`] | §4.1, §5.1 | transports (simulated + TCP), REX at-most-once call protocol |
+//! | [`core`] | §4, §5 | capsules, binders, invocation stacks, transparency policies, relocation, node management |
+//! | [`trading`] | §6 | traders, offers, federated trader graphs, context-relative naming |
+//! | [`groups`] | §5.3 | replica groups, total-order, active/hot-standby, fail-over |
+//! | [`tx`] | §5.2 | ACID transactions: generated concurrency control, deadlock detection, 2-phase commit |
+//! | [`storage`] | §5.5 | stable repository, write-ahead log, checkpointing, recovery, passivation |
+//! | [`federation`] | §4.2, §5.6 | domains, gateways/interceptors, translation, proxies, accounting |
+//! | [`security`] | §7.1 | shared secrets, MACs, declaratively generated guards |
+//! | [`streams`] | §7.2 | stream interfaces, explicit binding, QoS monitoring, synchronization |
+//! | [`gc`] | §7.3 | leases, reference listing, mark-sweep, idle-time collection |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use odp::prelude::*;
+//!
+//! // A two-capsule world over a simulated network, with a relocation
+//! // service wired in.
+//! let world = World::quick();
+//!
+//! // An ADT interface: one operation, one outcome.
+//! let ty = InterfaceTypeBuilder::new()
+//!     .interrogation("greet", vec![TypeSpec::Str], vec![OutcomeSig::ok(vec![TypeSpec::Str])])
+//!     .build();
+//!
+//! // Export a servant on capsule 0…
+//! let servant = FnServant::new(ty, |_op, args, _ctx| {
+//!     Outcome::ok(vec![Value::str(format!(
+//!         "hello, {}!",
+//!         args[0].as_str().unwrap_or("world")
+//!     ))])
+//! });
+//! let reference = world.capsule(0).export(std::sync::Arc::new(servant));
+//!
+//! // …and invoke it from capsule 1, through the full access path.
+//! let binding = world.capsule(1).bind(reference);
+//! let outcome = binding.interrogate("greet", vec![Value::str("ODP")]).unwrap();
+//! assert_eq!(outcome.results[0].as_str(), Some("hello, ODP!"));
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use odp_core as core;
+pub use odp_federation as federation;
+pub use odp_gc as gc;
+pub use odp_groups as groups;
+pub use odp_net as net;
+pub use odp_security as security;
+pub use odp_storage as storage;
+pub use odp_streams as streams;
+pub use odp_trading as trading;
+pub use odp_tx as tx;
+pub use odp_types as types;
+pub use odp_wire as wire;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use odp_core::{
+        CallCtx, Capsule, ClientBinding, ExportConfig, FnServant, InvokeError, Outcome, Servant,
+        SyncDiscipline, TransparencyPolicy, World,
+    };
+    pub use odp_net::{CallQos, LinkConfig, SimNet, TcpNetwork, Transport};
+    pub use odp_types::signature::{InterfaceTypeBuilder, OutcomeSig};
+    pub use odp_types::{InterfaceType, NodeId, TypeSpec};
+    pub use odp_wire::{InterfaceRef, Value};
+}

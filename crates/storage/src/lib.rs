@@ -1,0 +1,52 @@
+//! # odp-storage — resource and failure transparency (§5.5)
+//!
+//! *"Objects that are not actively in use may be transferred from the
+//! execution environment to storage … Objects may write snapshots of their
+//! state to storage and log interactions so that the object can be
+//! reinstated at an alternative location after a failure."*
+//!
+//! The paper's key observation is that migration, resource and failure
+//! transparency **share mechanism**: "there is a great deal of sharing of
+//! mechanism possible between the several transparencies … Transparency is
+//! therefore an effect rather than a mechanism." The shared mechanism here
+//! is the [`odp_core::Servant::snapshot`] / `restore` pair; this crate adds
+//! the storage engineering around it:
+//!
+//! * [`repository`] — [`StableRepository`]: the "stable object repository",
+//!   keyed by interface identity, holding snapshots with their epochs.
+//!   (In-memory, standing in for 1991 disks per DESIGN.md; an optional
+//!   simulated write latency makes checkpoint-interval experiments
+//!   honest.)
+//! * [`wal`] — [`WriteAheadLog`]: the "log of outstanding interactions"
+//!   appended *before* dispatch, replayed after a crash "so that … the
+//!   replacement object can mirror exactly the state of its predecessor".
+//! * [`checkpoint`] — [`LoggingLayer`]: a server layer (generated
+//!   engineering, like every transparency) that logs mutating operations
+//!   and checkpoints every *N* of them, truncating the log — the classic
+//!   recovery-time/overhead trade-off, swept by experiment E9.
+//! * [`recovery`] — [`recover`]: restore the latest checkpoint, replay the
+//!   log tail, re-export under the same identity with a bumped epoch, and
+//!   register the new location — after which location-transparent clients
+//!   simply continue (checkpointing "followed by recovery at alternate
+//!   locations to mask faults", §3).
+//! * [`passivate`] — [`Passivator`] and the activation wrapper: passive
+//!   objects vacate memory; the first invocation transparently reinstates
+//!   them ("resource transparency — masking changes in the representation
+//!   of an object and the resources used to support it (e.g. automatic
+//!   retrieval and storage of objects between volatile memory and a stable
+//!   object repository)").
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod checkpoint;
+pub mod passivate;
+pub mod recovery;
+pub mod repository;
+pub mod wal;
+
+pub use checkpoint::{CheckpointPolicy, LoggingLayer};
+pub use passivate::Passivator;
+pub use recovery::recover;
+pub use repository::StableRepository;
+pub use wal::{LogRecord, WriteAheadLog};

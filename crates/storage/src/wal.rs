@@ -1,0 +1,166 @@
+//! The write-ahead interaction log.
+//!
+//! §5.5: failure transparency requires "a log of outstanding interactions,
+//! so that when recovery occurs, the replacement object can mirror exactly
+//! the state of its predecessor". Records are appended *before* the
+//! operation is dispatched (write-ahead), so a crash between log and
+//! dispatch replays an operation that may not have executed — which is safe
+//! because replay drives the same at-most-once dispatch path.
+
+use odp_types::InterfaceId;
+use odp_wire::Value;
+use parking_lot::Mutex;
+use std::fmt;
+
+/// One logged interaction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogRecord {
+    /// Log sequence number (dense, starting at 1).
+    pub lsn: u64,
+    /// Target interface.
+    pub iface: InterfaceId,
+    /// Operation name.
+    pub op: String,
+    /// Argument values.
+    pub args: Vec<Value>,
+}
+
+/// An append-only log with prefix truncation.
+pub struct WriteAheadLog {
+    inner: Mutex<WalInner>,
+}
+
+struct WalInner {
+    records: Vec<LogRecord>,
+    next_lsn: u64,
+    truncated_upto: u64,
+}
+
+impl Default for WriteAheadLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WriteAheadLog {
+    /// Creates an empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(WalInner {
+                records: Vec::new(),
+                next_lsn: 1,
+                truncated_upto: 0,
+            }),
+        }
+    }
+
+    /// Appends a record, returning its LSN.
+    pub fn append(&self, iface: InterfaceId, op: &str, args: &[Value]) -> u64 {
+        let mut inner = self.inner.lock();
+        let lsn = inner.next_lsn;
+        inner.next_lsn += 1;
+        inner.records.push(LogRecord {
+            lsn,
+            iface,
+            op: op.to_owned(),
+            args: args.to_vec(),
+        });
+        lsn
+    }
+
+    /// Removes all records with `lsn <= upto` (checkpoint truncation).
+    pub fn truncate(&self, upto: u64) {
+        let mut inner = self.inner.lock();
+        inner.records.retain(|r| r.lsn > upto);
+        if upto > inner.truncated_upto {
+            inner.truncated_upto = upto;
+        }
+    }
+
+    /// All records after `after_lsn`, in order (recovery replay).
+    #[must_use]
+    pub fn tail(&self, after_lsn: u64) -> Vec<LogRecord> {
+        self.inner
+            .lock()
+            .records
+            .iter()
+            .filter(|r| r.lsn > after_lsn)
+            .cloned()
+            .collect()
+    }
+
+    /// Records for one interface after `after_lsn`.
+    #[must_use]
+    pub fn tail_for(&self, iface: InterfaceId, after_lsn: u64) -> Vec<LogRecord> {
+        self.inner
+            .lock()
+            .records
+            .iter()
+            .filter(|r| r.iface == iface && r.lsn > after_lsn)
+            .cloned()
+            .collect()
+    }
+
+    /// Current length (untruncated records).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().records.len()
+    }
+
+    /// True if the (untruncated) log is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().records.is_empty()
+    }
+
+    /// Highest LSN issued so far.
+    #[must_use]
+    pub fn last_lsn(&self) -> u64 {
+        self.inner.lock().next_lsn - 1
+    }
+}
+
+impl fmt::Debug for WriteAheadLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("WriteAheadLog")
+            .field("records", &inner.records.len())
+            .field("next_lsn", &inner.next_lsn)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_tail() {
+        let wal = WriteAheadLog::new();
+        assert_eq!(wal.append(InterfaceId(1), "a", &[Value::Int(1)]), 1);
+        assert_eq!(wal.append(InterfaceId(2), "b", &[]), 2);
+        assert_eq!(wal.append(InterfaceId(1), "c", &[]), 3);
+        assert_eq!(wal.tail(0).len(), 3);
+        assert_eq!(wal.tail(2).len(), 1);
+        let for_one = wal.tail_for(InterfaceId(1), 0);
+        assert_eq!(for_one.len(), 2);
+        assert_eq!(for_one[0].op, "a");
+        assert_eq!(for_one[1].op, "c");
+    }
+
+    #[test]
+    fn truncate_drops_prefix_only() {
+        let wal = WriteAheadLog::new();
+        for i in 0..10 {
+            wal.append(InterfaceId(1), &format!("op{i}"), &[]);
+        }
+        wal.truncate(7);
+        assert_eq!(wal.len(), 3);
+        let tail = wal.tail(0);
+        assert_eq!(tail[0].lsn, 8);
+        // LSNs keep increasing after truncation.
+        assert_eq!(wal.append(InterfaceId(1), "next", &[]), 11);
+        assert_eq!(wal.last_lsn(), 11);
+    }
+}

@@ -1,0 +1,46 @@
+//! # odp-streams — stream interfaces and explicit binding (§7.2)
+//!
+//! *"This can be done by regarding the client and server operational
+//! interfaces described so far as a special case of a more general
+//! interface concept of a stream interface which represents a point at
+//! which any form of interaction \[can\] occur, including continuous flows
+//! such as video. A stream is described in terms of its type and its
+//! quality of service requirements. … there is however no means for ADT
+//! style interaction at a stream interface. … For streams a means of
+//! explicit binding must be defined. Explicit binding is parameterized by a
+//! template specifying which information flows are enabled between the
+//! various interfaces being tied together. … the binding process produces
+//! an interface containing control and management functions."*
+//!
+//! * [`stream`] — [`FlowSpec`] / [`FlowQos`]: a stream interface's type is
+//!   its set of typed, rate-constrained flows (no operations).
+//! * [`endpoint`] — [`StreamEndpoint`]: the engineering realization: a
+//!   per-node datagram endpoint (its own transport identity, disjoint from
+//!   the REX endpoint — the "several protocols" of §5.4) carrying framed
+//!   flow data; registered sinks receive frames as they arrive.
+//! * [`binding`] — [`StreamBinding::establish`]: the explicit binding. It
+//!   wires producer flows to consumer sinks per a [`BindingTemplate`] and
+//!   **exports a control ADT interface** (start / stop / set_rate / stats)
+//!   — so control is ordinary ODP invocation while media travels the
+//!   stream path, exactly the split the paper prescribes.
+//! * [`qos`] — [`QosMonitor`]: per-flow delivery statistics (throughput,
+//!   loss by sequence gap, interarrival jitter EWMA) checked against the
+//!   declared [`FlowQos`]; violations are observable "events occurring
+//!   within the streams".
+//! * [`sync`] — [`SyncBuffer`]: timestamp alignment across flows
+//!   ("synchronization between streams of voice, video and data").
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod binding;
+pub mod endpoint;
+pub mod qos;
+pub mod stream;
+pub mod sync;
+
+pub use binding::{BindingTemplate, StreamBinding};
+pub use endpoint::{Frame, StreamEndpoint};
+pub use qos::{QosMonitor, QosReport};
+pub use stream::{FlowQos, FlowSpec};
+pub use sync::SyncBuffer;

@@ -1,0 +1,164 @@
+//! Per-flow quality-of-service monitoring.
+//!
+//! §7.2: *"It may be that the flows need to be controlled or that events
+//! occurring within the streams should be monitored."* The monitor observes
+//! what actually arrives — throughput, loss (sequence gaps), interarrival
+//! jitter (EWMA, after RFC 3550's estimator) — and compares it against the
+//! declared [`FlowQos`].
+
+use crate::stream::FlowQos;
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// A snapshot of observed flow quality.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QosReport {
+    /// Frames received.
+    pub received: u64,
+    /// Frames lost (sequence gaps).
+    pub lost: u64,
+    /// Smoothed interarrival jitter.
+    pub jitter: Duration,
+    /// Observed throughput in frames per second.
+    pub rate_fps: f64,
+    /// True if every constraint of the declared QoS currently holds.
+    pub within_qos: bool,
+}
+
+struct MonitorState {
+    expected_next: u64,
+    received: u64,
+    lost: u64,
+    last_arrival: Option<Instant>,
+    last_timestamp_us: Option<u64>,
+    /// RFC 3550 ¶6.4.1 jitter estimator, in microseconds.
+    jitter_us: f64,
+    started: Instant,
+}
+
+/// Observes one flow against its declared QoS.
+pub struct QosMonitor {
+    qos: FlowQos,
+    state: Mutex<MonitorState>,
+}
+
+impl QosMonitor {
+    /// Creates a monitor for a flow declared with `qos`.
+    #[must_use]
+    pub fn new(qos: FlowQos) -> Self {
+        Self {
+            qos,
+            state: Mutex::new(MonitorState {
+                expected_next: 0,
+                received: 0,
+                lost: 0,
+                last_arrival: None,
+                last_timestamp_us: None,
+                jitter_us: 0.0,
+                started: Instant::now(),
+            }),
+        }
+    }
+
+    /// Records the arrival of frame `seq` stamped `timestamp_us`.
+    pub fn record(&self, seq: u64, timestamp_us: u64) {
+        let now = Instant::now();
+        let mut s = self.state.lock();
+        s.received += 1;
+        if seq > s.expected_next {
+            s.lost += seq - s.expected_next;
+        }
+        s.expected_next = s.expected_next.max(seq + 1);
+        if let (Some(last_arrival), Some(last_ts)) = (s.last_arrival, s.last_timestamp_us) {
+            // Interarrival jitter: |(arrival spacing) - (timestamp spacing)|.
+            let arrival_us = now.duration_since(last_arrival).as_micros() as f64;
+            let media_us = timestamp_us.saturating_sub(last_ts) as f64;
+            let d = (arrival_us - media_us).abs();
+            s.jitter_us += (d - s.jitter_us) / 16.0;
+        }
+        s.last_arrival = Some(now);
+        s.last_timestamp_us = Some(timestamp_us);
+    }
+
+    /// Current report.
+    #[must_use]
+    pub fn report(&self) -> QosReport {
+        let s = self.state.lock();
+        let elapsed = s.started.elapsed().as_secs_f64().max(1e-9);
+        let jitter = Duration::from_micros(s.jitter_us as u64);
+        let total = s.received + s.lost;
+        let loss_per_mille = if total == 0 {
+            0
+        } else {
+            (s.lost * 1000 / total) as u32
+        };
+        QosReport {
+            received: s.received,
+            lost: s.lost,
+            jitter,
+            rate_fps: s.received as f64 / elapsed,
+            within_qos: jitter <= self.qos.max_jitter
+                && loss_per_mille <= self.qos.max_loss_per_mille,
+        }
+    }
+}
+
+impl std::fmt::Debug for QosMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QosMonitor").field("qos", &self.qos).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_gaps() {
+        let m = QosMonitor::new(FlowQos::default());
+        m.record(0, 0);
+        m.record(1, 40_000);
+        // Frames 2 and 3 lost.
+        m.record(4, 160_000);
+        let r = m.report();
+        assert_eq!(r.received, 3);
+        assert_eq!(r.lost, 2);
+    }
+
+    #[test]
+    fn duplicate_or_reordered_frames_do_not_underflow() {
+        let m = QosMonitor::new(FlowQos::default());
+        m.record(3, 0);
+        m.record(1, 0); // late frame: no panic, no negative loss
+        let r = m.report();
+        assert_eq!(r.received, 2);
+        assert_eq!(r.lost, 3);
+    }
+
+    #[test]
+    fn steady_flow_is_within_qos() {
+        let m = QosMonitor::new(FlowQos {
+            rate_fps: 1000,
+            max_jitter: Duration::from_millis(50),
+            max_loss_per_mille: 0,
+        });
+        for seq in 0..20 {
+            m.record(seq, seq * 1_000);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let r = m.report();
+        assert!(r.within_qos, "{r:?}");
+        assert_eq!(r.lost, 0);
+    }
+
+    #[test]
+    fn heavy_loss_violates_qos() {
+        let m = QosMonitor::new(FlowQos {
+            max_loss_per_mille: 100,
+            ..FlowQos::default()
+        });
+        m.record(0, 0);
+        m.record(9, 0); // 8 lost out of 10 ⇒ 800‰
+        assert!(!m.report().within_qos);
+    }
+}

@@ -1,0 +1,86 @@
+//! Stream interface types: flows and their quality of service.
+
+use std::time::Duration;
+
+/// Quality-of-service requirements of one flow (§7.2: "a stream is
+/// described in terms of its type and its quality of service
+/// requirements").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowQos {
+    /// Target frame rate (frames per second).
+    pub rate_fps: u32,
+    /// Maximum acceptable interarrival jitter.
+    pub max_jitter: Duration,
+    /// Maximum acceptable loss, in frames per thousand.
+    pub max_loss_per_mille: u32,
+}
+
+impl Default for FlowQos {
+    fn default() -> Self {
+        Self {
+            rate_fps: 25,
+            max_jitter: Duration::from_millis(20),
+            max_loss_per_mille: 10,
+        }
+    }
+}
+
+impl FlowQos {
+    /// The pacing interval implied by the target rate.
+    #[must_use]
+    pub fn frame_interval(&self) -> Duration {
+        Duration::from_secs(1) / self.rate_fps.max(1)
+    }
+}
+
+/// One typed flow within a stream interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowSpec {
+    /// Flow name within the binding template (e.g. `"video"`).
+    pub name: String,
+    /// Media type tag (e.g. `"video/h261"`, `"audio/pcm"`). Opaque to the
+    /// engineering; used by binding-time compatibility checks.
+    pub media: String,
+    /// Frame payload size in bytes (synthetic sources honour this).
+    pub frame_bytes: usize,
+    /// Quality of service.
+    pub qos: FlowQos,
+}
+
+impl FlowSpec {
+    /// Creates a flow spec.
+    #[must_use]
+    pub fn new<S1: Into<String>, S2: Into<String>>(
+        name: S1,
+        media: S2,
+        frame_bytes: usize,
+        qos: FlowQos,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            media: media.into(),
+            frame_bytes,
+            qos,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_interval_from_rate() {
+        let qos = FlowQos {
+            rate_fps: 50,
+            ..FlowQos::default()
+        };
+        assert_eq!(qos.frame_interval(), Duration::from_millis(20));
+        let zero = FlowQos {
+            rate_fps: 0,
+            ..FlowQos::default()
+        };
+        // Clamped to avoid division by zero.
+        assert_eq!(zero.frame_interval(), Duration::from_secs(1));
+    }
+}

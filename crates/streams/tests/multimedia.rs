@@ -1,0 +1,208 @@
+//! Integration tests: explicit stream bindings with control interfaces,
+//! QoS monitoring under network faults, and flow control over the wire.
+
+use odp_core::World;
+use odp_net::LinkConfig;
+use odp_streams::binding::{synthetic_source, BindingTemplate, TemplateFlow};
+use odp_streams::endpoint::stream_node;
+use odp_streams::{FlowQos, FlowSpec, StreamBinding, StreamEndpoint};
+use odp_wire::Value;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn wait_until(pred: impl Fn() -> bool, timeout: Duration) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if pred() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    pred()
+}
+
+fn flow(name: &str, fps: u32, frames: u64) -> TemplateFlow {
+    TemplateFlow {
+        spec: FlowSpec::new(
+            name,
+            "video/synthetic",
+            256,
+            FlowQos {
+                rate_fps: fps,
+                max_jitter: Duration::from_millis(50),
+                max_loss_per_mille: 200,
+            },
+        ),
+        source: synthetic_source(256, frames),
+        sink: None,
+    }
+}
+
+#[test]
+fn frames_flow_after_start_and_stop_halts_them() {
+    let world = World::builder().capsules(2).build();
+    let producer = StreamEndpoint::new(world.transport(), world.capsule(0).node()).unwrap();
+    let consumer = StreamEndpoint::new(world.transport(), world.capsule(1).node()).unwrap();
+    let binding = StreamBinding::establish(
+        BindingTemplate {
+            flows: vec![flow("video", 200, u64::MAX)],
+        },
+        &producer,
+        &consumer,
+        world.capsule(0),
+    );
+    // Nothing moves before start.
+    std::thread::sleep(Duration::from_millis(50));
+    assert_eq!(binding.produced(0), 0);
+    binding.start();
+    assert!(wait_until(
+        || binding.qos_report(0).is_some_and(|r| r.received > 20),
+        Duration::from_secs(5)
+    ));
+    binding.stop();
+    let after_stop = binding.qos_report(0).unwrap().received;
+    std::thread::sleep(Duration::from_millis(100));
+    assert!(binding.qos_report(0).unwrap().received <= after_stop + 1);
+}
+
+#[test]
+fn control_interface_is_an_ordinary_adt() {
+    let world = World::builder().capsules(2).build();
+    let producer = StreamEndpoint::new(world.transport(), world.capsule(0).node()).unwrap();
+    let consumer = StreamEndpoint::new(world.transport(), world.capsule(1).node()).unwrap();
+    let binding = StreamBinding::establish(
+        BindingTemplate {
+            flows: vec![flow("video", 200, u64::MAX)],
+        },
+        &producer,
+        &consumer,
+        world.capsule(0),
+    );
+    // Drive the binding entirely through remote invocations from the
+    // consumer capsule: stream control is just another ADT interface.
+    let control = world.capsule(1).bind(binding.control_ref());
+    control.interrogate("start", vec![]).unwrap();
+    assert!(wait_until(
+        || {
+            let out = control.interrogate("stats", vec![Value::Int(0)]).unwrap();
+            out.result()
+                .and_then(|r| r.field("received"))
+                .and_then(Value::as_int)
+                .unwrap_or(0)
+                > 10
+        },
+        Duration::from_secs(5)
+    ));
+    control.interrogate("pause", vec![]).unwrap();
+    let out = control.interrogate("stats", vec![Value::Int(5)]).unwrap();
+    assert_eq!(out.termination, "no_such_flow");
+    binding.stop();
+}
+
+#[test]
+fn set_rate_throttles_the_flow() {
+    let world = World::builder().capsules(2).build();
+    let producer = StreamEndpoint::new(world.transport(), world.capsule(0).node()).unwrap();
+    let consumer = StreamEndpoint::new(world.transport(), world.capsule(1).node()).unwrap();
+    let binding = StreamBinding::establish(
+        BindingTemplate {
+            flows: vec![flow("video", 400, u64::MAX)],
+        },
+        &producer,
+        &consumer,
+        world.capsule(0),
+    );
+    binding.start();
+    assert!(wait_until(|| binding.produced(0) > 30, Duration::from_secs(5)));
+    binding.set_rate(0, 20);
+    std::thread::sleep(Duration::from_millis(100));
+    let p1 = binding.produced(0);
+    std::thread::sleep(Duration::from_millis(500));
+    let p2 = binding.produced(0);
+    // ~20 fps ⇒ about 10 frames in 500 ms; allow generous slack.
+    assert!(p2 - p1 <= 30, "rate change ignored: {} frames in 500ms", p2 - p1);
+    binding.stop();
+}
+
+#[test]
+fn qos_monitor_sees_loss_on_a_lossy_link() {
+    let world = World::builder().capsules(2).build();
+    let producer = StreamEndpoint::new(world.transport(), world.capsule(0).node()).unwrap();
+    let consumer = StreamEndpoint::new(world.transport(), world.capsule(1).node()).unwrap();
+    // Inject 50% loss on the stream path (media is never retransmitted).
+    world.net().set_link(
+        stream_node(world.capsule(0).node()),
+        stream_node(world.capsule(1).node()),
+        LinkConfig::with_loss(0.5),
+    );
+    let binding = StreamBinding::establish(
+        BindingTemplate {
+            flows: vec![flow("video", 500, 200)],
+        },
+        &producer,
+        &consumer,
+        world.capsule(0),
+    );
+    binding.start();
+    assert!(wait_until(|| binding.produced(0) >= 200, Duration::from_secs(10)));
+    std::thread::sleep(Duration::from_millis(100));
+    let report = binding.qos_report(0).unwrap();
+    assert!(report.lost > 30, "{report:?}");
+    assert!(!report.within_qos, "50% loss must violate QoS: {report:?}");
+    binding.stop();
+}
+
+#[test]
+fn finite_sources_end_their_flow() {
+    let world = World::builder().capsules(2).build();
+    let producer = StreamEndpoint::new(world.transport(), world.capsule(0).node()).unwrap();
+    let consumer = StreamEndpoint::new(world.transport(), world.capsule(1).node()).unwrap();
+    let binding = StreamBinding::establish(
+        BindingTemplate {
+            flows: vec![flow("clip", 1000, 50)],
+        },
+        &producer,
+        &consumer,
+        world.capsule(0),
+    );
+    binding.start();
+    assert!(wait_until(|| binding.produced(0) == 50, Duration::from_secs(5)));
+    std::thread::sleep(Duration::from_millis(50));
+    assert_eq!(binding.produced(0), 50);
+    let report = binding.qos_report(0).unwrap();
+    assert_eq!(report.received + report.lost, 50);
+    binding.stop();
+}
+
+#[test]
+fn two_flow_binding_with_application_tap() {
+    let world = World::builder().capsules(2).build();
+    let producer = StreamEndpoint::new(world.transport(), world.capsule(0).node()).unwrap();
+    let consumer = StreamEndpoint::new(world.transport(), world.capsule(1).node()).unwrap();
+    let (tx, rx) = crossbeam::channel::unbounded();
+    let mut audio = flow("audio", 500, 40);
+    audio.sink = Some(odp_streams::endpoint::channel_sink(tx));
+    let binding = StreamBinding::establish(
+        BindingTemplate {
+            flows: vec![flow("video", 500, 40), audio],
+        },
+        &producer,
+        &consumer,
+        world.capsule(0),
+    );
+    binding.start();
+    // The application tap receives audio frames.
+    let mut audio_seen = 0;
+    while rx.recv_timeout(Duration::from_secs(5)).is_ok() {
+        audio_seen += 1;
+        if audio_seen == 40 {
+            break;
+        }
+    }
+    assert_eq!(audio_seen, 40);
+    assert!(wait_until(
+        || binding.qos_report(0).is_some_and(|r| r.received + r.lost >= 40),
+        Duration::from_secs(5)
+    ));
+    binding.stop();
+}

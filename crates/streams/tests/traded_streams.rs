@@ -1,0 +1,89 @@
+//! §7.2: *"A stream interface can be traded and passed in arguments and
+//! results just as an operations (i.e. ADT) interface."* The binding's
+//! control interface is an ordinary reference: here it is exported through
+//! a trader, imported by type, and driven by the importer.
+
+use odp_core::World;
+use odp_streams::binding::{control_interface_type, synthetic_source, BindingTemplate, TemplateFlow};
+use odp_streams::{FlowQos, FlowSpec, StreamBinding, StreamEndpoint};
+use odp_trading::trader::{template, Trader};
+use odp_trading::PropertyConstraint;
+use odp_wire::Value;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[test]
+fn stream_control_interfaces_are_tradeable() {
+    let world = World::builder().capsules(3).build();
+    let producer = StreamEndpoint::new(world.transport(), world.capsule(0).node()).unwrap();
+    let consumer = StreamEndpoint::new(world.transport(), world.capsule(1).node()).unwrap();
+    let binding = StreamBinding::establish(
+        BindingTemplate {
+            flows: vec![TemplateFlow {
+                spec: FlowSpec::new(
+                    "camera",
+                    "video/synthetic",
+                    512,
+                    FlowQos {
+                        rate_fps: 200,
+                        max_jitter: Duration::from_millis(50),
+                        max_loss_per_mille: 100,
+                    },
+                ),
+                source: synthetic_source(512, u64::MAX),
+                sink: None,
+            }],
+        },
+        &producer,
+        &consumer,
+        world.capsule(0),
+    );
+
+    // Offer the camera's control interface through a trader with QoS
+    // properties.
+    let trader = Arc::new(Trader::new());
+    trader.attach_capsule(world.capsule(0));
+    let mut props = BTreeMap::new();
+    props.insert("media".to_owned(), Value::str("video"));
+    props.insert("fps".to_owned(), Value::Int(200));
+    trader.export_offer(binding.control_ref(), props);
+    let trader_ref = world
+        .capsule(0)
+        .export(Arc::clone(&trader) as Arc<dyn odp_core::Servant>);
+
+    // A third party imports it by the control signature + QoS constraint.
+    let tb = world.capsule(2).bind(trader_ref);
+    let out = tb
+        .interrogate(
+            "import",
+            vec![
+                template(control_interface_type()),
+                PropertyConstraint::encode_all(&[PropertyConstraint::AtLeast("fps".into(), 100)]),
+                Value::Int(1),
+            ],
+        )
+        .unwrap();
+    assert_eq!(out.termination, "ok");
+    let control_ref = out.result().unwrap().as_seq().unwrap()[0]
+        .as_interface()
+        .unwrap()
+        .clone();
+
+    // The importer drives the stream it discovered.
+    let control = world.capsule(2).bind(control_ref);
+    control.interrogate("start", vec![]).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut received = 0;
+    while received < 10 && Instant::now() < deadline {
+        let out = control.interrogate("stats", vec![Value::Int(0)]).unwrap();
+        received = out
+            .result()
+            .and_then(|r| r.field("received"))
+            .and_then(Value::as_int)
+            .unwrap_or(0);
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(received >= 10, "traded stream never flowed");
+    binding.stop();
+}

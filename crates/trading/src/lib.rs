@@ -1,0 +1,46 @@
+//! # odp-trading — service trading and federated naming (§6 of the paper)
+//!
+//! *"Clients within an open distributed system need to be able to find out
+//! which services are offered by servers. … This process is called
+//! **trading**. Servers describe the services they provide (the types and
+//! properties of their interfaces) and the locations of each interface.
+//! Clients describe the type and desired properties of services they want
+//! to use to a trader, which in turn supplies the client with references to
+//! suitable servers."*
+//!
+//! The crate provides:
+//!
+//! * [`offer`] — [`ServiceOffer`]s: an interface reference plus qualifying
+//!   properties ("service offers can be qualified with properties to
+//!   distinguish them").
+//! * [`trader`] — the [`Trader`]: type-safe matching ("a client is only
+//!   told of service offers which provide at least the operations it
+//!   requires"), property constraints, an operation-name index that keeps
+//!   matching sub-linear in the number of offers (experiment E7), optional
+//!   [`TypeManager`](odp_types::TypeManager) constraints, and an optional [`ResourceLink`] so
+//!   importing an offer can activate a passive object ("it must be possible
+//!   to link offers to a resource manager which can take whatever actions
+//!   are required when the offer is selected").
+//! * [`federation`] — trader-to-trader links forming "inevitably an
+//!   arbitrary graph", traversed with hop limits and loop detection.
+//! * [`context_name`] — context-relative names: "names are potentially
+//!   ambiguous, since their meaning depends upon where they are
+//!   interpreted: there is no canonical root. The ambiguity can be overcome
+//!   by extending names with information about how to get back to their
+//!   defining context."
+//!
+//! The trader is itself an ODP object (a [`odp_core::Servant`]): it can be
+//! exported from a capsule and traded like anything else — self-description
+//! all the way down.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod context_name;
+pub mod federation;
+pub mod offer;
+pub mod trader;
+
+pub use context_name::ContextName;
+pub use offer::{OfferId, PropertyConstraint, ServiceOffer};
+pub use trader::{ResourceLink, Trader, TraderError};

@@ -1,0 +1,186 @@
+//! Integration tests: federated trading across capsules over the simulated
+//! network, with context-relative name traversal and loop protection.
+
+use odp_core::{Servant, World};
+use odp_trading::federation::import_path;
+use odp_trading::trader::{template, Trader};
+use odp_trading::{ContextName, PropertyConstraint, TraderError};
+use odp_types::signature::{InterfaceTypeBuilder, OutcomeSig};
+use odp_types::InterfaceType;
+use odp_wire::{InterfaceRef, Value};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn iface(ops: &[&str]) -> InterfaceType {
+    let mut b = InterfaceTypeBuilder::new();
+    for op in ops {
+        b = b.interrogation(*op, vec![], vec![OutcomeSig::ok(vec![])]);
+    }
+    b.build()
+}
+
+fn service(world: &World, capsule: usize, ops: &[&str]) -> InterfaceRef {
+    let ty = iface(ops);
+    let servant = odp_core::FnServant::new(ty, |_op, _args, _ctx| odp_core::Outcome::ok(vec![]));
+    world.capsule(capsule).export(Arc::new(servant))
+}
+
+/// Builds a world with three linked traders: A --"b"--> B --"c"--> C, and
+/// C --"a"--> A (a cycle).
+fn three_traders(world: &World) -> (Arc<Trader>, Arc<Trader>, Arc<Trader>) {
+    let ta = Arc::new(Trader::new());
+    let tb = Arc::new(Trader::new());
+    let tc = Arc::new(Trader::new());
+    ta.attach_capsule(world.capsule(0));
+    tb.attach_capsule(world.capsule(1));
+    tc.attach_capsule(world.capsule(2));
+    let ra = world.capsule(0).export(Arc::clone(&ta) as Arc<dyn Servant>);
+    let rb = world.capsule(1).export(Arc::clone(&tb) as Arc<dyn Servant>);
+    let rc = world.capsule(2).export(Arc::clone(&tc) as Arc<dyn Servant>);
+    ta.link("b", rb);
+    tb.link("c", rc);
+    tc.link("a", ra);
+    (ta, tb, tc)
+}
+
+#[test]
+fn local_import_through_empty_path() {
+    let world = World::builder().capsules(3).build();
+    let (ta, _tb, _tc) = three_traders(&world);
+    let svc = service(&world, 0, &["print"]);
+    ta.export_offer(svc, BTreeMap::new());
+    let found = import_path(&ta, &ContextName::here(), &iface(&["print"]), &[], 10, 8).unwrap();
+    assert_eq!(found.len(), 1);
+}
+
+#[test]
+fn one_hop_federated_import() {
+    let world = World::builder().capsules(3).build();
+    let (ta, tb, _tc) = three_traders(&world);
+    let svc = service(&world, 1, &["scan"]);
+    tb.export_offer(svc.clone(), BTreeMap::new());
+    let path: ContextName = "b".parse().unwrap();
+    let found = import_path(&ta, &path, &iface(&["scan"]), &[], 10, 8).unwrap();
+    assert_eq!(found.len(), 1);
+    assert_eq!(found[0].iface, svc.iface);
+}
+
+#[test]
+fn two_hop_federated_import_with_constraints() {
+    let world = World::builder().capsules(3).build();
+    let (ta, _tb, tc) = three_traders(&world);
+    let fast = service(&world, 2, &["print"]);
+    let slow = service(&world, 2, &["print"]);
+    tc.export_offer(fast.clone(), [("ppm".to_owned(), Value::Int(40))].into());
+    tc.export_offer(slow, [("ppm".to_owned(), Value::Int(4))].into());
+    let path: ContextName = "b/c".parse().unwrap();
+    let found = import_path(
+        &ta,
+        &path,
+        &iface(&["print"]),
+        &[PropertyConstraint::AtLeast("ppm".into(), 30)],
+        10,
+        8,
+    )
+    .unwrap();
+    assert_eq!(found.len(), 1);
+    assert_eq!(found[0].iface, fast.iface);
+}
+
+#[test]
+fn unknown_link_reported_with_name() {
+    let world = World::builder().capsules(3).build();
+    let (ta, _tb, _tc) = three_traders(&world);
+    let path: ContextName = "nowhere".parse().unwrap();
+    let err = import_path(&ta, &path, &iface(&["x"]), &[], 10, 8).unwrap_err();
+    assert_eq!(err, TraderError::UnknownLink("nowhere".to_owned()));
+    // Unknown link at a *remote* hop also surfaces.
+    let path: ContextName = "b/nowhere".parse().unwrap();
+    let err = import_path(&ta, &path, &iface(&["x"]), &[], 10, 8).unwrap_err();
+    assert_eq!(err, TraderError::UnknownLink("nowhere".to_owned()));
+}
+
+#[test]
+fn cycles_terminate_via_hop_budget() {
+    let world = World::builder().capsules(3).build();
+    let (ta, _tb, _tc) = three_traders(&world);
+    // a -> b -> c -> a -> b -> … : a path that cycles forever.
+    let path: ContextName = "b/c/a/b/c/a/b/c/a/b".parse().unwrap();
+    let err = import_path(&ta, &path, &iface(&["x"]), &[], 10, 4).unwrap_err();
+    assert_eq!(err, TraderError::HopLimit);
+}
+
+#[test]
+fn context_names_survive_border_crossing() {
+    // A name defined at trader C is exported to B (gaining ".."), then
+    // rebased at B against B's back-link to C. Resolving the rebased name
+    // from B must reach the same offers as resolving the original at C.
+    let world = World::builder().capsules(3).build();
+    let (_ta, tb, tc) = three_traders(&world);
+    // Give B a link back to C's context under the name it uses: "c".
+    let svc = service(&world, 2, &["archive"]);
+    tc.export_offer(svc.clone(), BTreeMap::new());
+    let defined_at_c = ContextName::here();
+    let wire_form = defined_at_c.exported();
+    let at_b = wire_form.rebase("c");
+    let found = import_path(&tb, &at_b, &iface(&["archive"]), &[], 10, 8).unwrap();
+    assert_eq!(found.len(), 1);
+    assert_eq!(found[0].iface, svc.iface);
+}
+
+#[test]
+fn trading_via_the_adt_interface_remotely() {
+    // A client capsule talks to a trader purely through invocations.
+    let world = World::builder().capsules(3).build();
+    let trader = Arc::new(Trader::new());
+    trader.attach_capsule(world.capsule(0));
+    let trader_ref = world.capsule(0).export(Arc::clone(&trader) as Arc<dyn Servant>);
+    let svc = service(&world, 0, &["compute"]);
+    let client = world.capsule(1).bind(trader_ref);
+    // Export an offer remotely.
+    let out = client
+        .interrogate(
+            "export_offer",
+            vec![Value::Interface(svc.clone()), Value::record([("tier", Value::Int(1))])],
+        )
+        .unwrap();
+    assert!(out.is_ok());
+    // Import it back.
+    let out = client
+        .interrogate(
+            "import",
+            vec![
+                template(iface(&["compute"])),
+                Value::record::<[_; 0], String>([]),
+                Value::Int(5),
+            ],
+        )
+        .unwrap();
+    assert_eq!(out.termination, "ok");
+    let refs = out.result().unwrap().as_seq().unwrap();
+    assert_eq!(refs.len(), 1);
+    assert_eq!(refs[0].as_interface().unwrap().iface, svc.iface);
+    // Withdraw by id.
+    let out = client.interrogate("withdraw", vec![Value::Int(1)]).unwrap();
+    assert!(out.is_ok());
+    let out = client.interrogate("withdraw", vec![Value::Int(1)]).unwrap();
+    assert_eq!(out.termination, "not_found");
+}
+
+#[test]
+fn list_links_over_the_wire() {
+    let world = World::builder().capsules(3).build();
+    let (ta, _tb, _tc) = three_traders(&world);
+    let ra = world.capsule(0).export(Arc::clone(&ta) as Arc<dyn Servant>);
+    let client = world.capsule(2).bind(ra);
+    let out = client.interrogate("list_links", vec![]).unwrap();
+    let names: Vec<_> = out
+        .result()
+        .unwrap()
+        .as_seq()
+        .unwrap()
+        .iter()
+        .filter_map(Value::as_str)
+        .collect();
+    assert_eq!(names, vec!["b"]);
+}

@@ -1,0 +1,48 @@
+//! # odp-tx — concurrency transparency: ACID transactions (§5.2)
+//!
+//! *"To mask the effects of overlapped execution it is necessary to augment
+//! the interaction model with the so-called 'ACID' properties, so that
+//! sequences of interactions can be treated as 'transactions'."*
+//!
+//! The paper's architecture maps onto the crate like this:
+//!
+//! * **"Separation constraints can be interpreted to automatically generate
+//!   a concurrency control manager which governs access to the ADT
+//!   interface being made atomic"** — a declarative
+//!   [`SeparationConstraint`] (which operations read, which write, over
+//!   which keys) is compiled by [`TxnRuntime::concurrency_layer`] into a
+//!   [`odp_core::ServerLayer`] installed at export time. Applications never
+//!   call lock primitives.
+//! * **"The concurrency control manager will also control the version
+//!   store for holding the intermediate results of transactions"** — the
+//!   generated layer snapshots an object's state (via
+//!   [`odp_core::Servant::snapshot`]) before a transaction's first write
+//!   and restores it on abort ([`runtime`]).
+//! * **"Additionally it will need to interact with a deadlock detector so
+//!   that applications do not hang indefinitely"** — the [`locks`] manager
+//!   maintains a wait-for graph ([`deadlock`]); a lock request that would
+//!   close a cycle aborts immediately, and a bounded lock wait handles
+//!   distributed deadlocks that no single node can see.
+//! * **Atomicity** ("all-or-nothing") across capsules uses two-phase commit
+//!   ([`coordinator`]): each participating capsule exports a transaction
+//!   control interface; the coordinator drives prepare/commit/abort over
+//!   ordinary ODP invocations. Ordering predicates ("consistency — …
+//!   ordering predicates with interfaces, where the predicate describes the
+//!   permitted sequences of invocations within a transaction") are checked
+//!   at prepare time and veto the commit.
+//!
+//! Durability is the province of `odp-storage` (checkpoints + logs); the
+//! integration point is the same snapshot interface.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod coordinator;
+pub mod deadlock;
+pub mod locks;
+pub mod runtime;
+
+pub use coordinator::{Txn, TxnError, TxnSystem};
+pub use deadlock::DeadlockDetector;
+pub use locks::{LockError, LockManager, LockMode};
+pub use runtime::{Access, SeparationConstraint, TxnRuntime};

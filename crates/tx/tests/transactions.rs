@@ -1,0 +1,358 @@
+//! Integration tests: ACID transactions over distributed bank accounts.
+
+use odp_core::{CallCtx, ExportConfig, Outcome, Servant, TransparencyPolicy, World};
+use odp_tx::{SeparationConstraint, Txn, TxnError, TxnSystem};
+use odp_types::signature::{InterfaceTypeBuilder, OutcomeSig};
+use odp_types::{InterfaceType, TypeSpec};
+use odp_wire::{InterfaceRef, Value};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Account {
+    balance: AtomicI64,
+}
+
+fn account_type() -> InterfaceType {
+    InterfaceTypeBuilder::new()
+        .interrogation("balance", vec![], vec![OutcomeSig::ok(vec![TypeSpec::Int])])
+        .interrogation("deposit", vec![TypeSpec::Int], vec![OutcomeSig::ok(vec![TypeSpec::Int])])
+        .interrogation(
+            "withdraw",
+            vec![TypeSpec::Int],
+            vec![
+                OutcomeSig::ok(vec![TypeSpec::Int]),
+                OutcomeSig::new("insufficient", vec![TypeSpec::Int]),
+            ],
+        )
+        .build()
+}
+
+impl Account {
+    fn with(balance: i64) -> Arc<Self> {
+        Arc::new(Self {
+            balance: AtomicI64::new(balance),
+        })
+    }
+}
+
+impl Servant for Account {
+    fn interface_type(&self) -> InterfaceType {
+        account_type()
+    }
+
+    fn dispatch(&self, op: &str, args: Vec<Value>, _ctx: &CallCtx) -> Outcome {
+        match op {
+            "balance" => Outcome::ok(vec![Value::Int(self.balance.load(Ordering::SeqCst))]),
+            "deposit" => {
+                let n = args[0].as_int().unwrap_or(0);
+                let new = self.balance.fetch_add(n, Ordering::SeqCst) + n;
+                Outcome::ok(vec![Value::Int(new)])
+            }
+            "withdraw" => {
+                let n = args[0].as_int().unwrap_or(0);
+                let current = self.balance.load(Ordering::SeqCst);
+                if current < n {
+                    Outcome::new("insufficient", vec![Value::Int(current)])
+                } else {
+                    let new = self.balance.fetch_sub(n, Ordering::SeqCst) - n;
+                    Outcome::ok(vec![Value::Int(new)])
+                }
+            }
+            _ => Outcome::fail("no such op"),
+        }
+    }
+
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        Some(self.balance.load(Ordering::SeqCst).to_be_bytes().to_vec())
+    }
+
+    fn restore(&self, snapshot: &[u8]) -> Result<(), String> {
+        let arr: [u8; 8] = snapshot.try_into().map_err(|_| "bad snapshot")?;
+        self.balance.store(i64::from_be_bytes(arr), Ordering::SeqCst);
+        Ok(())
+    }
+}
+
+/// World with two accounts on two capsules, both transaction-managed, plus
+/// a client capsule.
+struct Bank {
+    world: World,
+    system: Arc<TxnSystem>,
+    alice: InterfaceRef,
+    bob: InterfaceRef,
+    alice_servant: Arc<Account>,
+    bob_servant: Arc<Account>,
+}
+
+fn bank() -> Bank {
+    let world = World::builder().capsules(3).build();
+    let system = TxnSystem::new();
+    let rt0 = system.install_on_with(world.capsule(0), Duration::from_millis(500));
+    let rt1 = system.install_on_with(world.capsule(1), Duration::from_millis(500));
+    let alice_servant = Account::with(100);
+    let bob_servant = Account::with(100);
+    let alice = world.capsule(0).export_with(
+        Arc::clone(&alice_servant) as Arc<dyn Servant>,
+        ExportConfig {
+            layers: vec![rt0.concurrency_layer(
+                &(Arc::clone(&alice_servant) as Arc<dyn Servant>),
+                SeparationConstraint::readers(&["balance"]),
+            )],
+            ..ExportConfig::default()
+        },
+    );
+    let bob = world.capsule(1).export_with(
+        Arc::clone(&bob_servant) as Arc<dyn Servant>,
+        ExportConfig {
+            layers: vec![rt1.concurrency_layer(
+                &(Arc::clone(&bob_servant) as Arc<dyn Servant>),
+                SeparationConstraint::readers(&["balance"]),
+            )],
+            ..ExportConfig::default()
+        },
+    );
+    Bank {
+        world,
+        system,
+        alice,
+        bob,
+        alice_servant,
+        bob_servant,
+    }
+}
+
+fn transfer(bank: &Bank, txn: &Txn, amount: i64) -> Result<bool, TxnError> {
+    let client = bank.world.capsule(2);
+    let alice = client.bind(bank.alice.clone());
+    let bob = client.bind(bank.bob.clone());
+    let out = txn.call(&alice, "withdraw", vec![Value::Int(amount)])?;
+    if out.termination != "ok" {
+        return Ok(false);
+    }
+    txn.call(&bob, "deposit", vec![Value::Int(amount)])?;
+    Ok(true)
+}
+
+#[test]
+fn committed_transfer_moves_money() {
+    let b = bank();
+    let txn = b.system.begin(b.world.capsule(2));
+    assert!(transfer(&b, &txn, 30).unwrap());
+    txn.commit().unwrap();
+    assert_eq!(b.alice_servant.balance.load(Ordering::SeqCst), 70);
+    assert_eq!(b.bob_servant.balance.load(Ordering::SeqCst), 130);
+}
+
+#[test]
+fn aborted_transfer_rolls_back_both_sides() {
+    let b = bank();
+    let txn = b.system.begin(b.world.capsule(2));
+    assert!(transfer(&b, &txn, 30).unwrap());
+    // Provisional state is applied at the servants…
+    assert_eq!(b.alice_servant.balance.load(Ordering::SeqCst), 70);
+    txn.abort();
+    // …and fully undone by the version store on abort.
+    assert_eq!(b.alice_servant.balance.load(Ordering::SeqCst), 100);
+    assert_eq!(b.bob_servant.balance.load(Ordering::SeqCst), 100);
+}
+
+#[test]
+fn dropping_a_transaction_aborts_it() {
+    let b = bank();
+    {
+        let txn = b.system.begin(b.world.capsule(2));
+        assert!(transfer(&b, &txn, 30).unwrap());
+        // Dropped here without commit.
+    }
+    assert_eq!(b.alice_servant.balance.load(Ordering::SeqCst), 100);
+    assert_eq!(b.bob_servant.balance.load(Ordering::SeqCst), 100);
+}
+
+#[test]
+fn isolation_writer_blocks_conflicting_writer() {
+    let b = bank();
+    let txn1 = b.system.begin(b.world.capsule(2));
+    let client = b.world.capsule(2);
+    let alice = client.bind(b.alice.clone());
+    txn1.call(&alice, "withdraw", vec![Value::Int(10)]).unwrap();
+    // A second transaction's write must wait and then time out (500 ms
+    // lock bound) because txn1 holds the exclusive lock.
+    let txn2 = b.system.begin(b.world.capsule(2));
+    let err = txn2
+        .call(&alice, "deposit", vec![Value::Int(5)])
+        .unwrap_err();
+    assert!(matches!(err, TxnError::Aborted(_)), "{err:?}");
+    txn1.commit().unwrap();
+    assert_eq!(b.alice_servant.balance.load(Ordering::SeqCst), 90);
+}
+
+#[test]
+fn deadlock_is_broken_not_hung() {
+    let b = bank();
+    let b = Arc::new(b);
+    // txn1 locks alice then bob; txn2 locks bob then alice.
+    let txn1 = b.system.begin(b.world.capsule(2));
+    let txn2 = b.system.begin(b.world.capsule(2));
+    let client = b.world.capsule(2);
+    let alice = client.bind(b.alice.clone());
+    let bob = client.bind(b.bob.clone());
+    txn1.call(&alice, "withdraw", vec![Value::Int(1)]).unwrap();
+    txn2.call(&bob, "withdraw", vec![Value::Int(1)]).unwrap();
+    // Cross: both now request the other's lock. Locks live in *different*
+    // lock managers (different capsules), so the local detector cannot see
+    // the cycle — the bounded wait must break it.
+    let b2 = Arc::clone(&b);
+    let t = std::thread::spawn(move || {
+        let client = b2.world.capsule(2);
+        let bob = client.bind(b2.bob.clone());
+        txn1.call(&bob, "deposit", vec![Value::Int(1)]).map(|_| txn1)
+    });
+    let r2 = txn2.call(&alice, "deposit", vec![Value::Int(1)]);
+    let r1 = t.join().unwrap();
+    // At least one of the two must have been aborted.
+    let aborted = r1.is_err() as usize + r2.is_err() as usize;
+    assert!(aborted >= 1, "deadlock went undetected");
+    // Whatever survived can commit; money is conserved.
+    if let Ok(txn1) = r1 {
+        let _ = txn1.commit();
+    }
+    drop(r2);
+    drop(txn2);
+    std::thread::sleep(Duration::from_millis(50));
+    let total = b.alice_servant.balance.load(Ordering::SeqCst)
+        + b.bob_servant.balance.load(Ordering::SeqCst);
+    assert_eq!(total, 200, "money created or destroyed by deadlock handling");
+}
+
+#[test]
+fn local_deadlock_detected_immediately() {
+    // Two accounts on the SAME capsule share a lock manager: the wait-for
+    // graph sees the cycle instantly.
+    let world = World::builder().capsules(2).build();
+    let system = TxnSystem::new();
+    let rt = system.install_on_with(world.capsule(0), Duration::from_secs(10));
+    let a = Account::with(100);
+    let c = Account::with(100);
+    let export = |servant: &Arc<Account>| {
+        world.capsule(0).export_with(
+            Arc::clone(servant) as Arc<dyn Servant>,
+            ExportConfig {
+                layers: vec![rt.concurrency_layer(
+                    &(Arc::clone(servant) as Arc<dyn Servant>),
+                    SeparationConstraint::exclusive_all(),
+                )],
+                ..ExportConfig::default()
+            },
+        )
+    };
+    let ra = export(&a);
+    let rc = export(&c);
+    let txn1 = system.begin(world.capsule(1));
+    let txn2 = system.begin(world.capsule(1));
+    let ba = world.capsule(1).bind(ra);
+    let bc = world.capsule(1).bind(rc);
+    txn1.call(&ba, "deposit", vec![Value::Int(1)]).unwrap();
+    txn2.call(&bc, "deposit", vec![Value::Int(1)]).unwrap();
+    let start = std::time::Instant::now();
+    let world = Arc::new(world);
+    let w2 = Arc::clone(&world);
+    let bc2 = w2.capsule(1).bind(bc.target());
+    let t = std::thread::spawn(move || txn1.call(&bc2, "deposit", vec![Value::Int(1)]).map(|_| ()));
+    std::thread::sleep(Duration::from_millis(100));
+    let r2 = txn2.call(&ba, "deposit", vec![Value::Int(1)]);
+    // The second request closes the cycle in one lock manager: immediate
+    // deadlock abort, far faster than the 10 s wait bound.
+    assert!(matches!(r2, Err(TxnError::Aborted(_))), "{r2:?}");
+    assert!(start.elapsed() < Duration::from_secs(5));
+    drop(txn2);
+    let _ = t.join().unwrap();
+}
+
+#[test]
+fn ordering_predicate_vetoes_commit() {
+    // Policy: a transaction may not withdraw twice from the same account.
+    let world = World::builder().capsules(2).build();
+    let system = TxnSystem::new();
+    let rt = system.install_on(world.capsule(0));
+    let acct = Account::with(100);
+    let constraint = SeparationConstraint::readers(&["balance"]).with_ordering(Arc::new(|ops| {
+        ops.iter().filter(|o| o.as_str() == "withdraw").count() <= 1
+    }));
+    let r = world.capsule(0).export_with(
+        Arc::clone(&acct) as Arc<dyn Servant>,
+        ExportConfig {
+            layers: vec![rt.concurrency_layer(&(Arc::clone(&acct) as Arc<dyn Servant>), constraint)],
+            ..ExportConfig::default()
+        },
+    );
+    let binding = world.capsule(1).bind(r);
+    let txn = system.begin(world.capsule(1));
+    txn.call(&binding, "withdraw", vec![Value::Int(10)]).unwrap();
+    txn.call(&binding, "withdraw", vec![Value::Int(10)]).unwrap();
+    let err = txn.commit().unwrap_err();
+    assert!(matches!(err, TxnError::VoteNo(_)), "{err:?}");
+    // The veto aborted the transaction: state restored.
+    assert_eq!(acct.balance.load(Ordering::SeqCst), 100);
+}
+
+#[test]
+fn non_transactional_calls_serialize_via_autocommit() {
+    let b = bank();
+    let client = b.world.capsule(2);
+    let alice = client.bind(b.alice.clone());
+    for _ in 0..10 {
+        alice.interrogate("deposit", vec![Value::Int(1)]).unwrap();
+    }
+    assert_eq!(b.alice_servant.balance.load(Ordering::SeqCst), 110);
+    // And they conflict correctly with real transactions.
+    let txn = b.system.begin(b.world.capsule(2));
+    txn.call(&alice, "withdraw", vec![Value::Int(5)]).unwrap();
+    let err = alice.interrogate("deposit", vec![Value::Int(1)]).unwrap_err();
+    assert!(matches!(err, odp_core::InvokeError::Aborted(_)), "{err:?}");
+    txn.commit().unwrap();
+    assert_eq!(b.alice_servant.balance.load(Ordering::SeqCst), 105);
+}
+
+#[test]
+fn concurrent_transfers_conserve_money() {
+    let b = Arc::new(bank());
+    let total_before = 200;
+    std::thread::scope(|s| {
+        for i in 0..4i64 {
+            let b = Arc::clone(&b);
+            s.spawn(move || {
+                for j in 0..5 {
+                    let txn = b.system.begin(b.world.capsule(2));
+                    let amount = 1 + (i + j) % 3;
+                    match transfer(&b, &txn, amount) {
+                        Ok(true) => {
+                            let _ = txn.commit();
+                        }
+                        Ok(false) => txn.abort(),
+                        Err(_) => { /* aborted by conflict: fine */ }
+                    }
+                }
+            });
+        }
+    });
+    // Whatever committed, money is conserved.
+    std::thread::sleep(Duration::from_millis(100));
+    let total = b.alice_servant.balance.load(Ordering::SeqCst)
+        + b.bob_servant.balance.load(Ordering::SeqCst);
+    assert_eq!(total, total_before);
+}
+
+#[test]
+fn read_only_transactions_share_locks() {
+    let b = bank();
+    let client = b.world.capsule(2);
+    let alice = client.bind(b.alice.clone());
+    let txn1 = b.system.begin(b.world.capsule(2));
+    let txn2 = b.system.begin(b.world.capsule(2));
+    // Both read concurrently without conflict.
+    assert!(txn1.call(&alice, "balance", vec![]).unwrap().is_ok());
+    assert!(txn2.call(&alice, "balance", vec![]).unwrap().is_ok());
+    txn1.commit().unwrap();
+    txn2.commit().unwrap();
+}

@@ -1,0 +1,369 @@
+//! Structural signature conformance ("signature checking").
+//!
+//! §5.1 of the paper: *"For access to be type-safe, there must be prior
+//! agreement that the client activity is requesting an operation provided by
+//! the server interface. This places a requirement for type checking to be
+//! based on interface signature checking: if the interface type includes the
+//! operations required by the client (with appropriate arguments and
+//! outcomes) it is suitable."*
+//!
+//! The rules implemented here form a standard structural-subtyping relation
+//! `provided ⊑ required`:
+//!
+//! * the provided interface must contain **every operation** of the required
+//!   interface, matched by name and kind (extra operations are fine — this
+//!   is what lets services evolve without breaking old clients);
+//! * **parameters are contravariant**: the provided operation must accept at
+//!   least the values a client of the required signature may send;
+//! * **outcomes are covariant with containment reversed**: every termination
+//!   the provider may return must be one the client declared it can handle,
+//!   and each result the provider sends must conform to the type the client
+//!   expects.
+//!
+//! Failures are reported with a *path* so that tooling (the trader, the
+//! binder, the federation translator) can explain exactly which operation,
+//! parameter or outcome failed — self-description is what makes federated
+//! systems debuggable.
+
+use crate::signature::{InterfaceType, OperationKind, TypeSpec};
+use std::fmt;
+
+/// Why one signature fails to conform to another.
+#[derive(Clone, PartialEq, Eq)]
+pub enum ConformanceError {
+    /// The required operation is absent from the provided interface.
+    MissingOperation {
+        /// Name of the missing operation.
+        operation: String,
+    },
+    /// The operation exists but is an announcement where an interrogation
+    /// was required, or vice versa.
+    KindMismatch {
+        /// Operation whose kind differs.
+        operation: String,
+        /// Kind in the required signature.
+        required: OperationKind,
+        /// Kind in the provided signature.
+        provided: OperationKind,
+    },
+    /// Parameter lists have different lengths.
+    ParamCountMismatch {
+        /// Operation at fault.
+        operation: String,
+        /// Required parameter count.
+        required: usize,
+        /// Provided parameter count.
+        provided: usize,
+    },
+    /// A parameter type does not conform (contravariant check failed).
+    ParamMismatch {
+        /// Operation at fault.
+        operation: String,
+        /// Zero-based parameter index.
+        index: usize,
+        /// Human-readable description of the two specs.
+        detail: String,
+    },
+    /// The provider declares a termination the client did not list.
+    UnexpectedOutcome {
+        /// Operation at fault.
+        operation: String,
+        /// Name of the surplus termination.
+        outcome: String,
+    },
+    /// An outcome's result package does not conform (covariant check
+    /// failed) or has the wrong arity.
+    OutcomeMismatch {
+        /// Operation at fault.
+        operation: String,
+        /// Termination at fault.
+        outcome: String,
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Debug for ConformanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConformanceError::MissingOperation { operation } => {
+                write!(f, "missing operation `{operation}`")
+            }
+            ConformanceError::KindMismatch {
+                operation,
+                required,
+                provided,
+            } => write!(
+                f,
+                "operation `{operation}` is {provided:?} but {required:?} required"
+            ),
+            ConformanceError::ParamCountMismatch {
+                operation,
+                required,
+                provided,
+            } => write!(
+                f,
+                "operation `{operation}` takes {provided} params, {required} required"
+            ),
+            ConformanceError::ParamMismatch {
+                operation,
+                index,
+                detail,
+            } => write!(f, "operation `{operation}` param {index}: {detail}"),
+            ConformanceError::UnexpectedOutcome { operation, outcome } => write!(
+                f,
+                "operation `{operation}` may terminate with `{outcome}` which the client does not handle"
+            ),
+            ConformanceError::OutcomeMismatch {
+                operation,
+                outcome,
+                detail,
+            } => write!(f, "operation `{operation}` outcome `{outcome}`: {detail}"),
+        }
+    }
+}
+
+impl fmt::Display for ConformanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl std::error::Error for ConformanceError {}
+
+/// Checks whether `provided ⊑ required`: a server exporting `provided` can
+/// safely serve a client programmed against `required`.
+///
+/// # Errors
+///
+/// Returns the first [`ConformanceError`] found, in operation-name order.
+pub fn conforms(provided: &InterfaceType, required: &InterfaceType) -> Result<(), ConformanceError> {
+    for req_op in required.operations() {
+        let prov_op = provided
+            .operation(&req_op.name)
+            .ok_or_else(|| ConformanceError::MissingOperation {
+                operation: req_op.name.clone(),
+            })?;
+        if prov_op.kind != req_op.kind {
+            return Err(ConformanceError::KindMismatch {
+                operation: req_op.name.clone(),
+                required: req_op.kind,
+                provided: prov_op.kind,
+            });
+        }
+        if prov_op.params.len() != req_op.params.len() {
+            return Err(ConformanceError::ParamCountMismatch {
+                operation: req_op.name.clone(),
+                required: req_op.params.len(),
+                provided: prov_op.params.len(),
+            });
+        }
+        // Contravariance: anything a `required`-typed client sends must be
+        // acceptable to the provider.
+        for (i, (req_p, prov_p)) in req_op.params.iter().zip(&prov_op.params).enumerate() {
+            if !spec_conforms(req_p, prov_p) {
+                return Err(ConformanceError::ParamMismatch {
+                    operation: req_op.name.clone(),
+                    index: i,
+                    detail: format!("client sends {req_p:?}, provider accepts {prov_p:?}"),
+                });
+            }
+        }
+        // Every termination the provider may produce must be handled by the
+        // client, with covariant result packages.
+        for prov_out in &prov_op.outcomes {
+            let req_out = req_op.outcome(&prov_out.name).ok_or_else(|| {
+                ConformanceError::UnexpectedOutcome {
+                    operation: req_op.name.clone(),
+                    outcome: prov_out.name.clone(),
+                }
+            })?;
+            if prov_out.results.len() != req_out.results.len() {
+                return Err(ConformanceError::OutcomeMismatch {
+                    operation: req_op.name.clone(),
+                    outcome: prov_out.name.clone(),
+                    detail: format!(
+                        "provider returns {} results, client expects {}",
+                        prov_out.results.len(),
+                        req_out.results.len()
+                    ),
+                });
+            }
+            for (i, (prov_r, req_r)) in prov_out.results.iter().zip(&req_out.results).enumerate() {
+                if !spec_conforms(prov_r, req_r) {
+                    return Err(ConformanceError::OutcomeMismatch {
+                        operation: req_op.name.clone(),
+                        outcome: prov_out.name.clone(),
+                        detail: format!(
+                            "result {i}: provider sends {prov_r:?}, client expects {req_r:?}"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Value-level spec conformance: can a value described by `value_spec` be
+/// used where `expected` is declared?
+///
+/// `Any` accepts everything; interface positions recurse into signature
+/// conformance (width and depth subtyping); sequences are covariant; records
+/// use width subtyping (extra fields in the value are permitted — a
+/// federated peer may know more about a record than we do).
+#[must_use]
+pub fn spec_conforms(value_spec: &TypeSpec, expected: &TypeSpec) -> bool {
+    match (value_spec, expected) {
+        (_, TypeSpec::Any) => true,
+        (TypeSpec::Unit, TypeSpec::Unit)
+        | (TypeSpec::Bool, TypeSpec::Bool)
+        | (TypeSpec::Int, TypeSpec::Int)
+        | (TypeSpec::Float, TypeSpec::Float)
+        | (TypeSpec::Str, TypeSpec::Str)
+        | (TypeSpec::Bytes, TypeSpec::Bytes) => true,
+        (TypeSpec::Seq(v), TypeSpec::Seq(e)) => spec_conforms(v, e),
+        (TypeSpec::Record(vf), TypeSpec::Record(ef)) => ef.iter().all(|(name, ety)| {
+            vf.iter()
+                .any(|(vname, vty)| vname == name && spec_conforms(vty, ety))
+        }),
+        (TypeSpec::Interface(v), TypeSpec::Interface(e)) => conforms(v, e).is_ok(),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::{InterfaceTypeBuilder, OutcomeSig};
+
+    fn iface(ops: &[(&str, Vec<TypeSpec>, Vec<OutcomeSig>)]) -> InterfaceType {
+        let mut b = InterfaceTypeBuilder::new();
+        for (name, params, outs) in ops {
+            b = b.interrogation(*name, params.clone(), outs.clone());
+        }
+        b.build()
+    }
+
+    #[test]
+    fn reflexive() {
+        let t = iface(&[("f", vec![TypeSpec::Int], vec![OutcomeSig::ok(vec![TypeSpec::Str])])]);
+        assert!(conforms(&t, &t).is_ok());
+    }
+
+    #[test]
+    fn width_subtyping_extra_ops_allowed() {
+        let small = iface(&[("f", vec![], vec![OutcomeSig::ok(vec![])])]);
+        let big = iface(&[
+            ("f", vec![], vec![OutcomeSig::ok(vec![])]),
+            ("g", vec![], vec![OutcomeSig::ok(vec![])]),
+        ]);
+        assert!(conforms(&big, &small).is_ok());
+        assert!(matches!(
+            conforms(&small, &big),
+            Err(ConformanceError::MissingOperation { .. })
+        ));
+    }
+
+    #[test]
+    fn everything_conforms_to_empty() {
+        let t = iface(&[("f", vec![], vec![])]);
+        assert!(conforms(&t, &InterfaceType::empty()).is_ok());
+    }
+
+    #[test]
+    fn provider_with_fewer_outcomes_is_safe() {
+        // Client handles ok + fail; provider only ever returns ok.
+        let required = iface(&[(
+            "f",
+            vec![],
+            vec![OutcomeSig::ok(vec![]), OutcomeSig::new("fail", vec![TypeSpec::Str])],
+        )]);
+        let provided = iface(&[("f", vec![], vec![OutcomeSig::ok(vec![])])]);
+        assert!(conforms(&provided, &required).is_ok());
+        // The reverse is unsafe: provider may return `fail` unhandled.
+        assert!(matches!(
+            conforms(&required, &provided),
+            Err(ConformanceError::UnexpectedOutcome { .. })
+        ));
+    }
+
+    #[test]
+    fn param_contravariance_via_any() {
+        // Provider accepting Any serves a client sending Int…
+        let required = iface(&[("f", vec![TypeSpec::Int], vec![])]);
+        let provided = iface(&[("f", vec![TypeSpec::Any], vec![])]);
+        assert!(conforms(&provided, &required).is_ok());
+        // …but a provider demanding Int cannot serve a client sending Any.
+        assert!(matches!(
+            conforms(&required, &provided),
+            Err(ConformanceError::ParamMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn outcome_result_covariance() {
+        let required = iface(&[("f", vec![], vec![OutcomeSig::ok(vec![TypeSpec::Any])])]);
+        let provided = iface(&[("f", vec![], vec![OutcomeSig::ok(vec![TypeSpec::Int])])]);
+        assert!(conforms(&provided, &required).is_ok());
+        assert!(matches!(
+            conforms(&required, &provided),
+            Err(ConformanceError::OutcomeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn record_width_subtyping() {
+        let narrow = TypeSpec::record([("x", TypeSpec::Int)]);
+        let wide = TypeSpec::record([("x", TypeSpec::Int), ("y", TypeSpec::Str)]);
+        assert!(spec_conforms(&wide, &narrow));
+        assert!(!spec_conforms(&narrow, &wide));
+    }
+
+    #[test]
+    fn nested_interface_positions_recurse() {
+        let inner_small = iface(&[("ping", vec![], vec![OutcomeSig::ok(vec![])])]);
+        let inner_big = iface(&[
+            ("ping", vec![], vec![OutcomeSig::ok(vec![])]),
+            ("pong", vec![], vec![OutcomeSig::ok(vec![])]),
+        ]);
+        // Result positions: covariant.
+        let required = iface(&[(
+            "get",
+            vec![],
+            vec![OutcomeSig::ok(vec![TypeSpec::interface(inner_small.clone())])],
+        )]);
+        let provided = iface(&[(
+            "get",
+            vec![],
+            vec![OutcomeSig::ok(vec![TypeSpec::interface(inner_big.clone())])],
+        )]);
+        assert!(conforms(&provided, &required).is_ok());
+        assert!(conforms(&required, &provided).is_err());
+    }
+
+    #[test]
+    fn kind_and_arity_mismatches_reported() {
+        let required = iface(&[("f", vec![TypeSpec::Int], vec![])]);
+        let provided_wrong_arity = iface(&[("f", vec![TypeSpec::Int, TypeSpec::Int], vec![])]);
+        assert!(matches!(
+            conforms(&provided_wrong_arity, &required),
+            Err(ConformanceError::ParamCountMismatch { .. })
+        ));
+        let provided_ann = InterfaceTypeBuilder::new()
+            .announcement("f", vec![TypeSpec::Int])
+            .build();
+        assert!(matches!(
+            conforms(&provided_ann, &required),
+            Err(ConformanceError::KindMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_display_helpfully() {
+        let e = ConformanceError::MissingOperation {
+            operation: "withdraw".into(),
+        };
+        assert!(e.to_string().contains("withdraw"));
+    }
+}

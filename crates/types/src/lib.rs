@@ -1,0 +1,38 @@
+//! # odp-types — the ODP computational type system
+//!
+//! This crate implements the type layer of the ODP computational language as
+//! described in *The Challenge of ODP* (Herbert, 1991):
+//!
+//! * **Interface signatures** (`[`signature`]`): an interface is a set of
+//!   named operations; each operation has parameter types and a *range of
+//!   possible outcomes* (terminations), "each one of which carries its own
+//!   package of results" (§5.1 of the paper).
+//! * **Structural conformance** (`[`conformance`]`): the paper requires that
+//!   "type checking be based on interface signature checking: if the
+//!   interface type includes the operations required by the client (with
+//!   appropriate arguments and outcomes) it is suitable", explicitly
+//!   rejecting named type hierarchies because "this fails to meet the
+//!   requirements for federation and evolution".
+//! * **A type manager** (`[`type_manager`]`): traders "need access to
+//!   descriptions of the types of the services" and the type manager "can
+//!   impose additional constraints on type matching beyond those implied by
+//!   the type system".
+//! * **Identifiers** (`[`ids`]`): opaque identifiers for nodes, interfaces,
+//!   domains, groups and protocols used throughout the engineering model.
+//!
+//! The crate is deliberately free of any engineering (transport, threading)
+//! concern: it is the part of the platform a stub compiler would share with
+//! the runtime.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod conformance;
+pub mod ids;
+pub mod signature;
+pub mod type_manager;
+
+pub use conformance::{conforms, ConformanceError};
+pub use ids::{DomainId, GroupId, InterfaceId, NodeId, ProtocolId, StreamId, TxnId};
+pub use signature::{InterfaceType, OperationKind, OperationSig, OutcomeSig, TypeSpec};
+pub use type_manager::{TypeManager, TypeManagerError};

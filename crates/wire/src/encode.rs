@@ -1,0 +1,286 @@
+//! Encoding half of the network data representation.
+//!
+//! The format is byte-order independent (LEB128 varints, zigzag for signed
+//! integers, explicit little-endian for floats) and self-describing: every
+//! value is preceded by a tag byte, and interface references embed their
+//! full structural signature. Self-description is what lets a receiving
+//! domain type-check a payload it has never seen a schema for — the paper's
+//! "self-describing systems are more open-ended and scale better" (§6).
+
+use crate::ifref::InterfaceRef;
+use crate::value::Value;
+use bytes::{BufMut, BytesMut};
+use odp_types::{InterfaceType, OperationKind, OperationSig, OutcomeSig, TypeSpec};
+
+/// Value tags. `u8` on the wire.
+pub(crate) mod tag {
+    pub const UNIT: u8 = 0x00;
+    pub const BOOL: u8 = 0x01;
+    pub const INT: u8 = 0x02;
+    pub const FLOAT: u8 = 0x03;
+    pub const STR: u8 = 0x04;
+    pub const BYTES: u8 = 0x05;
+    pub const SEQ: u8 = 0x06;
+    pub const RECORD: u8 = 0x07;
+    pub const IFREF: u8 = 0x08;
+}
+
+/// Type-spec tags.
+pub(crate) mod spec_tag {
+    pub const UNIT: u8 = 0x00;
+    pub const BOOL: u8 = 0x01;
+    pub const INT: u8 = 0x02;
+    pub const FLOAT: u8 = 0x03;
+    pub const STR: u8 = 0x04;
+    pub const BYTES: u8 = 0x05;
+    pub const SEQ: u8 = 0x06;
+    pub const RECORD: u8 = 0x07;
+    pub const INTERFACE: u8 = 0x08;
+    pub const ANY: u8 = 0x09;
+}
+
+/// Appends an unsigned LEB128 varint.
+pub fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Appends a zigzag-encoded signed varint.
+pub fn put_signed(buf: &mut BytesMut, v: i64) {
+    put_varint(buf, zigzag(v));
+}
+
+/// Zigzag-encodes a signed integer.
+#[must_use]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverts [`zigzag`].
+#[must_use]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    put_varint(buf, s.len() as u64);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Encodes one [`Value`] (tag + body) into `buf`.
+pub fn encode_value(buf: &mut BytesMut, value: &Value) {
+    match value {
+        Value::Unit => buf.put_u8(tag::UNIT),
+        Value::Bool(b) => {
+            buf.put_u8(tag::BOOL);
+            buf.put_u8(u8::from(*b));
+        }
+        Value::Int(i) => {
+            buf.put_u8(tag::INT);
+            put_signed(buf, *i);
+        }
+        Value::Float(x) => {
+            buf.put_u8(tag::FLOAT);
+            buf.put_u64_le(x.to_bits());
+        }
+        Value::Str(s) => {
+            buf.put_u8(tag::STR);
+            put_str(buf, s);
+        }
+        Value::Bytes(b) => {
+            buf.put_u8(tag::BYTES);
+            put_varint(buf, b.len() as u64);
+            buf.extend_from_slice(b);
+        }
+        Value::Seq(items) => {
+            buf.put_u8(tag::SEQ);
+            put_varint(buf, items.len() as u64);
+            for item in items {
+                encode_value(buf, item);
+            }
+        }
+        Value::Record(fields) => {
+            buf.put_u8(tag::RECORD);
+            put_varint(buf, fields.len() as u64);
+            for (name, v) in fields {
+                put_str(buf, name);
+                encode_value(buf, v);
+            }
+        }
+        Value::Interface(r) => {
+            buf.put_u8(tag::IFREF);
+            encode_interface_ref(buf, r);
+        }
+    }
+}
+
+/// Encodes an [`InterfaceRef`] body (no tag).
+pub fn encode_interface_ref(buf: &mut BytesMut, r: &InterfaceRef) {
+    put_varint(buf, r.iface.raw());
+    put_varint(buf, r.home.raw());
+    put_varint(buf, r.epoch);
+    put_varint(buf, r.protocols.len() as u64);
+    for p in &r.protocols {
+        put_varint(buf, p.raw());
+    }
+    match r.relocator {
+        Some(n) => {
+            buf.put_u8(1);
+            put_varint(buf, n.raw());
+        }
+        None => buf.put_u8(0),
+    }
+    match r.group {
+        Some(g) => {
+            buf.put_u8(1);
+            put_varint(buf, g.raw());
+        }
+        None => buf.put_u8(0),
+    }
+    encode_interface_type(buf, &r.ty);
+}
+
+/// Encodes an [`InterfaceType`] (operation list).
+pub fn encode_interface_type(buf: &mut BytesMut, ty: &InterfaceType) {
+    let ops = ty.operations();
+    put_varint(buf, ops.len() as u64);
+    for op in ops {
+        encode_operation(buf, op);
+    }
+}
+
+fn encode_operation(buf: &mut BytesMut, op: &OperationSig) {
+    put_str(buf, &op.name);
+    buf.put_u8(match op.kind {
+        OperationKind::Interrogation => 0,
+        OperationKind::Announcement => 1,
+    });
+    put_varint(buf, op.params.len() as u64);
+    for p in &op.params {
+        encode_type_spec(buf, p);
+    }
+    put_varint(buf, op.outcomes.len() as u64);
+    for o in &op.outcomes {
+        encode_outcome(buf, o);
+    }
+}
+
+fn encode_outcome(buf: &mut BytesMut, o: &OutcomeSig) {
+    put_str(buf, &o.name);
+    put_varint(buf, o.results.len() as u64);
+    for r in &o.results {
+        encode_type_spec(buf, r);
+    }
+}
+
+/// Encodes a [`TypeSpec`] (tag + body).
+pub fn encode_type_spec(buf: &mut BytesMut, spec: &TypeSpec) {
+    match spec {
+        TypeSpec::Unit => buf.put_u8(spec_tag::UNIT),
+        TypeSpec::Bool => buf.put_u8(spec_tag::BOOL),
+        TypeSpec::Int => buf.put_u8(spec_tag::INT),
+        TypeSpec::Float => buf.put_u8(spec_tag::FLOAT),
+        TypeSpec::Str => buf.put_u8(spec_tag::STR),
+        TypeSpec::Bytes => buf.put_u8(spec_tag::BYTES),
+        TypeSpec::Seq(elem) => {
+            buf.put_u8(spec_tag::SEQ);
+            encode_type_spec(buf, elem);
+        }
+        TypeSpec::Record(fields) => {
+            buf.put_u8(spec_tag::RECORD);
+            put_varint(buf, fields.len() as u64);
+            for (n, t) in fields {
+                put_str(buf, n);
+                encode_type_spec(buf, t);
+            }
+        }
+        TypeSpec::Interface(ty) => {
+            buf.put_u8(spec_tag::INTERFACE);
+            encode_interface_type(buf, ty);
+        }
+        TypeSpec::Any => buf.put_u8(spec_tag::ANY),
+    }
+}
+
+/// Upper bound on the encoded size of a value (used for buffer
+/// pre-allocation; exact for everything except varints, which it
+/// over-estimates at their 10-byte maximum).
+#[must_use]
+pub fn encoded_len(value: &Value) -> usize {
+    match value {
+        Value::Unit => 1,
+        Value::Bool(_) => 2,
+        Value::Int(_) => 11,
+        Value::Float(_) => 9,
+        Value::Str(s) => 11 + s.len(),
+        Value::Bytes(b) => 11 + b.len(),
+        Value::Seq(items) => 11 + items.iter().map(encoded_len).sum::<usize>(),
+        Value::Record(fields) => {
+            11 + fields
+                .iter()
+                .map(|(n, v)| 10 + n.len() + encoded_len(v))
+                .sum::<usize>()
+        }
+        // Signatures dominate; estimate conservatively.
+        Value::Interface(r) => 64 + 32 * r.ty.operations().len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_boundaries() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u64::MAX] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            if v < 128 {
+                assert_eq!(buf.len(), 1);
+            }
+            assert!(buf.len() <= 10);
+        }
+    }
+
+    #[test]
+    fn zigzag_round_trip() {
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX, -123456789] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        // Small magnitudes stay small.
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+
+    #[test]
+    fn encoded_len_is_an_upper_bound() {
+        let values = [
+            Value::Unit,
+            Value::Bool(true),
+            Value::Int(i64::MIN),
+            Value::Float(std::f64::consts::PI),
+            Value::str("hello world"),
+            Value::bytes(vec![0u8; 100]),
+            Value::from(vec![1i64, 2, 3]),
+            Value::record([("a", Value::Int(1)), ("b", Value::str("x"))]),
+        ];
+        for v in values {
+            let mut buf = BytesMut::new();
+            encode_value(&mut buf, &v);
+            assert!(
+                buf.len() <= encoded_len(&v),
+                "{v:?}: {} > {}",
+                buf.len(),
+                encoded_len(&v)
+            );
+        }
+    }
+}

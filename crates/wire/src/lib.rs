@@ -1,0 +1,109 @@
+//! # odp-wire — network data representation and marshalling
+//!
+//! §5.1 of *The Challenge of ODP*: *"From a description of the signatures of
+//! the operations in an interface, a compiler can automatically generate
+//! code to marshal data from the local representation format to a network
+//! format and vice versa."* This crate is that network format and the
+//! marshalling engine, written by hand because a portable, self-describing
+//! representation is part of the paper's contribution (access transparency
+//! must "mask any differences in representation").
+//!
+//! * [`value`] — the dynamic [`Value`] model: every argument or result of an
+//!   ODP invocation is a `Value`. Constant-state ADTs (integers, strings,
+//!   records of them…) are carried **by copy**, the optimization §4.5 of the
+//!   paper justifies ("objects which have constant state can be copied
+//!   without breaking computational semantics"); mutable ADTs are carried as
+//!   **interface references** ([`InterfaceRef`]).
+//! * [`ifref`] — interface references: the distribution-transparent
+//!   "pointers" of the computational model, carrying identity, a location
+//!   hint with an epoch, the full structural signature, the protocols the
+//!   interface speaks, and an optional relocator and group (§5.4).
+//! * [`encode`] / [`decode`] — a compact, self-describing, byte-order-
+//!   independent binary encoding (LEB128 varints, length-prefixed strings)
+//!   with hardened decoding: depth limits and length sanity checks so a
+//!   malformed or hostile peer cannot crash a capsule.
+//! * [`typecheck`] — runtime checking of values against [`TypeSpec`]s, the
+//!   dynamic half of the signature type system.
+//!
+//! The encoding is versioned by a leading format byte so that "the new and
+//! the old components will be required to interwork" (§2) across upgrades.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod decode;
+pub mod encode;
+pub mod ifref;
+pub mod typecheck;
+pub mod value;
+
+pub use decode::{decode_interface_type, decode_value, DecodeError};
+pub use encode::{encode_interface_type, encode_value, encoded_len};
+pub use ifref::InterfaceRef;
+pub use typecheck::{check_value, TypeCheckError};
+pub use value::Value;
+
+use odp_types::TypeSpec;
+
+/// Current wire format version byte. Decoders accept only versions they
+/// know; encoders always emit the latest.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Marshals a full argument/result vector (one invocation payload) to bytes,
+/// prefixed with the wire version.
+#[must_use]
+pub fn marshal(values: &[Value]) -> bytes::Bytes {
+    let mut buf =
+        bytes::BytesMut::with_capacity(16 + values.iter().map(encoded_len).sum::<usize>());
+    buf.extend_from_slice(&[WIRE_VERSION]);
+    encode::put_varint(&mut buf, values.len() as u64);
+    for v in values {
+        encode_value(&mut buf, v);
+    }
+    buf.freeze()
+}
+
+/// Unmarshals an invocation payload produced by [`marshal`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on version mismatch, truncation, unknown tags,
+/// excessive nesting or trailing garbage.
+pub fn unmarshal(bytes: &[u8]) -> Result<Vec<Value>, DecodeError> {
+    let mut cursor = decode::Cursor::new(bytes);
+    let version = cursor.u8()?;
+    if version != WIRE_VERSION {
+        return Err(DecodeError::UnsupportedVersion(version));
+    }
+    let count = cursor.varint()?;
+    let count = usize::try_from(count).map_err(|_| DecodeError::LengthOverflow(count))?;
+    cursor.check_claimed_len(count)?;
+    let mut out = Vec::with_capacity(count.min(decode::MAX_PREALLOC));
+    for _ in 0..count {
+        out.push(decode_value(&mut cursor, 0)?);
+    }
+    cursor.finish()?;
+    Ok(out)
+}
+
+/// Marshals a payload after type-checking it against parameter specs.
+///
+/// # Errors
+///
+/// Returns the first [`TypeCheckError`] if a value does not conform to its
+/// declared spec.
+pub fn marshal_checked(
+    values: &[Value],
+    specs: &[TypeSpec],
+) -> Result<bytes::Bytes, TypeCheckError> {
+    if values.len() != specs.len() {
+        return Err(TypeCheckError::ArityMismatch {
+            expected: specs.len(),
+            actual: values.len(),
+        });
+    }
+    for (i, (v, s)) in values.iter().zip(specs).enumerate() {
+        check_value(v, s).map_err(|e| e.at_position(i))?;
+    }
+    Ok(marshal(values))
+}

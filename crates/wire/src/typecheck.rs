@@ -1,0 +1,207 @@
+//! Runtime type checking of values against specs.
+//!
+//! §4.3 of the paper: *"for maximum safety, all accesses must be type
+//! checked; to achieve this in a dynamic system, it must be possible to find
+//! out the description of any component on-line; early type checking reduces
+//! the risks of unpredictable behaviour."* The static half (signature
+//! conformance at bind time) lives in `odp-types::conformance`; this module
+//! is the dynamic half, applied to actual argument and result vectors at the
+//! marshalling boundary.
+
+use crate::value::Value;
+use odp_types::conformance::conforms;
+use odp_types::TypeSpec;
+use std::fmt;
+
+/// A value failed to conform to its declared spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeCheckError {
+    /// Wrong number of values for the spec list.
+    ArityMismatch {
+        /// Declared count.
+        expected: usize,
+        /// Supplied count.
+        actual: usize,
+    },
+    /// A value has the wrong shape.
+    Mismatch {
+        /// Argument/result position, if known.
+        position: Option<usize>,
+        /// Dotted path inside the value (e.g. `.items[3].owner`).
+        path: String,
+        /// Expected spec rendering.
+        expected: String,
+        /// Actual value rendering.
+        actual: String,
+    },
+    /// A record is missing a declared field.
+    MissingField {
+        /// Position, if known.
+        position: Option<usize>,
+        /// Path of the missing field.
+        path: String,
+    },
+}
+
+impl TypeCheckError {
+    /// Attaches an argument position to the error.
+    #[must_use]
+    pub fn at_position(mut self, pos: usize) -> Self {
+        match &mut self {
+            TypeCheckError::Mismatch { position, .. }
+            | TypeCheckError::MissingField { position, .. } => *position = Some(pos),
+            TypeCheckError::ArityMismatch { .. } => {}
+        }
+        self
+    }
+}
+
+impl fmt::Display for TypeCheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeCheckError::ArityMismatch { expected, actual } => {
+                write!(f, "expected {expected} values, got {actual}")
+            }
+            TypeCheckError::Mismatch {
+                position,
+                path,
+                expected,
+                actual,
+            } => {
+                if let Some(p) = position {
+                    write!(f, "arg {p}")?;
+                }
+                write!(f, "{path}: expected {expected}, got {actual}")
+            }
+            TypeCheckError::MissingField { position, path } => {
+                if let Some(p) = position {
+                    write!(f, "arg {p}")?;
+                }
+                write!(f, "{path}: missing field")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeCheckError {}
+
+/// Checks `value` against `spec`.
+///
+/// Records use width subtyping (extra fields allowed); interface positions
+/// check structural signature conformance of the carried reference; `Any`
+/// accepts everything.
+///
+/// # Errors
+///
+/// A [`TypeCheckError`] naming the path of the first offending sub-value.
+pub fn check_value(value: &Value, spec: &TypeSpec) -> Result<(), TypeCheckError> {
+    check_at(value, spec, String::new())
+}
+
+fn mismatch(path: &str, spec: &TypeSpec, value: &Value) -> TypeCheckError {
+    TypeCheckError::Mismatch {
+        position: None,
+        path: path.to_owned(),
+        expected: format!("{spec:?}"),
+        actual: format!("{value:?}"),
+    }
+}
+
+fn check_at(value: &Value, spec: &TypeSpec, path: String) -> Result<(), TypeCheckError> {
+    match (spec, value) {
+        (TypeSpec::Any, _)
+        | (TypeSpec::Unit, Value::Unit)
+        | (TypeSpec::Bool, Value::Bool(_))
+        | (TypeSpec::Int, Value::Int(_))
+        | (TypeSpec::Float, Value::Float(_))
+        | (TypeSpec::Str, Value::Str(_))
+        | (TypeSpec::Bytes, Value::Bytes(_)) => Ok(()),
+        (TypeSpec::Seq(elem), Value::Seq(items)) => {
+            for (i, item) in items.iter().enumerate() {
+                check_at(item, elem, format!("{path}[{i}]"))?;
+            }
+            Ok(())
+        }
+        (TypeSpec::Record(fields), Value::Record(_)) => {
+            for (name, fspec) in fields {
+                match value.field(name) {
+                    Some(fval) => check_at(fval, fspec, format!("{path}.{name}"))?,
+                    None => {
+                        return Err(TypeCheckError::MissingField {
+                            position: None,
+                            path: format!("{path}.{name}"),
+                        })
+                    }
+                }
+            }
+            Ok(())
+        }
+        (TypeSpec::Interface(required), Value::Interface(r)) => conforms(&r.ty, required)
+            .map_err(|e| TypeCheckError::Mismatch {
+                position: None,
+                path,
+                expected: format!("{required:?}"),
+                actual: format!("non-conformant reference: {e}"),
+            }),
+        _ => Err(mismatch(&path, spec, value)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ifref::InterfaceRef;
+    use odp_types::signature::{InterfaceTypeBuilder, OutcomeSig};
+    use odp_types::{InterfaceId, InterfaceType, NodeId};
+
+    #[test]
+    fn primitives_check() {
+        assert!(check_value(&Value::Int(3), &TypeSpec::Int).is_ok());
+        assert!(check_value(&Value::Int(3), &TypeSpec::Str).is_err());
+        assert!(check_value(&Value::str("x"), &TypeSpec::Any).is_ok());
+    }
+
+    #[test]
+    fn seq_elements_checked_with_path() {
+        let v = Value::Seq(vec![Value::Int(1), Value::str("oops")]);
+        let err = check_value(&v, &TypeSpec::seq(TypeSpec::Int)).unwrap_err();
+        match err {
+            TypeCheckError::Mismatch { path, .. } => assert_eq!(path, "[1]"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn record_width_subtyping_and_missing_fields() {
+        let spec = TypeSpec::record([("x", TypeSpec::Int)]);
+        let wide = Value::record([("x", Value::Int(1)), ("extra", Value::Bool(true))]);
+        assert!(check_value(&wide, &spec).is_ok());
+        let narrow = Value::record([("y", Value::Int(1))]);
+        assert!(matches!(
+            check_value(&narrow, &spec),
+            Err(TypeCheckError::MissingField { .. })
+        ));
+    }
+
+    #[test]
+    fn interface_positions_check_conformance() {
+        let required = InterfaceTypeBuilder::new()
+            .interrogation("ping", vec![], vec![OutcomeSig::ok(vec![])])
+            .build();
+        let spec = TypeSpec::interface(required.clone());
+        let good = InterfaceRef::new(InterfaceId(1), NodeId(1), required);
+        assert!(check_value(&Value::Interface(good), &spec).is_ok());
+        let bad = InterfaceRef::new(InterfaceId(2), NodeId(1), InterfaceType::empty());
+        assert!(check_value(&Value::Interface(bad), &spec).is_err());
+    }
+
+    #[test]
+    fn position_attachment_and_display() {
+        let err = check_value(&Value::Int(1), &TypeSpec::Str)
+            .unwrap_err()
+            .at_position(2);
+        let s = err.to_string();
+        assert!(s.contains("arg 2"), "{s}");
+        assert!(s.contains("str"), "{s}");
+    }
+}

@@ -1,0 +1,198 @@
+//! Property tests: every value the model can express round-trips through
+//! the network data representation bit-exactly, and the decoder never
+//! panics on arbitrary byte soup.
+
+use bytes::BytesMut;
+use odp_types::signature::{OperationSig, OutcomeSig};
+use odp_types::{GroupId, InterfaceId, InterfaceType, NodeId, ProtocolId, TypeSpec};
+use odp_wire::decode::{decode_interface_ref, decode_value, Cursor};
+use odp_wire::decode::decode_type_spec;
+use odp_wire::encode::{encode_interface_ref, encode_type_spec, encode_value};
+use odp_wire::{marshal, unmarshal, InterfaceRef, Value};
+use proptest::prelude::*;
+
+fn arb_value(depth: u32) -> BoxedStrategy<Value> {
+    let leaf = prop_oneof![
+        Just(Value::Unit),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+        ".{0,24}".prop_map(Value::Str),
+        proptest::collection::vec(any::<u8>(), 0..48)
+            .prop_map(|b| Value::Bytes(bytes::Bytes::from(b))),
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(i, n, e)| {
+            let mut r = InterfaceRef::new(InterfaceId(i), NodeId(n), InterfaceType::empty());
+            r.epoch = e;
+            Value::Interface(r)
+        }),
+    ];
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        let inner = arb_value(depth - 1);
+        prop_oneof![
+            4 => leaf,
+            1 => proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::Seq),
+            // Field names must be unique: records with duplicate names are
+            // ill-formed in the computational model.
+            1 => proptest::collection::btree_map("[a-z]{1,6}", inner, 0..4)
+                .prop_map(|fields| Value::Record(fields.into_iter().collect())),
+        ]
+        .boxed()
+    }
+}
+
+fn arb_spec(depth: u32) -> BoxedStrategy<TypeSpec> {
+    let leaf = prop_oneof![
+        Just(TypeSpec::Unit),
+        Just(TypeSpec::Bool),
+        Just(TypeSpec::Int),
+        Just(TypeSpec::Float),
+        Just(TypeSpec::Str),
+        Just(TypeSpec::Bytes),
+        Just(TypeSpec::Any),
+    ];
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        let inner = arb_spec(depth - 1);
+        prop_oneof![
+            4 => leaf,
+            1 => inner.clone().prop_map(TypeSpec::seq),
+            1 => proptest::collection::vec(("[a-z]{1,6}", inner), 0..4)
+                .prop_map(TypeSpec::Record),
+        ]
+        .boxed()
+    }
+}
+
+/// Structural equality that treats floats bit-wise (NaN == NaN).
+fn bit_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+        (Value::Seq(xs), Value::Seq(ys)) => {
+            xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| bit_eq(x, y))
+        }
+        (Value::Record(xs), Value::Record(ys)) => {
+            xs.len() == ys.len()
+                && xs
+                    .iter()
+                    .zip(ys)
+                    .all(|((nx, x), (ny, y))| nx == ny && bit_eq(x, y))
+        }
+        _ => a == b,
+    }
+}
+
+proptest! {
+    #[test]
+    fn value_round_trips(v in arb_value(3)) {
+        let mut buf = BytesMut::new();
+        encode_value(&mut buf, &v);
+        let mut c = Cursor::new(&buf);
+        let rt = decode_value(&mut c, 0).expect("decode");
+        c.finish().expect("no trailing bytes");
+        prop_assert!(bit_eq(&v, &rt), "{v:?} != {rt:?}");
+    }
+
+    #[test]
+    fn payload_round_trips(vs in proptest::collection::vec(arb_value(2), 0..6)) {
+        let bytes = marshal(&vs);
+        let rt = unmarshal(&bytes).expect("unmarshal");
+        prop_assert_eq!(vs.len(), rt.len());
+        for (a, b) in vs.iter().zip(&rt) {
+            prop_assert!(bit_eq(a, b));
+        }
+    }
+
+    #[test]
+    fn spec_round_trips(s in arb_spec(3)) {
+        let mut buf = BytesMut::new();
+        encode_type_spec(&mut buf, &s);
+        let mut c = Cursor::new(&buf);
+        let rt = decode_type_spec(&mut c, 0).expect("decode");
+        c.finish().expect("consumed");
+        prop_assert_eq!(s, rt);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Any result is fine — the property is "no panic, no hang".
+        let _ = unmarshal(&bytes);
+    }
+
+    #[test]
+    fn type_spec_of_value_always_checks(v in arb_value(3)) {
+        // A value always conforms to its own most-specific spec…
+        prop_assert!(odp_wire::check_value(&v, &v.type_spec()).is_ok());
+        // …and to Any.
+        prop_assert!(odp_wire::check_value(&v, &TypeSpec::Any).is_ok());
+    }
+
+    #[test]
+    fn encoded_len_bounds_actual(v in arb_value(3)) {
+        let mut buf = BytesMut::new();
+        encode_value(&mut buf, &v);
+        prop_assert!(buf.len() <= odp_wire::encoded_len(&v));
+    }
+
+    #[test]
+    fn interface_refs_with_rich_signatures_round_trip(r in arb_ref()) {
+        let mut buf = BytesMut::new();
+        encode_interface_ref(&mut buf, &r);
+        let mut c = Cursor::new(&buf);
+        let rt = decode_interface_ref(&mut c, 0).expect("decode");
+        c.finish().expect("consumed");
+        prop_assert_eq!(r, rt);
+    }
+}
+
+fn arb_interface_type() -> BoxedStrategy<InterfaceType> {
+    proptest::collection::btree_map(
+        "[a-f]{1,5}",
+        (
+            proptest::collection::vec(arb_spec(1), 0..3),
+            proptest::collection::vec(("[a-f]{1,4}", proptest::collection::vec(arb_spec(1), 0..2)), 0..2),
+        ),
+        0..4,
+    )
+    .prop_map(|ops| {
+        InterfaceType::new(
+            ops.into_iter()
+                .map(|(name, (params, outcomes))| {
+                    // Outcome names must be unique within the operation.
+                    let mut outs: Vec<OutcomeSig> = Vec::new();
+                    for (oname, results) in outcomes {
+                        if !outs.iter().any(|o| o.name == oname) {
+                            outs.push(OutcomeSig::new(oname, results));
+                        }
+                    }
+                    OperationSig::interrogation(name, params, outs)
+                })
+                .collect(),
+        )
+    })
+    .boxed()
+}
+
+fn arb_ref() -> BoxedStrategy<InterfaceRef> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        proptest::collection::vec(any::<u64>(), 0..4),
+        proptest::option::of(any::<u64>()),
+        proptest::option::of(any::<u64>()),
+        arb_interface_type(),
+    )
+        .prop_map(|(iface, home, epoch, protos, reloc, group, ty)| InterfaceRef {
+            iface: InterfaceId(iface),
+            home: NodeId(home),
+            epoch,
+            ty,
+            protocols: protos.into_iter().map(ProtocolId).collect(),
+            relocator: reloc.map(NodeId),
+            group: group.map(GroupId),
+        })
+        .boxed()
+}

@@ -1,0 +1,170 @@
+//! Federated printing: the paper's motivating scenario of interworking
+//! across organizational boundaries.
+//!
+//! Two organizations — `acme` and `globex` — each run their own trader and
+//! their own administrative domain. Acme offers a print service, guarded
+//! by a declarative security policy. A Globex client discovers the printer
+//! through its own trader (one federation hop, context-relative path),
+//! then invokes it across the domain boundary: the gateway intercepts,
+//! admits, accounts and forwards; the security guard authenticates the
+//! caller by shared secret.
+//!
+//! Run with: `cargo run -p odp --example federated_printing`
+
+use odp::federation::{AdmissionPolicy, BoundaryLayer, DomainMap, Gateway};
+use odp::prelude::*;
+use odp::security::secret::establish;
+use odp::security::{AuthLayer, Guard, SecretStore, SecurityPolicy};
+use odp::trading::trader::template;
+use odp::trading::{PropertyConstraint, Trader};
+use odp::types::DomainId;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const ACME: DomainId = DomainId(1);
+const GLOBEX: DomainId = DomainId(2);
+
+fn printer_type() -> InterfaceType {
+    InterfaceTypeBuilder::new()
+        .interrogation(
+            "print",
+            vec![TypeSpec::Str],
+            vec![OutcomeSig::ok(vec![TypeSpec::Int])],
+        )
+        .interrogation("status", vec![], vec![OutcomeSig::ok(vec![TypeSpec::Str])])
+        .build()
+}
+
+fn main() {
+    // Topology: capsule 0 = acme printer host, 1 = acme gateway + trader,
+    // 2 = globex trader, 3 = globex client.
+    let world = World::builder().capsules(4).build();
+    let map = DomainMap::new();
+    map.declare(ACME, "acme");
+    map.declare(GLOBEX, "globex");
+    map.assign(world.capsule(0).node(), ACME);
+    map.assign(world.capsule(1).node(), ACME);
+    map.assign(world.capsule(2).node(), GLOBEX);
+    map.assign(world.capsule(3).node(), GLOBEX);
+
+    // --- Acme: a guarded printer ---------------------------------------
+    let printer_secrets = Arc::new(SecretStore::new("acme-printer"));
+    let guard = Guard::generate(
+        Arc::clone(&printer_secrets),
+        SecurityPolicy::deny_all().allow("globex-client", &["print", "status"]),
+    );
+    let pages = AtomicU64::new(0);
+    let printer = FnServant::new(printer_type(), move |op, args, _ctx| match op {
+        "print" => {
+            let doc = args[0].as_str().unwrap_or("");
+            let n = pages.fetch_add(1, Ordering::SeqCst) + 1;
+            println!("  [printer] job {n}: {doc:?}");
+            Outcome::ok(vec![Value::Int(n as i64)])
+        }
+        "status" => Outcome::ok(vec![Value::str("idle; toner 73%")]),
+        _ => Outcome::fail("no such op"),
+    });
+    let printer_ref = world.capsule(0).export_with(
+        Arc::new(printer) as Arc<dyn Servant>,
+        ExportConfig {
+            layers: vec![guard.clone() as Arc<dyn odp::core::ServerLayer>],
+            ..ExportConfig::default()
+        },
+    );
+
+    // Acme's gateway: admit globex, account every crossing.
+    let acme_gateway = Gateway::new(
+        Arc::clone(&map),
+        ACME,
+        world.capsule(1),
+        AdmissionPolicy::with_rule(Arc::new(|domain, _op| domain == "globex")),
+    );
+    // Keep a second handle to the ledger for reporting.
+    let acme_gateway = Arc::new(acme_gateway);
+    let gw_for_report = Arc::clone(&acme_gateway);
+    let gw_ref = world
+        .capsule(1)
+        .export(Arc::clone(&acme_gateway) as Arc<dyn Servant>);
+    map.set_gateway(ACME, gw_ref);
+
+    // Acme's trader offers the printer.
+    let acme_trader = Arc::new(Trader::new());
+    acme_trader.attach_capsule(world.capsule(1));
+    acme_trader.export_offer(
+        printer_ref,
+        [
+            ("ppm".to_owned(), Value::Int(24)),
+            ("colour".to_owned(), Value::Bool(true)),
+        ]
+        .into(),
+    );
+    let acme_trader_ref = world
+        .capsule(1)
+        .export(Arc::clone(&acme_trader) as Arc<dyn Servant>);
+
+    // --- Globex: a linked trader and a client ---------------------------
+    let globex_trader = Arc::new(Trader::new());
+    globex_trader.attach_capsule(world.capsule(2));
+    globex_trader.link("acme", acme_trader_ref);
+    let globex_trader_ref = world
+        .capsule(2)
+        .export(Arc::clone(&globex_trader) as Arc<dyn Servant>);
+
+    // The client's credentials: a secret shared with acme's printer.
+    let client_secrets = Arc::new(SecretStore::new("globex-client"));
+    establish(&client_secrets, &printer_secrets, 0xF00D);
+
+    // Discover the printer through the federated trader graph:
+    // path "acme" from globex's trader (context-relative naming).
+    let trader_binding = world.capsule(3).bind(globex_trader_ref);
+    let out = trader_binding
+        .interrogate(
+            "import_path",
+            vec![
+                Value::str("acme"),
+                template(printer_type()),
+                PropertyConstraint::encode_all(&[PropertyConstraint::AtLeast("ppm".into(), 10)]),
+                Value::Int(1),
+                Value::Int(8),
+            ],
+        )
+        .unwrap();
+    assert_eq!(out.termination, "ok", "trading failed: {out:?}");
+    let found = out.result().unwrap().as_seq().unwrap()[0]
+        .as_interface()
+        .unwrap()
+        .clone();
+    println!("imported printer {:?} via federated trading", found.iface);
+
+    // Bind across the boundary: boundary interception + authentication
+    // selected declaratively, per binding.
+    let policy = TransparencyPolicy::default()
+        .with_layer(AuthLayer::new(Arc::clone(&client_secrets), "acme-printer"))
+        .with_layer(BoundaryLayer::new(Arc::clone(&map), GLOBEX));
+    let printer = world.capsule(3).bind_with(found.clone(), policy);
+
+    let out = printer.interrogate("status", vec![]).unwrap();
+    println!("printer status: {}", out.result().unwrap().as_str().unwrap());
+    for doc in ["q3-report.ps", "invoice-0042.ps", "odp-challenge.ps"] {
+        let out = printer.interrogate("print", vec![Value::str(doc)]).unwrap();
+        println!("printed {doc} as job {}", out.int().unwrap());
+    }
+
+    // An unauthenticated caller holding the same reference is refused.
+    let bare = world.capsule(3).bind_with(
+        found.clone(),
+        TransparencyPolicy::default().with_layer(BoundaryLayer::new(Arc::clone(&map), GLOBEX)),
+    );
+    let err = bare.interrogate("print", vec![Value::str("sneaky.ps")]).unwrap_err();
+    println!("unauthenticated print refused: {err}");
+
+    // The boundary accounted every admitted crossing.
+    println!("\nacme gateway ledger:");
+    for (domain, iface, line) in gw_for_report.accounting.report() {
+        println!("  from {domain} to {iface}: {} interactions, {} bytes", line.interactions, line.bytes);
+    }
+    println!("guard: {} admitted, {} denied",
+        guard.admitted.load(Ordering::Relaxed),
+        guard.denied.load(Ordering::Relaxed)
+    );
+}

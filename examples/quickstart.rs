@@ -1,0 +1,128 @@
+//! Quickstart: a distributed bank account with selective transparency.
+//!
+//! Demonstrates the core computational model (an ADT with multiple
+//! terminations invoked through a reference) and two transparencies at
+//! work: access (marshalling + REX happen invisibly) and location (the
+//! account migrates mid-session and the client never notices).
+//!
+//! Run with: `cargo run -p odp --example quickstart`
+
+use odp::prelude::*;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+/// The account ADT: balance / deposit / withdraw with an `overdrawn`
+/// termination — "each operation should be permitted to have a range of
+/// possible outcomes" (§5.1 of the paper).
+struct Account {
+    balance: AtomicI64,
+}
+
+fn account_type() -> InterfaceType {
+    InterfaceTypeBuilder::new()
+        .interrogation("balance", vec![], vec![OutcomeSig::ok(vec![TypeSpec::Int])])
+        .interrogation(
+            "deposit",
+            vec![TypeSpec::Int],
+            vec![OutcomeSig::ok(vec![TypeSpec::Int])],
+        )
+        .interrogation(
+            "withdraw",
+            vec![TypeSpec::Int],
+            vec![
+                OutcomeSig::ok(vec![TypeSpec::Int]),
+                OutcomeSig::new("overdrawn", vec![TypeSpec::Int]),
+            ],
+        )
+        .build()
+}
+
+impl Servant for Account {
+    fn interface_type(&self) -> InterfaceType {
+        account_type()
+    }
+
+    fn dispatch(&self, op: &str, args: Vec<Value>, _ctx: &CallCtx) -> Outcome {
+        match op {
+            "balance" => Outcome::ok(vec![Value::Int(self.balance.load(Ordering::SeqCst))]),
+            "deposit" => {
+                let n = args[0].as_int().unwrap_or(0);
+                Outcome::ok(vec![Value::Int(
+                    self.balance.fetch_add(n, Ordering::SeqCst) + n,
+                )])
+            }
+            "withdraw" => {
+                let n = args[0].as_int().unwrap_or(0);
+                let current = self.balance.load(Ordering::SeqCst);
+                if current < n {
+                    Outcome::new("overdrawn", vec![Value::Int(current)])
+                } else {
+                    Outcome::ok(vec![Value::Int(
+                        self.balance.fetch_sub(n, Ordering::SeqCst) - n,
+                    )])
+                }
+            }
+            _ => Outcome::fail("no such operation"),
+        }
+    }
+
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        Some(self.balance.load(Ordering::SeqCst).to_be_bytes().to_vec())
+    }
+
+    fn restore(&self, snapshot: &[u8]) -> Result<(), String> {
+        let arr: [u8; 8] = snapshot.try_into().map_err(|_| "bad snapshot")?;
+        self.balance.store(i64::from_be_bytes(arr), Ordering::SeqCst);
+        Ok(())
+    }
+}
+
+fn main() {
+    // Three capsules (plus the system capsule hosting the relocator) on a
+    // simulated network with 1 ms one-way latency.
+    let world = World::builder()
+        .capsules(3)
+        .latency(std::time::Duration::from_millis(1))
+        .build();
+
+    // Export the account on capsule 0.
+    let account = Arc::new(Account {
+        balance: AtomicI64::new(100),
+    });
+    let reference = world.capsule(0).export(account);
+    println!("exported account as {:?}", reference.iface);
+
+    // A client on capsule 2 binds with the default transparency policy
+    // (location + failure transparency selected).
+    let client = world.capsule(2).bind(reference.clone());
+    let out = client.interrogate("deposit", vec![Value::Int(50)]).unwrap();
+    println!("deposit 50   -> balance {}", out.int().unwrap());
+
+    let out = client.interrogate("withdraw", vec![Value::Int(30)]).unwrap();
+    println!("withdraw 30  -> balance {}", out.int().unwrap());
+
+    // Overdraw: an application termination, not an error.
+    let out = client.interrogate("withdraw", vec![Value::Int(10_000)]).unwrap();
+    println!("withdraw 10k -> termination `{}` (balance {})",
+        out.termination,
+        out.int().unwrap()
+    );
+
+    // Migrate the account to capsule 1 — §5.5 of the paper. The client's
+    // binding follows the forwarding tombstone and re-targets itself.
+    world
+        .capsule(0)
+        .migrate_to(reference.iface, world.capsule(1))
+        .unwrap();
+    println!("account migrated: {} -> {}", world.capsule(0).node(), world.capsule(1).node());
+
+    let out = client.interrogate("balance", vec![]).unwrap();
+    println!("balance      -> {} (transparently, post-migration)", out.int().unwrap());
+    println!("client now bound to {} (epoch {})", client.target().home, client.target().epoch);
+
+    // Even if the old home crashes entirely, the relocation service
+    // recovers the location.
+    world.capsule(0).crash();
+    let out = client.interrogate("deposit", vec![Value::Int(1)]).unwrap();
+    println!("after old home crashed: deposit 1 -> balance {}", out.int().unwrap());
+}

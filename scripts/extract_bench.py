@@ -1,0 +1,25 @@
+#!/usr/bin/env python3
+"""Extracts `name -> median time` pairs from criterion console output."""
+import re, sys
+
+def parse(path):
+    out = []
+    name = None
+    for line in open(path):
+        line = line.rstrip()
+        m = re.match(r'^(e\d+_[\w/.]+)\s*$', line)
+        if m:
+            name = m.group(1)
+            continue
+        m = re.match(r'^(e\d+_[\w/.]+)\s+time:', line)
+        if m:
+            name = m.group(1)
+        m = re.search(r'time:\s+\[\S+ \S+ (\S+ \S+) \S+ \S+\]', line)
+        m2 = re.search(r'time:\s+\[(\S+) (\S+) (\S+) (\S+) (\S+) (\S+)\]', line)
+        if m2 and name:
+            out.append((name, f"{m2.group(3)} {m2.group(4)}"))
+            name = None
+    return out
+
+for n, t in parse(sys.argv[1] if len(sys.argv) > 1 else '/tmp/bench_all.txt'):
+    print(f"{n:60} {t}")

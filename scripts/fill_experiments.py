@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Splices measured bench medians into EXPERIMENTS.md placeholder tables.
+
+Usage: fill_experiments.py <bench_console_output> <experiments_md>
+Replaces each `<!-- E<N>_RESULTS -->` marker with a markdown table of the
+relevant benchmark medians.
+"""
+import re
+import sys
+
+
+def parse(path):
+    out = {}
+    name = None
+    for line in open(path):
+        line = line.rstrip()
+        m = re.match(r"^(e\d+_[\w/.]+)\s*$", line)
+        if m:
+            name = m.group(1)
+            continue
+        m = re.match(r"^(e\d+_[\w/.]+)\s+time:", line)
+        if m:
+            name = m.group(1)
+        m2 = re.search(r"time:\s+\[(\S+) (\S+) (\S+) (\S+) (\S+) (\S+)\]", line)
+        if m2 and name:
+            out[name] = f"{m2.group(3)} {m2.group(4)}"
+            name = None
+    return out
+
+
+def table_for(exp, results):
+    rows = [(k, v) for k, v in results.items() if k.startswith(f"e{exp:02d}_")]
+    if not rows:
+        return None
+    lines = ["| benchmark | median |", "|---|---|"]
+    for k, v in rows:
+        lines.append(f"| `{k}` | {v} |")
+    return "\n".join(lines)
+
+
+def main():
+    bench_path, md_path = sys.argv[1], sys.argv[2]
+    results = parse(bench_path)
+    text = open(md_path).read()
+    for exp in range(1, 15):
+        marker = f"<!-- E{exp}_RESULTS -->"
+        if marker in text:
+            table = table_for(exp, results)
+            if table:
+                text = text.replace(marker, table)
+            else:
+                print(f"warning: no results for E{exp}", file=sys.stderr)
+    open(md_path, "w").write(text)
+    print(f"filled {md_path} from {len(results)} measurements")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,315 @@
+//! Whole-platform integration: several subsystems composed in one
+//! application, the way the paper intends them to be combined.
+
+use odp::groups::{replicate, GroupPolicy};
+use odp::prelude::*;
+use odp::security::secret::establish;
+use odp::security::{AuthLayer, Guard, SecretStore, SecurityPolicy};
+use odp::storage::{recover, CheckpointPolicy, LoggingLayer, StableRepository, WriteAheadLog};
+use odp::trading::trader::template;
+use odp::trading::Trader;
+use odp::tx::{SeparationConstraint, TxnSystem};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Inventory {
+    stock: AtomicI64,
+}
+
+fn inventory_type() -> InterfaceType {
+    InterfaceTypeBuilder::new()
+        .interrogation("stock", vec![], vec![OutcomeSig::ok(vec![TypeSpec::Int])])
+        .interrogation(
+            "reserve",
+            vec![TypeSpec::Int],
+            vec![
+                OutcomeSig::ok(vec![TypeSpec::Int]),
+                OutcomeSig::new("out_of_stock", vec![TypeSpec::Int]),
+            ],
+        )
+        .build()
+}
+
+impl Servant for Inventory {
+    fn interface_type(&self) -> InterfaceType {
+        inventory_type()
+    }
+
+    fn dispatch(&self, op: &str, args: Vec<Value>, _ctx: &CallCtx) -> Outcome {
+        match op {
+            "stock" => Outcome::ok(vec![Value::Int(self.stock.load(Ordering::SeqCst))]),
+            "reserve" => {
+                let n = args[0].as_int().unwrap_or(0);
+                let current = self.stock.load(Ordering::SeqCst);
+                if current < n {
+                    Outcome::new("out_of_stock", vec![Value::Int(current)])
+                } else {
+                    Outcome::ok(vec![Value::Int(self.stock.fetch_sub(n, Ordering::SeqCst) - n)])
+                }
+            }
+            _ => Outcome::fail("no such op"),
+        }
+    }
+
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        Some(self.stock.load(Ordering::SeqCst).to_be_bytes().to_vec())
+    }
+
+    fn restore(&self, snapshot: &[u8]) -> Result<(), String> {
+        let arr: [u8; 8] = snapshot.try_into().map_err(|_| "bad snapshot")?;
+        self.stock.store(i64::from_be_bytes(arr), Ordering::SeqCst);
+        Ok(())
+    }
+}
+
+#[test]
+fn traded_guarded_transactional_service() {
+    // One service, three subsystems composed declaratively at export time:
+    // a security guard, a concurrency-control layer, and a trader offer.
+    let world = World::builder().capsules(3).build();
+    let system = TxnSystem::new();
+    let runtime = system.install_on(world.capsule(0));
+
+    let server_secrets = Arc::new(SecretStore::new("warehouse"));
+    let client_secrets = Arc::new(SecretStore::new("shop"));
+    establish(&server_secrets, &client_secrets, 99);
+    let guard = Guard::generate(
+        Arc::clone(&server_secrets),
+        SecurityPolicy::deny_all().allow_all("shop"),
+    );
+
+    let inventory = Arc::new(Inventory {
+        stock: AtomicI64::new(10),
+    });
+    let cc = runtime.concurrency_layer(
+        &(Arc::clone(&inventory) as Arc<dyn Servant>),
+        SeparationConstraint::readers(&["stock"]),
+    );
+    let r = world.capsule(0).export_with(
+        Arc::clone(&inventory) as Arc<dyn Servant>,
+        ExportConfig {
+            // Guard first, then concurrency control, then the servant.
+            layers: vec![guard as Arc<dyn odp::core::ServerLayer>, cc],
+            ..ExportConfig::default()
+        },
+    );
+
+    // Advertise through a trader.
+    let trader = Arc::new(Trader::new());
+    trader.attach_capsule(world.capsule(1));
+    trader.export_offer(r, [("region".to_owned(), Value::str("eu"))].into());
+    let trader_ref = world.capsule(1).export(Arc::clone(&trader) as Arc<dyn Servant>);
+
+    // The client discovers the service by type, then invokes under a
+    // transaction with authentication.
+    let tb = world.capsule(2).bind(trader_ref);
+    let out = tb
+        .interrogate(
+            "import",
+            vec![
+                template(inventory_type()),
+                Value::record::<[_; 0], String>([]),
+                Value::Int(1),
+            ],
+        )
+        .unwrap();
+    let found = out.result().unwrap().as_seq().unwrap()[0]
+        .as_interface()
+        .unwrap()
+        .clone();
+
+    let policy = TransparencyPolicy::default()
+        .with_layer(AuthLayer::new(Arc::clone(&client_secrets), "warehouse"));
+    let binding = world.capsule(2).bind_with(found, policy);
+
+    let txn = system.begin(world.capsule(2));
+    let out = txn.call(&binding, "reserve", vec![Value::Int(4)]).unwrap();
+    assert!(out.is_ok());
+    txn.commit().unwrap();
+    assert_eq!(inventory.stock.load(Ordering::SeqCst), 6);
+
+    // An aborted reservation is undone even through all the layers.
+    let txn = system.begin(world.capsule(2));
+    txn.call(&binding, "reserve", vec![Value::Int(5)]).unwrap();
+    txn.abort();
+    assert_eq!(inventory.stock.load(Ordering::SeqCst), 6);
+
+    // An unauthenticated client cannot touch the service at all.
+    let bare = world.capsule(2).bind(tb.target()); // trader is open…
+    assert!(bare.interrogate("list_links", vec![]).is_ok());
+    let bare_inventory = world.capsule(2).bind(binding.target());
+    assert!(matches!(
+        bare_inventory.interrogate("stock", vec![]),
+        Err(InvokeError::Denied(_))
+    ));
+}
+
+#[test]
+fn replicated_ledger_with_recovery_of_a_member() {
+    // Groups + storage: a replica that crashed is rebuilt from another
+    // replica's snapshot through the join path, after the group already
+    // failed over once.
+    let world = World::builder().capsules(5).build();
+    let ledger_factory = || -> Arc<dyn Servant> {
+        struct L(Mutex<Vec<i64>>);
+        impl Servant for L {
+            fn interface_type(&self) -> InterfaceType {
+                InterfaceTypeBuilder::new()
+                    .interrogation("push", vec![TypeSpec::Int], vec![OutcomeSig::ok(vec![TypeSpec::Int])])
+                    .interrogation("sum", vec![], vec![OutcomeSig::ok(vec![TypeSpec::Int])])
+                    .build()
+            }
+            fn dispatch(&self, op: &str, args: Vec<Value>, _ctx: &CallCtx) -> Outcome {
+                match op {
+                    "push" => {
+                        let mut v = self.0.lock();
+                        v.push(args[0].as_int().unwrap_or(0));
+                        Outcome::ok(vec![Value::Int(v.len() as i64)])
+                    }
+                    "sum" => Outcome::ok(vec![Value::Int(self.0.lock().iter().sum())]),
+                    _ => Outcome::fail("no such op"),
+                }
+            }
+            fn snapshot(&self) -> Option<Vec<u8>> {
+                let v = self.0.lock();
+                Some(odp::wire::marshal(&[Value::Seq(v.iter().map(|i| Value::Int(*i)).collect())]).to_vec())
+            }
+            fn restore(&self, snapshot: &[u8]) -> Result<(), String> {
+                let values = odp::wire::unmarshal(snapshot).map_err(|e| e.to_string())?;
+                *self.0.lock() = values[0]
+                    .as_seq()
+                    .ok_or("bad snapshot")?
+                    .iter()
+                    .filter_map(Value::as_int)
+                    .collect();
+                Ok(())
+            }
+        }
+        Arc::new(L(Mutex::new(Vec::new())))
+    };
+    let mut group = replicate(
+        &world.capsules()[..3].to_vec(),
+        &ledger_factory,
+        GroupPolicy::Active,
+    );
+    let client = group.bind_via(world.capsule(4));
+    for i in 1..=6 {
+        client.interrogate("push", vec![Value::Int(i)]).unwrap();
+    }
+    // Sequencer dies; group fails over.
+    world.capsule(0).crash();
+    client.interrogate("push", vec![Value::Int(100)]).unwrap();
+    // Replace the dead member with a fresh one on a new capsule; the join
+    // transfers state from the (promoted) donor.
+    group.remove_member(0);
+    let newcomer = group.add_member(world.capsule(3), &ledger_factory);
+    let out = client.interrogate("sum", vec![]).unwrap();
+    assert_eq!(out.int(), Some(121));
+    let direct = newcomer.app().dispatch("sum", vec![], &CallCtx::default());
+    assert_eq!(direct.int(), Some(121), "joined member missing state");
+}
+
+#[test]
+fn logged_service_survives_two_successive_crashes() {
+    // Failure transparency twice over: crash, recover, crash the recovery
+    // host, recover again — state intact both times.
+    let world = World::builder().capsules(4).build();
+    let wal = Arc::new(WriteAheadLog::new());
+    let repo = Arc::new(StableRepository::default());
+    let factory = || -> Arc<dyn Servant> {
+        Arc::new(Inventory {
+            stock: AtomicI64::new(100),
+        })
+    };
+    let servant = factory();
+    let layer = LoggingLayer::new(
+        &servant,
+        Arc::clone(&wal),
+        Arc::clone(&repo),
+        CheckpointPolicy { every_n_ops: 3 },
+        Arc::new(|op| op == "reserve"),
+    );
+    let r = world.capsule(0).export_with(
+        servant,
+        ExportConfig {
+            layers: vec![layer as Arc<dyn odp::core::ServerLayer>],
+            ..ExportConfig::default()
+        },
+    );
+    let client = world.capsule(3).bind(r.clone());
+    for _ in 0..5 {
+        client.interrogate("reserve", vec![Value::Int(2)]).unwrap();
+    }
+    // First crash + recovery on capsule 1, with continued logging.
+    world.capsule(0).crash();
+    let servant2_wal = Arc::clone(&wal);
+    let servant2_repo = Arc::clone(&repo);
+    let (ref2, _) = recover(world.capsule(1), r.iface, &factory, &repo, &wal, ExportConfig::default(), 0).unwrap();
+    // Re-wrap with logging so the second epoch is also protected.
+    let servant2 = world.capsule(1).servant_of(r.iface).unwrap();
+    let layer2 = LoggingLayer::new(
+        &servant2,
+        servant2_wal,
+        servant2_repo,
+        CheckpointPolicy { every_n_ops: 3 },
+        Arc::new(|op| op == "reserve"),
+    );
+    world.capsule(1).export_at(
+        r.iface,
+        ref2.epoch,
+        servant2,
+        ExportConfig {
+            layers: vec![layer2 as Arc<dyn odp::core::ServerLayer>],
+            ..ExportConfig::default()
+        },
+    );
+    world.capsule(1).register_location(r.iface, ref2.home, ref2.epoch).unwrap();
+    assert_eq!(client.interrogate("stock", vec![]).unwrap().int(), Some(90));
+    for _ in 0..3 {
+        client.interrogate("reserve", vec![Value::Int(1)]).unwrap();
+    }
+    // Second crash + recovery on capsule 2.
+    world.capsule(1).crash();
+    let (ref3, _) = recover(world.capsule(2), r.iface, &factory, &repo, &wal, ExportConfig::default(), ref2.epoch).unwrap();
+    world.capsule(2).register_location(r.iface, ref3.home, ref3.epoch).unwrap();
+    assert!(ref3.epoch > ref2.epoch);
+    assert_eq!(client.interrogate("stock", vec![]).unwrap().int(), Some(87));
+}
+
+#[test]
+fn announcement_fan_out_monitoring() {
+    // Announcements (§5.1) used as the paper's management plumbing: a
+    // monitoring object receives load reports as announcements from many
+    // capsules; no reply traffic exists at all.
+    let world = World::builder().capsules(4).build();
+    let reports = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&reports);
+    let ty = InterfaceTypeBuilder::new()
+        .announcement("report", vec![TypeSpec::Str, TypeSpec::Int])
+        .build();
+    let monitor = FnServant::new(ty, move |_op, args, _ctx| {
+        sink.lock().push((
+            args[0].as_str().unwrap_or("").to_owned(),
+            args[1].as_int().unwrap_or(0),
+        ));
+        Outcome::ok(vec![])
+    });
+    let monitor_ref = world.capsule(0).export(Arc::new(monitor));
+    let sent_before = world.net().stats().sent.load(Ordering::Relaxed);
+    for i in 1..4 {
+        let binding = world.capsule(i).bind(monitor_ref.clone());
+        binding
+            .announce("report", vec![Value::str(format!("cap{i}")), Value::Int(i as i64 * 10)])
+            .unwrap();
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    while reports.lock().len() < 3 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(reports.lock().len(), 3);
+    // One datagram per announcement: no replies, no retransmissions.
+    let sent_after = world.net().stats().sent.load(Ordering::Relaxed);
+    assert_eq!(sent_after - sent_before, 3);
+}

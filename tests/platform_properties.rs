@@ -1,0 +1,222 @@
+//! Cross-crate property tests: laws the platform's core abstractions must
+//! satisfy for the architecture to be sound.
+
+use odp::trading::ContextName;
+use odp::types::conformance::{conforms, spec_conforms};
+use odp::types::signature::{InterfaceTypeBuilder, OutcomeSig};
+use odp::types::{InterfaceType, TypeSpec};
+use odp::wire::Value;
+use proptest::prelude::*;
+
+fn arb_spec(depth: u32) -> BoxedStrategy<TypeSpec> {
+    let leaf = prop_oneof![
+        Just(TypeSpec::Unit),
+        Just(TypeSpec::Bool),
+        Just(TypeSpec::Int),
+        Just(TypeSpec::Str),
+        Just(TypeSpec::Bytes),
+        Just(TypeSpec::Any),
+    ];
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        let inner = arb_spec(depth - 1);
+        prop_oneof![
+            4 => leaf,
+            1 => inner.clone().prop_map(TypeSpec::seq),
+            1 => proptest::collection::vec(("[a-c]{1,3}", inner), 0..3).prop_map(TypeSpec::Record),
+        ]
+        .boxed()
+    }
+}
+
+fn arb_interface() -> BoxedStrategy<InterfaceType> {
+    proptest::collection::btree_map("[a-e]{1,4}", (proptest::collection::vec(arb_spec(1), 0..3), proptest::collection::vec(arb_spec(1), 0..2)), 0..4)
+        .prop_map(|ops| {
+            let mut b = InterfaceTypeBuilder::new();
+            for (name, (params, results)) in ops {
+                b = b.interrogation(name, params, vec![OutcomeSig::ok(results)]);
+            }
+            b.build()
+        })
+        .boxed()
+}
+
+proptest! {
+    // --- Conformance is a preorder ------------------------------------
+
+    #[test]
+    fn conformance_is_reflexive(ty in arb_interface()) {
+        prop_assert!(conforms(&ty, &ty).is_ok());
+    }
+
+    #[test]
+    fn conformance_everything_conforms_to_empty(ty in arb_interface()) {
+        prop_assert!(conforms(&ty, &InterfaceType::empty()).is_ok());
+    }
+
+    #[test]
+    fn spec_conformance_reflexive_and_any_is_top(spec in arb_spec(2)) {
+        prop_assert!(spec_conforms(&spec, &spec));
+        prop_assert!(spec_conforms(&spec, &TypeSpec::Any));
+    }
+
+    #[test]
+    fn conformance_transitive_on_op_subsets(ops in proptest::collection::btree_set("[a-e]{1,4}", 0..6)) {
+        // Build three interfaces over nested subsets of the same ops:
+        // big ⊇ mid ⊇ small; conformance must chain.
+        let ops: Vec<String> = ops.into_iter().collect();
+        let make = |n: usize| {
+            let mut b = InterfaceTypeBuilder::new();
+            for name in &ops[..n] {
+                b = b.interrogation(name.clone(), vec![TypeSpec::Int], vec![OutcomeSig::ok(vec![])]);
+            }
+            b.build()
+        };
+        let small = make(ops.len() / 3);
+        let mid = make(ops.len() * 2 / 3);
+        let big = make(ops.len());
+        prop_assert!(conforms(&big, &mid).is_ok());
+        prop_assert!(conforms(&mid, &small).is_ok());
+        prop_assert!(conforms(&big, &small).is_ok());
+    }
+
+    // --- Wire format laws -----------------------------------------------
+
+    #[test]
+    fn marshal_unmarshal_identity_for_payload_vectors(
+        ints in proptest::collection::vec(any::<i64>(), 0..8),
+        strs in proptest::collection::vec(".{0,12}", 0..4),
+    ) {
+        let mut values: Vec<Value> = ints.iter().map(|i| Value::Int(*i)).collect();
+        values.extend(strs.iter().map(|s| Value::str(s.clone())));
+        let bytes = odp::wire::marshal(&values);
+        let rt = odp::wire::unmarshal(&bytes).expect("round trip");
+        prop_assert_eq!(values, rt);
+    }
+
+    #[test]
+    fn marshal_is_deterministic(ints in proptest::collection::vec(any::<i64>(), 0..8)) {
+        let values: Vec<Value> = ints.iter().map(|i| Value::Int(*i)).collect();
+        prop_assert_eq!(odp::wire::marshal(&values), odp::wire::marshal(&values));
+    }
+
+    // --- Context-relative naming laws -------------------------------------
+
+    #[test]
+    fn name_canonicalization_idempotent(segs in proptest::collection::vec(
+        prop_oneof![Just("..".to_owned()), "[a-d]{1,3}".prop_map(|s| s)], 0..8
+    )) {
+        let name = ContextName::new(segs).expect("valid segments");
+        let once = name.canonicalize();
+        prop_assert_eq!(once.canonicalize(), once);
+    }
+
+    #[test]
+    fn export_then_rebase_is_prefixing(segs in proptest::collection::vec("[a-d]{1,3}", 0..6)) {
+        // For names with no parent segments, export+rebase(back) must equal
+        // back/name.
+        let name = ContextName::new(segs).expect("valid");
+        let rebased = name.exported().rebase("back");
+        let expected = ContextName::new(["back"]).unwrap().join(&name);
+        prop_assert_eq!(rebased, expected);
+    }
+
+    // --- Deadlock detector soundness --------------------------------------
+
+    #[test]
+    fn detector_never_admits_a_cycle(edges in proptest::collection::vec((0u64..6, 0u64..6), 0..20)) {
+        use odp::tx::DeadlockDetector;
+        use odp::types::TxnId;
+        let d = DeadlockDetector::new();
+        let mut admitted: Vec<(u64, u64)> = Vec::new();
+        for (a, b) in edges {
+            if a != b && d.try_wait(TxnId(a), &[TxnId(b)]) {
+                admitted.push((a, b));
+            }
+        }
+        // The admitted graph must be acyclic: topological check.
+        let mut graph: std::collections::HashMap<u64, Vec<u64>> = std::collections::HashMap::new();
+        for (a, b) in &admitted {
+            graph.entry(*a).or_default().push(*b);
+        }
+        fn has_cycle(
+            node: u64,
+            graph: &std::collections::HashMap<u64, Vec<u64>>,
+            visiting: &mut std::collections::HashSet<u64>,
+            done: &mut std::collections::HashSet<u64>,
+        ) -> bool {
+            if done.contains(&node) {
+                return false;
+            }
+            if !visiting.insert(node) {
+                return true;
+            }
+            for next in graph.get(&node).into_iter().flatten() {
+                if has_cycle(*next, graph, visiting, done) {
+                    return true;
+                }
+            }
+            visiting.remove(&node);
+            done.insert(node);
+            false
+        }
+        let mut visiting = std::collections::HashSet::new();
+        let mut done = std::collections::HashSet::new();
+        for node in graph.keys().copied().collect::<Vec<_>>() {
+            prop_assert!(!has_cycle(node, &graph, &mut visiting, &mut done),
+                "detector admitted a deadlock cycle: {admitted:?}");
+        }
+    }
+
+    // --- Group view laws ----------------------------------------------------
+
+    #[test]
+    fn view_changes_strictly_increase_version(adds in 1usize..6, removes in 0usize..3) {
+        use odp::groups::GroupView;
+        use odp::types::{GroupId, InterfaceId, NodeId};
+        let mut view = GroupView::initial(GroupId(1), vec![]);
+        let mut last = view.version;
+        for i in 0..adds {
+            view = view.with_member(odp::wire::InterfaceRef::new(
+                InterfaceId(i as u64),
+                NodeId(1),
+                InterfaceType::empty(),
+            ));
+            prop_assert!(view.version > last);
+            last = view.version;
+        }
+        for i in 0..removes.min(adds) {
+            view = view.without_member(InterfaceId(i as u64));
+            prop_assert!(view.version > last);
+            last = view.version;
+        }
+        // Codec round-trip preserves everything.
+        let decoded = GroupView::decode(&view.encode()).expect("decode");
+        prop_assert_eq!(decoded, view);
+    }
+
+    // --- Lease/GC laws -------------------------------------------------------
+
+    #[test]
+    fn live_set_is_monotone_in_roots(pins in proptest::collection::btree_set(0u64..10, 0..5),
+                                     edges in proptest::collection::vec((0u64..10, 0u64..10), 0..15)) {
+        use odp::gc::RefRegistry;
+        use odp::types::InterfaceId;
+        use std::time::Duration;
+        let reg_small = RefRegistry::new(Duration::from_secs(60));
+        let reg_big = RefRegistry::new(Duration::from_secs(60));
+        for (a, b) in &edges {
+            reg_small.add_edge(InterfaceId(*a), InterfaceId(*b));
+            reg_big.add_edge(InterfaceId(*a), InterfaceId(*b));
+        }
+        for p in &pins {
+            reg_small.pin(InterfaceId(*p));
+            reg_big.pin(InterfaceId(*p));
+        }
+        reg_big.pin(InterfaceId(99));
+        let small = reg_small.live_set();
+        let big = reg_big.live_set();
+        prop_assert!(small.is_subset(&big), "adding a root shrank the live set");
+    }
+}

@@ -1,0 +1,92 @@
+//! The platform over real TCP: the engineering model must not care which
+//! transport carries it (§5.4). A capsule topology is assembled by hand on
+//! `TcpNetwork` (no `World` convenience) and the core transparencies are
+//! exercised over loopback sockets.
+
+use odp::prelude::*;
+use odp::core::relocator::RelocationServant;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+struct Counter(AtomicI64);
+
+impl Servant for Counter {
+    fn interface_type(&self) -> InterfaceType {
+        InterfaceTypeBuilder::new()
+            .interrogation("read", vec![], vec![OutcomeSig::ok(vec![TypeSpec::Int])])
+            .interrogation("add", vec![TypeSpec::Int], vec![OutcomeSig::ok(vec![TypeSpec::Int])])
+            .build()
+    }
+
+    fn dispatch(&self, op: &str, args: Vec<Value>, _ctx: &CallCtx) -> Outcome {
+        match op {
+            "read" => Outcome::ok(vec![Value::Int(self.0.load(Ordering::SeqCst))]),
+            "add" => Outcome::ok(vec![Value::Int(
+                self.0.fetch_add(args[0].as_int().unwrap_or(0), Ordering::SeqCst)
+                    + args[0].as_int().unwrap_or(0),
+            )]),
+            _ => Outcome::fail("no such op"),
+        }
+    }
+}
+
+#[test]
+fn capsules_interwork_over_tcp() {
+    let net: Arc<dyn Transport> = Arc::new(TcpNetwork::new());
+    // Hand-built topology: a system capsule with the relocator plus two
+    // application capsules, exactly as `World` does over SimNet.
+    let system = Capsule::new(Arc::clone(&net), NodeId(1)).unwrap();
+    let reloc_ref = system.export(Arc::new(RelocationServant::new()));
+    system.set_relocator(reloc_ref.clone());
+    let server = Capsule::new(Arc::clone(&net), NodeId(2)).unwrap();
+    let client_capsule = Capsule::new(Arc::clone(&net), NodeId(3)).unwrap();
+    server.set_relocator(reloc_ref.clone());
+    client_capsule.set_relocator(reloc_ref);
+
+    let r = server.export(Arc::new(Counter(AtomicI64::new(0))));
+    let binding = client_capsule.bind(r.clone());
+    for i in 1..=10 {
+        let out = binding.interrogate("add", vec![Value::Int(1)]).unwrap();
+        assert_eq!(out.int(), Some(i));
+    }
+
+    // Migration over TCP: tombstone redirection works identically.
+    server.migrate_to(r.iface, &client_capsule).unwrap();
+    assert_eq!(binding.interrogate("read", vec![]).unwrap().int(), Some(10));
+    assert_eq!(binding.target().home, client_capsule.node());
+
+    // Interface references marshal across real sockets.
+    let ty = InterfaceTypeBuilder::new()
+        .interrogation("get", vec![], vec![OutcomeSig::ok(vec![TypeSpec::Any])])
+        .build();
+    let handed = binding.target();
+    let dir = FnServant::new(ty, move |_o, _a, _c| {
+        Outcome::ok(vec![Value::Interface(handed.clone())])
+    });
+    let dir_ref = server.export(Arc::new(dir));
+    let out = client_capsule
+        .bind(dir_ref)
+        .interrogate("get", vec![])
+        .unwrap();
+    let fetched = out.result().unwrap().as_interface().unwrap().clone();
+    let again = client_capsule.bind(fetched);
+    assert_eq!(again.interrogate("read", vec![]).unwrap().int(), Some(10));
+}
+
+#[test]
+fn type_errors_and_terminations_over_tcp() {
+    let net: Arc<dyn Transport> = Arc::new(TcpNetwork::new());
+    let server = Capsule::new(Arc::clone(&net), NodeId(1)).unwrap();
+    let client = Capsule::new(net, NodeId(2)).unwrap();
+    let r = server.export(Arc::new(Counter(AtomicI64::new(0))));
+    let binding = client.bind_with(r.clone(), TransparencyPolicy::minimal());
+    assert!(matches!(
+        binding.interrogate("add", vec![Value::str("oops")]),
+        Err(InvokeError::TypeCheck(_))
+    ));
+    server.close(r.iface);
+    assert!(matches!(
+        binding.interrogate("read", vec![]),
+        Err(InvokeError::Closed(_))
+    ));
+}
