@@ -1,0 +1,150 @@
+//! E15 — chaos soak: the cost of surviving faults.
+//!
+//! The hardened access path (retry budgets, decorrelated-jitter backoff,
+//! circuit breaking, deadline propagation, relocation chasing) claims two
+//! measurable properties:
+//!
+//! * a whole seeded fault schedule — crash/restart with WAL recovery,
+//!   partition/heal, loss bursts, forced relocation — replays in bounded
+//!   wall time with every safety invariant intact;
+//! * an **open breaker sheds in microseconds** what a bare deadline burns
+//!   in milliseconds: the load-shedding gap is the breaker's whole value.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use odp::chaos::{run, ChaosConfig, ChaosProfile, FaultSchedule, Topology};
+use odp::core::CircuitBreakerPolicy;
+use odp::net::NetFault;
+use odp::prelude::*;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn echo_servant() -> Arc<FnServant> {
+    let ty = InterfaceTypeBuilder::new()
+        .interrogation("echo", vec![], vec![OutcomeSig::ok(vec![TypeSpec::Int])])
+        .build();
+    Arc::new(FnServant::new(ty, |_op, _args, _ctx| {
+        Outcome::ok(vec![Value::Int(7)])
+    }))
+}
+
+/// Generating a fault schedule is pure computation — it must be cheap
+/// enough to regenerate per run (reproducibility costs nothing).
+fn schedule_generation(c: &mut Criterion) {
+    let topo = Topology::standard();
+    let mut group = c.benchmark_group("e15_schedule_generation");
+    for profile in ChaosProfile::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("generate", format!("{profile:?}")),
+            &profile,
+            |b, p| {
+                b.iter(|| black_box(FaultSchedule::generate(*p, 0xE15_BEEF, &topo)));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Wall time to replay a full seeded schedule against a live world with
+/// client load — the soak-iteration cost. Every run's invariants must
+/// hold; a violation aborts the benchmark.
+fn soak_runs(c: &mut Criterion) {
+    let topo = Topology::standard();
+    let mut group = c.benchmark_group("e15_soak_run");
+    group.sample_size(10);
+    for profile in [
+        ChaosProfile::CrashRestart,
+        ChaosProfile::PartitionHeal,
+        ChaosProfile::Mixed,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("replay", format!("{profile:?}")),
+            &profile,
+            |b, p| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for i in 0..iters {
+                        let schedule = FaultSchedule::generate(*p, 0xE15 + i, &topo);
+                        let start = Instant::now();
+                        let report = run(&ChaosConfig::new(schedule)).expect("chaos run");
+                        total += start.elapsed();
+                        assert!(report.invariants.ok(), "{}", report.invariants);
+                    }
+                    total
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Failure latency with and without circuit breaking, against a silently
+/// partitioned server: a bare call burns its whole deadline; a shed call
+/// fails in local time.
+fn breaker_shedding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e15_breaker");
+    group.sample_size(15);
+    let deadline = Duration::from_millis(50);
+
+    {
+        let world = World::builder().capsules(2).build();
+        let reference = world.capsule(0).export(echo_servant());
+        let binding = world.capsule(1).bind_with(
+            reference,
+            TransparencyPolicy::default()
+                .with_qos(CallQos::with_deadline(deadline))
+                .with_failure(None),
+        );
+        binding.interrogate("echo", vec![]).expect("sanity call");
+        world.net().apply(&NetFault::Partition(
+            world.capsule(1).node(),
+            world.capsule(0).node(),
+        ));
+        group.bench_function("timeout_no_breaker", |b| {
+            b.iter(|| {
+                let _ = black_box(binding.interrogate("echo", vec![]));
+            });
+        });
+    }
+
+    {
+        let world = World::builder().capsules(2).build();
+        let reference = world.capsule(0).export(echo_servant());
+        let binding = world.capsule(1).bind_with(
+            reference,
+            TransparencyPolicy::default()
+                .with_qos(CallQos::with_deadline(deadline))
+                .with_failure(None)
+                .with_breaker(Some(CircuitBreakerPolicy {
+                    failure_threshold: 3,
+                    // Long cooldown: the breaker stays open for the whole
+                    // measurement, so we time pure shedding.
+                    cooldown: Duration::from_secs(600),
+                })),
+        );
+        binding.interrogate("echo", vec![]).expect("sanity call");
+        world.net().apply(&NetFault::Partition(
+            world.capsule(1).node(),
+            world.capsule(0).node(),
+        ));
+        for _ in 0..3 {
+            let _ = binding.interrogate("echo", vec![]);
+        }
+        group.bench_function("shed_open_breaker", |b| {
+            b.iter(|| {
+                let _ = black_box(binding.interrogate("echo", vec![]));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = schedule_generation, soak_runs, breaker_shedding
+}
+criterion_main!(benches);

@@ -1,0 +1,161 @@
+//! Safety invariants checked after every chaos run.
+//!
+//! The checker is pure: it compares the client-side commit log (keys whose
+//! `record` interrogation returned `ok` before the run ended) against the
+//! survivor ledger read back after all faults healed. Three invariants:
+//!
+//! 1. **Durability** — every committed key is present in the final ledger.
+//!    A commit implies the write-ahead log held the record before the reply
+//!    left the capsule, so no crash/restart may lose it.
+//! 2. **At-most-once effect** — every surviving entry carries exactly the
+//!    value a single application of its operation produces. Retry storms,
+//!    retransmissions and WAL replay must collapse into one effect per key.
+//! 3. **Reachability** — after partitions heal and crashed capsules
+//!    restart, a fresh interrogation of the (possibly relocated) interface
+//!    succeeds.
+
+use crate::workload::expected_value;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Outcome of an invariant sweep. Empty `violations` means the run passed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InvariantReport {
+    /// Names of the invariants that were evaluated.
+    pub checked: Vec<&'static str>,
+    /// Human-readable description of each violation found.
+    pub violations: Vec<String>,
+}
+
+impl InvariantReport {
+    /// True if every checked invariant held.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl std::fmt::Display for InvariantReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.ok() {
+            write!(f, "{} invariants held", self.checked.len())
+        } else {
+            writeln!(f, "{} violation(s):", self.violations.len())?;
+            for v in &self.violations {
+                writeln!(f, "  - {v}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Runs the full invariant sweep for one chaos run.
+///
+/// `committed` is the client-side commit log, `ledger` the table read back
+/// from the survivor after the heal/restart epilogue, `final_probe_ok`
+/// whether that read (a fresh binding through the hardened access path)
+/// succeeded at all.
+#[must_use]
+pub fn verify_run(
+    committed: &BTreeSet<(u64, u64)>,
+    ledger: &BTreeMap<(u64, u64), i64>,
+    final_probe_ok: bool,
+) -> InvariantReport {
+    let mut report = InvariantReport::default();
+
+    report.checked.push("reachability");
+    if !final_probe_ok {
+        report
+            .violations
+            .push("final probe failed: interface unreachable after heal/restart".to_owned());
+    }
+
+    report.checked.push("durability");
+    // Report a bounded number of lost keys so a catastrophic run stays
+    // readable.
+    let mut total = 0usize;
+    let mut sample = Vec::new();
+    for key in committed {
+        if !ledger.contains_key(key) {
+            total += 1;
+            if sample.len() < 5 {
+                sample.push(*key);
+            }
+        }
+    }
+    if total > 0 {
+        report.violations.push(format!(
+            "durability: {total} committed record(s) missing from final ledger (e.g. {sample:?})"
+        ));
+    }
+
+    report.checked.push("at-most-once effect");
+    for (&(client, seq), &value) in ledger {
+        let want = expected_value(client, seq);
+        if value != want {
+            report.violations.push(format!(
+                "at-most-once: entry ({client},{seq}) holds {value}, single application \
+                 would produce {want}"
+            ));
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn committed(keys: &[(u64, u64)]) -> BTreeSet<(u64, u64)> {
+        keys.iter().copied().collect()
+    }
+
+    fn ledger_of(keys: &[(u64, u64)]) -> BTreeMap<(u64, u64), i64> {
+        keys.iter().map(|&(c, s)| ((c, s), expected_value(c, s))).collect()
+    }
+
+    #[test]
+    fn clean_run_passes() {
+        let c = committed(&[(1, 0), (1, 1), (2, 0)]);
+        let l = ledger_of(&[(1, 0), (1, 1), (2, 0), (3, 5)]);
+        let report = verify_run(&c, &l, true);
+        assert!(report.ok(), "{report}");
+        assert_eq!(report.checked.len(), 3);
+    }
+
+    #[test]
+    fn uncommitted_extras_are_allowed() {
+        // An entry the client never saw commit (reply lost) may legally
+        // survive — commitment is one-way.
+        let c = committed(&[(1, 0)]);
+        let l = ledger_of(&[(1, 0), (1, 1)]);
+        assert!(verify_run(&c, &l, true).ok());
+    }
+
+    #[test]
+    fn lost_commit_is_a_durability_violation() {
+        let c = committed(&[(1, 0), (1, 1)]);
+        let l = ledger_of(&[(1, 0)]);
+        let report = verify_run(&c, &l, true);
+        assert!(!report.ok());
+        assert!(report.violations.iter().any(|v| v.contains("durability")));
+    }
+
+    #[test]
+    fn corrupted_value_is_an_effect_violation() {
+        let c = committed(&[(1, 0)]);
+        let mut l = ledger_of(&[(1, 0)]);
+        // Simulate a double-application (e.g. an increment applied twice).
+        l.insert((1, 0), expected_value(1, 0) + 1);
+        let report = verify_run(&c, &l, true);
+        assert!(report.violations.iter().any(|v| v.contains("at-most-once")));
+    }
+
+    #[test]
+    fn unreachable_probe_is_a_violation() {
+        let c = committed(&[]);
+        let l = ledger_of(&[]);
+        let report = verify_run(&c, &l, false);
+        assert!(report.violations.iter().any(|v| v.contains("unreachable")));
+    }
+}

@@ -1,0 +1,48 @@
+//! # odp-chaos — deterministic fault injection for the engineering model
+//!
+//! The paper's central claim is that distribution transparencies are
+//! *effects* assembled from engineering mechanisms — retries, relocation
+//! records, write-ahead logs, epochs — rather than promises a middleware
+//! can keep by decree. The only honest way to test an effect is to attack
+//! the mechanisms underneath it. This crate does that systematically:
+//!
+//! * [`schedule`] — seeded, declarative fault timelines
+//!   ([`FaultSchedule`]): crash-stop, crash-restart-with-recovery,
+//!   partitions, loss bursts, latency spikes and forced relocations. The
+//!   same `(profile, seed)` always yields the same timeline, so a failing
+//!   run is a reproducible artifact, not an anecdote.
+//! * [`workload`] — an idempotent, recoverable ledger ([`LedgerServant`])
+//!   whose operation set makes safety externally checkable.
+//! * [`runner`] — replays a schedule against a live multi-capsule
+//!   [`odp_core::World`] while client threads drive load through the full
+//!   hardened access path (retry budgets, decorrelated-jitter backoff,
+//!   circuit breaking, deadline propagation, relocation chasing).
+//! * [`invariants`] — the post-run sweep: no committed record lost, each
+//!   effect applied at most once, the interface reachable after heal.
+//!
+//! ```no_run
+//! use odp_chaos::{ChaosConfig, ChaosProfile, FaultSchedule, Topology};
+//!
+//! let schedule =
+//!     FaultSchedule::generate(ChaosProfile::CrashRestart, 42, &Topology::standard());
+//! let report = odp_chaos::run(&ChaosConfig::new(schedule)).unwrap();
+//! assert!(report.invariants.ok(), "{}", report.invariants);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod invariants;
+pub mod runner;
+pub mod schedule;
+pub mod workload;
+
+pub use invariants::{verify_run, InvariantReport};
+pub use runner::{run, ChaosConfig, ChaosReport, Timeline};
+pub use schedule::{
+    ChaosAction, ChaosEvent, ChaosProfile, FaultSchedule, SplitMix64, Topology,
+};
+pub use workload::{
+    expected_value, ledger_interface_type, ledger_is_mutating, parse_entries, LedgerServant,
+    LEDGER_OP_ENTRIES, LEDGER_OP_LEN, LEDGER_OP_RECORD,
+};

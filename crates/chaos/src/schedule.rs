@@ -1,0 +1,346 @@
+//! Deterministic fault schedules.
+//!
+//! A [`FaultSchedule`] is a seeded, declarative timeline of fault actions
+//! — network faults, capsule crashes, restarts-with-recovery and forced
+//! relocations — replayed by the runner against a live [`odp_core::World`].
+//! The same `(profile, seed, topology)` triple always produces the same
+//! schedule, byte for byte, which is what makes chaos runs reproducible:
+//! a failing seed can be replayed until the bug is gone.
+
+use odp_net::{LinkConfig, NetFault};
+use odp_types::NodeId;
+use std::time::Duration;
+
+/// A small, fast, deterministic PRNG (SplitMix64).
+///
+/// Used for schedule generation and workload value derivation instead of
+/// `rand` so that the chaos crate has no sampling dependencies and the
+/// stream is trivially reproducible across platforms.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[lo, hi)`. `hi` must be greater than `lo`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(hi > lo, "empty range");
+        lo + self.next_u64() % (hi - lo)
+    }
+}
+
+/// One fault action the runner can apply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChaosAction {
+    /// Apply a simulated-network fault (partition, loss, latency, …).
+    Net(NetFault),
+    /// Crash-stop the capsule at this node: dispatcher threads join, the
+    /// endpoint deregisters, in-memory servant state is lost.
+    Crash(NodeId),
+    /// Restart the node under the same identity. If the node hosted the
+    /// workload interface at crash time, the runner recovers it from the
+    /// write-ahead log and re-exports it at a bumped epoch.
+    Restart(NodeId),
+    /// Migrate the workload interface from wherever it currently lives to
+    /// the capsule at this node, leaving a `Moved` tombstone behind.
+    Relocate {
+        /// Destination node for the workload interface.
+        to: NodeId,
+    },
+}
+
+/// A fault action with its offset from the start of the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosEvent {
+    /// Offset from run start at which the action fires.
+    pub at: Duration,
+    /// The action to apply.
+    pub action: ChaosAction,
+}
+
+/// Named fault profiles — each generates a characteristic timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChaosProfile {
+    /// Crash-stop the workload host, then restart it with WAL recovery.
+    CrashRestart,
+    /// Partition the client from the workload host, then heal.
+    PartitionHeal,
+    /// A burst of heavy message loss on the client↔host link.
+    LossBurst,
+    /// A latency spike (with jitter) on the client↔host link.
+    LatencySpike,
+    /// Migrate the workload interface between nodes mid-stream.
+    ForcedRelocation,
+    /// Loss burst + relocation + crash/restart of the abandoned host.
+    Mixed,
+}
+
+impl ChaosProfile {
+    /// All profiles, in a stable order (soak tests iterate this).
+    pub const ALL: [ChaosProfile; 6] = [
+        ChaosProfile::CrashRestart,
+        ChaosProfile::PartitionHeal,
+        ChaosProfile::LossBurst,
+        ChaosProfile::LatencySpike,
+        ChaosProfile::ForcedRelocation,
+        ChaosProfile::Mixed,
+    ];
+}
+
+/// The node layout a schedule is generated against.
+///
+/// Must match the layout the runner builds; [`Topology::standard`] is the
+/// one `ChaosWorld` uses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    /// Node initially hosting the workload interface.
+    pub host: NodeId,
+    /// Spare nodes (relocation targets, never initial hosts).
+    pub peers: Vec<NodeId>,
+    /// Node the client capsule lives on (never crashed).
+    pub client: NodeId,
+}
+
+impl Topology {
+    /// The layout `ChaosWorld` builds: host at node 2, two peers at 3 and
+    /// 4, client at node 9. Node 1 is the system capsule (relocator) and
+    /// is never faulted.
+    #[must_use]
+    pub fn standard() -> Self {
+        Self {
+            host: NodeId(2),
+            peers: vec![NodeId(3), NodeId(4)],
+            client: NodeId(9),
+        }
+    }
+}
+
+/// A complete, replayable fault timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSchedule {
+    /// Seed the schedule was generated from.
+    pub seed: u64,
+    /// Profile the schedule was generated from.
+    pub profile: ChaosProfile,
+    /// Events sorted by offset.
+    pub events: Vec<ChaosEvent>,
+    /// Total run duration (client load stops at this offset; always past
+    /// the last event so the system gets post-fault traffic).
+    pub duration: Duration,
+}
+
+impl FaultSchedule {
+    /// Generates the deterministic schedule for `(profile, seed)` against
+    /// a topology. Identical inputs yield identical schedules.
+    #[must_use]
+    pub fn generate(profile: ChaosProfile, seed: u64, topo: &Topology) -> Self {
+        let mut rng = SplitMix64::new(seed ^ 0xC4A0_5CAD);
+        let mut events = Vec::new();
+        let ms = Duration::from_millis;
+        match profile {
+            ChaosProfile::CrashRestart => {
+                let t_crash = rng.range(60, 120);
+                let t_restart = t_crash + rng.range(120, 240);
+                events.push(ChaosEvent {
+                    at: ms(t_crash),
+                    action: ChaosAction::Crash(topo.host),
+                });
+                events.push(ChaosEvent {
+                    at: ms(t_restart),
+                    action: ChaosAction::Restart(topo.host),
+                });
+            }
+            ChaosProfile::PartitionHeal => {
+                let t_cut = rng.range(50, 100);
+                let t_heal = t_cut + rng.range(100, 250);
+                events.push(ChaosEvent {
+                    at: ms(t_cut),
+                    action: ChaosAction::Net(NetFault::Partition(topo.client, topo.host)),
+                });
+                events.push(ChaosEvent {
+                    at: ms(t_heal),
+                    action: ChaosAction::Net(NetFault::Heal(topo.client, topo.host)),
+                });
+            }
+            ChaosProfile::LossBurst => {
+                let t_start = rng.range(40, 90);
+                let t_end = t_start + rng.range(150, 250);
+                let loss = 0.5 + (rng.range(0, 35) as f64) / 100.0;
+                events.push(ChaosEvent {
+                    at: ms(t_start),
+                    action: ChaosAction::Net(NetFault::SetLinkBidir {
+                        a: topo.client,
+                        b: topo.host,
+                        link: LinkConfig::with_loss(loss),
+                    }),
+                });
+                events.push(ChaosEvent {
+                    at: ms(t_end),
+                    action: ChaosAction::Net(NetFault::ClearLink(topo.client, topo.host)),
+                });
+            }
+            ChaosProfile::LatencySpike => {
+                let t_start = rng.range(40, 90);
+                let t_end = t_start + rng.range(120, 220);
+                let latency = rng.range(15, 40);
+                let mut link = LinkConfig::with_latency(Duration::from_millis(latency));
+                link.jitter = Duration::from_millis(5);
+                events.push(ChaosEvent {
+                    at: ms(t_start),
+                    action: ChaosAction::Net(NetFault::SetLinkBidir {
+                        a: topo.client,
+                        b: topo.host,
+                        link,
+                    }),
+                });
+                events.push(ChaosEvent {
+                    at: ms(t_end),
+                    action: ChaosAction::Net(NetFault::ClearLink(topo.client, topo.host)),
+                });
+            }
+            ChaosProfile::ForcedRelocation => {
+                let t_first = rng.range(50, 110);
+                let t_second = t_first + rng.range(100, 200);
+                let first = topo.peers[0];
+                let second = topo.peers[rng.range(0, topo.peers.len() as u64) as usize];
+                events.push(ChaosEvent {
+                    at: ms(t_first),
+                    action: ChaosAction::Relocate { to: first },
+                });
+                events.push(ChaosEvent {
+                    at: ms(t_second),
+                    action: ChaosAction::Relocate { to: second },
+                });
+            }
+            ChaosProfile::Mixed => {
+                let t_loss = rng.range(30, 60);
+                let t_move = t_loss + rng.range(40, 80);
+                let t_clear = t_move + rng.range(30, 60);
+                let t_crash = t_clear + rng.range(40, 80);
+                let t_restart = t_crash + rng.range(100, 180);
+                let loss = 0.4 + (rng.range(0, 30) as f64) / 100.0;
+                events.push(ChaosEvent {
+                    at: ms(t_loss),
+                    action: ChaosAction::Net(NetFault::SetLinkBidir {
+                        a: topo.client,
+                        b: topo.host,
+                        link: LinkConfig::with_loss(loss),
+                    }),
+                });
+                events.push(ChaosEvent {
+                    at: ms(t_move),
+                    action: ChaosAction::Relocate { to: topo.peers[0] },
+                });
+                events.push(ChaosEvent {
+                    at: ms(t_clear),
+                    action: ChaosAction::Net(NetFault::ClearLink(topo.client, topo.host)),
+                });
+                // The old host now holds only a Moved tombstone; crashing
+                // it forces stale bindings through the relocator path.
+                events.push(ChaosEvent {
+                    at: ms(t_crash),
+                    action: ChaosAction::Crash(topo.host),
+                });
+                events.push(ChaosEvent {
+                    at: ms(t_restart),
+                    action: ChaosAction::Restart(topo.host),
+                });
+            }
+        }
+        events.sort_by_key(|e| e.at);
+        let last = events.last().map_or(Duration::ZERO, |e| e.at);
+        FaultSchedule {
+            seed,
+            profile,
+            events,
+            duration: last + ms(250),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_varies() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn range_stays_in_bounds() {
+        let mut rng = SplitMix64::new(99);
+        for _ in 0..1000 {
+            let v = rng.range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let topo = Topology::standard();
+        for profile in ChaosProfile::ALL {
+            let a = FaultSchedule::generate(profile, 42, &topo);
+            let b = FaultSchedule::generate(profile, 42, &topo);
+            assert_eq!(a, b, "{profile:?} not deterministic");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let topo = Topology::standard();
+        let a = FaultSchedule::generate(ChaosProfile::CrashRestart, 1, &topo);
+        let b = FaultSchedule::generate(ChaosProfile::CrashRestart, 2, &topo);
+        assert_ne!(a.events, b.events);
+    }
+
+    #[test]
+    fn events_are_sorted_and_duration_covers_them() {
+        let topo = Topology::standard();
+        for profile in ChaosProfile::ALL {
+            let s = FaultSchedule::generate(profile, 7, &topo);
+            assert!(!s.events.is_empty());
+            assert!(s.events.windows(2).all(|w| w[0].at <= w[1].at));
+            assert!(s.duration > s.events.last().unwrap().at);
+        }
+    }
+
+    #[test]
+    fn crash_restart_pairs_are_ordered() {
+        let topo = Topology::standard();
+        for seed in [1u64, 9, 77, 1234] {
+            let s = FaultSchedule::generate(ChaosProfile::CrashRestart, seed, &topo);
+            let crash = s
+                .events
+                .iter()
+                .position(|e| matches!(e.action, ChaosAction::Crash(_)))
+                .unwrap();
+            let restart = s
+                .events
+                .iter()
+                .position(|e| matches!(e.action, ChaosAction::Restart(_)))
+                .unwrap();
+            assert!(crash < restart);
+        }
+    }
+}

@@ -37,7 +37,7 @@ use odp_wire::{InterfaceRef, Value};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// How invocations on one exported interface may overlap (§4.5).
@@ -103,6 +103,10 @@ pub struct Capsule {
     alloc: InterfaceIdAllocator,
     exports: RwLock<HashMap<InterfaceId, ExportEntry>>,
     relocator: RwLock<Option<InterfaceRef>>,
+    /// Set by [`Capsule::crash`]; a crashed capsule never serves again —
+    /// recovery means a *new* capsule on the same node id (see
+    /// `odp-storage` and the `odp-chaos` supervisor).
+    crashed: AtomicBool,
     /// Statistics.
     pub stats: CapsuleStats,
 }
@@ -135,6 +139,7 @@ impl Capsule {
             alloc: InterfaceIdAllocator::new(node),
             exports: RwLock::new(HashMap::new()),
             relocator: RwLock::new(None),
+            crashed: AtomicBool::new(false),
             stats: CapsuleStats::default(),
         });
         let weak = Arc::downgrade(&capsule);
@@ -392,7 +397,40 @@ impl Capsule {
     /// later recovery (see `odp-storage`) can be
     /// exercised, but no caller can reach them.
     pub fn crash(&self) {
+        self.crashed.store(true, Ordering::SeqCst);
         self.rex.shutdown();
+    }
+
+    /// True once [`Capsule::crash`] has been called. A crashed capsule is a
+    /// corpse: supervisors replace it with a fresh capsule on the same node
+    /// id and re-export recovered servants there.
+    #[must_use]
+    pub fn is_crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
+
+    /// `(interface, epoch)` of every *active* export — the manifest a
+    /// supervisor snapshots before (or after) a crash to know what must be
+    /// recovered, and at which epoch to re-export (`epoch + 1`).
+    #[must_use]
+    pub fn export_manifest(&self) -> Vec<(InterfaceId, u64)> {
+        self.exports
+            .read()
+            .iter()
+            .filter_map(|(id, e)| match e {
+                ExportEntry::Active { epoch, .. } => Some((*id, *epoch)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The epoch of an active export, if any.
+    #[must_use]
+    pub fn epoch_of(&self, iface: InterfaceId) -> Option<u64> {
+        match self.exports.read().get(&iface) {
+            Some(ExportEntry::Active { epoch, .. }) => Some(*epoch),
+            _ => None,
+        }
     }
 
     pub(crate) fn count_local_fast_path(&self) {

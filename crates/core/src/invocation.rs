@@ -24,6 +24,7 @@ use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::{Arc, Weak};
+use std::time::Instant;
 
 /// One in-flight invocation as seen by the layer stack.
 #[derive(Debug, Clone)]
@@ -40,6 +41,22 @@ pub struct CallRequest {
     pub qos: CallQos,
     /// True for announcements.
     pub announcement: bool,
+    /// Absolute end-to-end deadline for the *whole* invocation, stamped at
+    /// the stub. Layers that sleep or re-issue attempts (retry, location,
+    /// replication fan-out) must respect it, and the access layer clamps
+    /// each attempt's QoS to the remaining budget, so stacked retries can
+    /// never exceed the caller's total deadline.
+    pub deadline: Option<Instant>,
+}
+
+impl CallRequest {
+    /// The time left before [`CallRequest::deadline`], or `None` if no
+    /// deadline was stamped. `Some(ZERO)` means the budget is spent.
+    #[must_use]
+    pub fn remaining_budget(&self) -> Option<std::time::Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
 }
 
 /// Why an invocation failed at the engineering level.
@@ -74,6 +91,10 @@ pub enum InvokeError {
         /// `(new_home, epoch)` if known.
         hint: Option<(NodeId, u64)>,
     },
+    /// A circuit breaker in the access path is open and shed the call
+    /// without touching the network (failure transparency, load-shedding
+    /// half).
+    CircuitOpen,
     /// A security guard refused the interaction (§7.1).
     Denied(String),
     /// A concurrency-control layer aborted the interaction (§5.2).
@@ -100,6 +121,7 @@ impl fmt::Display for InvokeError {
             InvokeError::Stale { iface, hint } => {
                 write!(f, "reference to {iface} is stale (hint: {hint:?})")
             }
+            InvokeError::CircuitOpen => write!(f, "circuit breaker open: call shed"),
             InvokeError::Denied(why) => write!(f, "access denied: {why}"),
             InvokeError::Aborted(why) => write!(f, "aborted by concurrency control: {why}"),
             InvokeError::RemoteTypeError(why) => write!(f, "server rejected arguments: {why}"),
@@ -195,6 +217,15 @@ impl AccessLayer {
     /// can react to them.
     pub fn invoke_base(&self, req: CallRequest) -> Result<Outcome, InvokeError> {
         let capsule = self.capsule()?;
+        // Deadline propagation: clamp this attempt's QoS to what is left of
+        // the caller's end-to-end budget (and fail fast if it is spent).
+        let mut qos = req.qos;
+        if let Some(remaining) = req.remaining_budget() {
+            if remaining.is_zero() {
+                return Err(InvokeError::Rex(RexError::Timeout));
+            }
+            qos = qos.clamp_to(remaining);
+        }
         // Client-side signature checks: the paper requires "prior agreement
         // that the client activity is requesting an operation provided by
         // the server interface" (§5.1).
@@ -229,11 +260,19 @@ impl AccessLayer {
             capsule.count_local_fast_path();
             if req.announcement {
                 // A new activity is spawned, as §5.1 requires.
-                let capsule = Arc::clone(&capsule);
-                let req = req.clone();
-                std::thread::spawn(move || {
+                let spawn_capsule = Arc::clone(&capsule);
+                let spawn_req = req.clone();
+                let spawned = std::thread::Builder::new()
+                    .name("odp-announce".into())
+                    .spawn(move || {
+                        let _ = spawn_capsule.dispatch_entry_for(&spawn_req, true);
+                    });
+                if spawned.is_err() {
+                    // Thread exhaustion: run synchronously rather than
+                    // panic or drop the announcement. The caller loses only
+                    // the asynchrony, never the invocation.
                     let _ = capsule.dispatch_entry_for(&req, true);
-                });
+                }
                 return Ok(Outcome::ok(vec![]));
             }
             return Ok(capsule.dispatch_entry_for(&req, false));
@@ -249,7 +288,7 @@ impl AccessLayer {
         }
         let reply = capsule
             .rex()
-            .call(req.target.home, req.target.iface, &req.op, body, req.qos)?;
+            .call(req.target.home, req.target.iface, &req.op, body, qos)?;
         object::decode_outcome(&reply).map_err(InvokeError::Protocol)
     }
 }
@@ -355,6 +394,9 @@ impl ClientBinding {
             annotations,
             qos: self.default_qos,
             announcement: false,
+            // The binding's QoS deadline is the caller's end-to-end budget:
+            // stamp it once here so every layer below shares the same clock.
+            deadline: Some(Instant::now() + self.default_qos.deadline),
         };
         let iface = self.target.read().iface;
         let outcome = StackNext {
@@ -378,6 +420,7 @@ impl ClientBinding {
             annotations: BTreeMap::new(),
             qos: self.default_qos,
             announcement: true,
+            deadline: Some(Instant::now() + self.default_qos.deadline),
         };
         StackNext {
             layers: &self.layers,

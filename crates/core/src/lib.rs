@@ -58,12 +58,14 @@ pub use invocation::{
 };
 pub use object::{terminations, CallCtx, FnServant, Outcome, Servant};
 pub use relocator::{RelocationServant, RELOCATOR_OP_LOOKUP, RELOCATOR_OP_REGISTER};
-pub use transparency::{RetryPolicy, TransparencyPolicy};
+pub use transparency::{
+    BreakerState, CircuitBreakerPolicy, RetryBudget, RetryPolicy, TransparencyPolicy,
+};
 pub use world::World;
 
 /// Module grouping the built-in client layers so downstream crates can
 /// compose them explicitly.
 pub mod layers {
     pub use crate::invocation::AccessLayer;
-    pub use crate::transparency::{LocationLayer, RetryLayer};
+    pub use crate::transparency::{CircuitBreakerLayer, LocationLayer, RetryLayer};
 }

@@ -17,6 +17,7 @@ use odp_wire::Value;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Operation name: `register(iface, node, epoch) -> ok | stale`.
 pub const RELOCATOR_OP_REGISTER: &str = "register";
@@ -50,6 +51,12 @@ pub fn relocator_interface_type() -> InterfaceType {
 #[derive(Default)]
 pub struct RelocationServant {
     table: Mutex<HashMap<InterfaceId, (NodeId, u64)>>,
+    /// Lookups served (consultation pressure: chaos experiments watch this
+    /// to confirm stale bindings rebind through the relocator rather than
+    /// burning their retry budgets blind).
+    pub lookups: AtomicU64,
+    /// Lookups that found no record.
+    pub lookup_misses: AtomicU64,
 }
 
 impl RelocationServant {
@@ -110,12 +117,16 @@ impl Servant for RelocationServant {
                 let Some(iface) = args.first().and_then(Value::as_int) else {
                     return Outcome::fail("lookup requires (iface)");
                 };
+                self.lookups.fetch_add(1, Ordering::Relaxed);
                 match self.table.lock().get(&InterfaceId(iface as u64)) {
                     Some((node, epoch)) => Outcome::ok(vec![
                         Value::Int(node.raw() as i64),
                         Value::Int(*epoch as i64),
                     ]),
-                    None => Outcome::new("not_found", vec![]),
+                    None => {
+                        self.lookup_misses.fetch_add(1, Ordering::Relaxed);
+                        Outcome::new("not_found", vec![])
+                    }
                 }
             }
             RELOCATOR_OP_UNREGISTER => {

@@ -15,8 +15,14 @@
 //!   the relocation service, updating the shared reference **in place**
 //!   (every holder of the binding learns the new location), and retrying.
 //! * [`RetryLayer`] — the client half of failure transparency (§5.5):
-//!   bounded retries with exponential backoff on communication failure.
-//!   (The server half — checkpoints and recovery — lives in `odp-storage`.)
+//!   bounded retries with decorrelated-jitter backoff, metered by a
+//!   per-binding [`RetryBudget`] and clamped to the caller's end-to-end
+//!   deadline. (The server half — checkpoints and recovery — lives in
+//!   `odp-storage`.)
+//! * [`CircuitBreakerLayer`] — the load-shedding half of failure
+//!   transparency: after a run of consecutive communication failures the
+//!   breaker opens and sheds calls locally; after a cooldown one half-open
+//!   probe is admitted, and a probe success closes the breaker again.
 //!
 //! Crates higher in the platform contribute further layers (replication
 //! fan-out in `odp-groups`, guards in `odp-security`, boundary interception
@@ -25,21 +31,28 @@
 use crate::capsule::Capsule;
 use crate::invocation::{CallRequest, ClientLayer, ClientNext, InvokeError};
 use crate::object::{terminations, Outcome};
-use crate::relocator::{RELOCATOR_OP_LOOKUP};
+use crate::relocator::RELOCATOR_OP_LOOKUP;
 use odp_net::{CallQos, RexError};
 use odp_wire::{InterfaceRef, Value};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Client-side retry policy (failure transparency, §5.5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Retries after the first attempt.
     pub max_retries: u32,
-    /// Backoff before the first retry; doubles each retry.
+    /// Base backoff: the minimum sleep before any retry, and the floor of
+    /// the decorrelated-jitter distribution.
     pub backoff: Duration,
+    /// Ceiling for any single backoff sleep.
+    pub max_backoff: Duration,
+    /// Token capacity of the per-binding [`RetryBudget`]; `None` disables
+    /// budgeting (every failure may use all `max_retries`).
+    pub budget: Option<u32>,
 }
 
 impl Default for RetryPolicy {
@@ -47,8 +60,105 @@ impl Default for RetryPolicy {
         Self {
             max_retries: 3,
             backoff: Duration::from_millis(20),
+            max_backoff: Duration::from_millis(500),
+            budget: Some(32),
         }
     }
+}
+
+/// A token-bucket retry budget shared by every call on one binding.
+///
+/// Each retry withdraws one token; each *successful* call deposits a tenth
+/// of a token back (up to the cap). Under a persistent outage the bucket
+/// drains and retries stop — the binding fails fast instead of multiplying
+/// load against a dead or struggling server — while under occasional
+/// failures the steady trickle of successes keeps the bucket full.
+#[derive(Debug)]
+pub struct RetryBudget {
+    /// Balance in milli-tokens (so deposits can be fractional).
+    balance_milli: AtomicU64,
+    cap_milli: u64,
+}
+
+/// Milli-tokens one retry costs.
+const RETRY_COST_MILLI: u64 = 1000;
+/// Milli-tokens one success deposits (a tenth of a token).
+const SUCCESS_DEPOSIT_MILLI: u64 = 100;
+
+impl RetryBudget {
+    /// A full bucket holding `cap` tokens.
+    #[must_use]
+    pub fn new(cap: u32) -> Arc<Self> {
+        let cap_milli = u64::from(cap) * RETRY_COST_MILLI;
+        Arc::new(Self {
+            balance_milli: AtomicU64::new(cap_milli),
+            cap_milli,
+        })
+    }
+
+    /// Withdraws one retry token. Returns `false` (and withdraws nothing)
+    /// if the budget is exhausted.
+    pub fn try_withdraw(&self) -> bool {
+        self.balance_milli
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |b| {
+                b.checked_sub(RETRY_COST_MILLI)
+            })
+            .is_ok()
+    }
+
+    /// Deposits the per-success trickle, saturating at the cap.
+    pub fn deposit(&self) {
+        let _ = self
+            .balance_milli
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |b| {
+                Some((b + SUCCESS_DEPOSIT_MILLI).min(self.cap_milli))
+            });
+    }
+
+    /// Whole retry tokens currently available.
+    #[must_use]
+    pub fn balance(&self) -> u32 {
+        (self.balance_milli.load(Ordering::SeqCst) / RETRY_COST_MILLI) as u32
+    }
+}
+
+/// Circuit-breaker policy: the declarative half of load-shedding failure
+/// transparency. Selectable per binding via
+/// [`TransparencyPolicy::with_breaker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CircuitBreakerPolicy {
+    /// Consecutive communication failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// Time the breaker stays open before admitting a half-open probe.
+    pub cooldown: Duration,
+}
+
+impl Default for CircuitBreakerPolicy {
+    fn default() -> Self {
+        Self {
+            failure_threshold: 5,
+            cooldown: Duration::from_millis(250),
+        }
+    }
+}
+
+/// Observable state of a [`CircuitBreakerLayer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow normally; consecutive failures are counted.
+    Closed,
+    /// Calls are shed locally without touching the network.
+    Open,
+    /// One probe call is in flight; its outcome decides open vs closed.
+    HalfOpen,
+}
+
+struct BreakerInner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+    /// True while a half-open probe is in flight (only one is admitted).
+    probing: bool,
 }
 
 /// A declarative selection of transparencies for one binding.
@@ -67,6 +177,10 @@ pub struct TransparencyPolicy {
     pub location: bool,
     /// Failure transparency (client half): bounded retry with backoff.
     pub failure: Option<RetryPolicy>,
+    /// Load shedding: a circuit breaker between the retry layer and the
+    /// network, so a persistent outage trips it open and sheds further
+    /// attempts locally instead of burning deadlines.
+    pub breaker: Option<CircuitBreakerPolicy>,
     /// Additional layers supplied by other platform crates, outermost
     /// first; they run before the built-in layers.
     pub custom_layers: Vec<Arc<dyn ClientLayer>>,
@@ -80,6 +194,7 @@ impl Default for TransparencyPolicy {
             force_remote: false,
             location: true,
             failure: Some(RetryPolicy::default()),
+            breaker: None,
             custom_layers: Vec::new(),
             qos: CallQos::default(),
         }
@@ -92,6 +207,7 @@ impl fmt::Debug for TransparencyPolicy {
             .field("force_remote", &self.force_remote)
             .field("location", &self.location)
             .field("failure", &self.failure)
+            .field("breaker", &self.breaker)
             .field("custom_layers", &self.custom_layers.len())
             .field("qos", &self.qos)
             .finish()
@@ -108,6 +224,7 @@ impl TransparencyPolicy {
             force_remote: false,
             location: false,
             failure: None,
+            breaker: None,
             custom_layers: Vec::new(),
             qos: CallQos::default(),
         }
@@ -134,6 +251,13 @@ impl TransparencyPolicy {
         self
     }
 
+    /// Builder-style: set or clear the circuit breaker.
+    #[must_use]
+    pub fn with_breaker(mut self, breaker: Option<CircuitBreakerPolicy>) -> Self {
+        self.breaker = breaker;
+        self
+    }
+
     /// Builder-style: force the remote path even when co-located.
     #[must_use]
     pub fn with_force_remote(mut self, force: bool) -> Self {
@@ -156,9 +280,16 @@ impl TransparencyPolicy {
         capsule: &Arc<Capsule>,
         cell: &Arc<RwLock<InterfaceRef>>,
     ) -> Vec<Arc<dyn ClientLayer>> {
+        // Order matters: custom → retry → breaker → location → access.
+        // The breaker sits *below* retry so every retry attempt counts
+        // toward (and is shed by) the breaker, and *above* location so a
+        // half-open probe still benefits from retargeting.
         let mut layers: Vec<Arc<dyn ClientLayer>> = self.custom_layers.clone();
         if let Some(retry) = self.failure {
-            layers.push(Arc::new(RetryLayer { policy: retry }));
+            layers.push(Arc::new(RetryLayer::new(retry)));
+        }
+        if let Some(breaker) = self.breaker {
+            layers.push(CircuitBreakerLayer::new(breaker));
         }
         if self.location {
             layers.push(Arc::new(LocationLayer {
@@ -170,28 +301,105 @@ impl TransparencyPolicy {
     }
 }
 
-/// Bounded retry with exponential backoff on communication failures.
+/// Bounded retry with decorrelated-jitter backoff on communication
+/// failures, metered by a per-binding [`RetryBudget`] and clamped to the
+/// caller's end-to-end deadline.
 pub struct RetryLayer {
     /// The declarative policy this layer enforces.
     pub policy: RetryPolicy,
+    /// Per-binding token bucket (`None` when the policy disables it).
+    budget: Option<Arc<RetryBudget>>,
+    /// SplitMix64 state for jitter. Seeded with a fixed constant so a
+    /// binding's sleep sequence is deterministic — chaos runs must replay
+    /// identically for the same seed.
+    jitter: AtomicU64,
+    /// Retries suppressed because the budget was exhausted (accounting).
+    pub budget_exhausted: AtomicU64,
+}
+
+impl RetryLayer {
+    /// Creates the layer, allocating its per-binding budget.
+    #[must_use]
+    pub fn new(policy: RetryPolicy) -> Self {
+        Self {
+            policy,
+            budget: policy.budget.map(RetryBudget::new),
+            jitter: AtomicU64::new(0x0D9_1991),
+            budget_exhausted: AtomicU64::new(0),
+        }
+    }
+
+    /// The layer's retry budget, if the policy enables one.
+    #[must_use]
+    pub fn budget(&self) -> Option<&Arc<RetryBudget>> {
+        self.budget.as_ref()
+    }
+
+    fn next_rand(&self) -> u64 {
+        // SplitMix64: tiny, seedable, and dependency-free.
+        let mut x = self
+            .jitter
+            .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    /// Decorrelated jitter (`sleep = min(cap, rand[base, prev * 3])`):
+    /// spreads synchronized retry storms apart instead of letting doubled
+    /// backoffs collide in lockstep.
+    fn next_backoff(&self, prev: Duration) -> Duration {
+        let base = self.policy.backoff.as_nanos() as u64;
+        let hi = (prev.as_nanos() as u64).saturating_mul(3).max(base + 1);
+        let sleep = base + self.next_rand() % (hi - base);
+        Duration::from_nanos(sleep).min(self.policy.max_backoff)
+    }
 }
 
 impl ClientLayer for RetryLayer {
     fn invoke(&self, req: CallRequest, next: &dyn ClientNext) -> Result<Outcome, InvokeError> {
-        let mut backoff = self.policy.backoff;
+        let mut prev_backoff = self.policy.backoff;
         let mut last_err = None;
         for attempt in 0..=self.policy.max_retries {
             if attempt > 0 {
-                std::thread::sleep(backoff);
-                backoff = backoff.saturating_mul(2);
+                if let Some(budget) = &self.budget {
+                    if !budget.try_withdraw() {
+                        // Budget exhausted: fail fast with the last
+                        // communication error rather than multiply load.
+                        self.budget_exhausted.fetch_add(1, Ordering::Relaxed);
+                        return Err(last_err.unwrap_or(InvokeError::Rex(RexError::Timeout)));
+                    }
+                }
+                let sleep = self.next_backoff(prev_backoff);
+                prev_backoff = sleep;
+                match req.remaining_budget() {
+                    // Deadline already spent: a retry could not finish.
+                    Some(remaining) if remaining.is_zero() => {
+                        return Err(last_err.unwrap_or(InvokeError::Rex(RexError::Timeout)))
+                    }
+                    // Never sleep past the caller's deadline.
+                    Some(remaining) => std::thread::sleep(sleep.min(remaining)),
+                    None => std::thread::sleep(sleep),
+                }
             }
             match next.invoke(req.clone()) {
                 // Only communication failures are retried: engineering
-                // terminations and application outcomes pass through.
-                Err(InvokeError::Rex(RexError::Timeout | RexError::Unreachable(_))) if attempt < self.policy.max_retries => {
-                    last_err = Some(InvokeError::Rex(RexError::Timeout));
+                // terminations, application outcomes and shed calls
+                // (`CircuitOpen`) pass straight through.
+                Err(e @ InvokeError::Rex(RexError::Timeout | RexError::Unreachable(_)))
+                    if attempt < self.policy.max_retries =>
+                {
+                    last_err = Some(e);
                 }
-                other => return other,
+                other => {
+                    if other.is_ok() {
+                        if let Some(budget) = &self.budget {
+                            budget.deposit();
+                        }
+                    }
+                    return other;
+                }
             }
         }
         Err(last_err.unwrap_or(InvokeError::Rex(RexError::Timeout)))
@@ -199,6 +407,121 @@ impl ClientLayer for RetryLayer {
 
     fn name(&self) -> &'static str {
         "failure:retry"
+    }
+}
+
+/// Sheds calls against a target that keeps failing (§5.5's failure
+/// transparency, load-shedding half).
+///
+/// State machine: `Closed` —(threshold consecutive comm failures)→ `Open`
+/// —(cooldown elapses, one probe admitted)→ `HalfOpen` —(probe succeeds)→
+/// `Closed`, or —(probe fails)→ `Open` again. While open, calls fail
+/// immediately with [`InvokeError::CircuitOpen`] without touching the
+/// network.
+pub struct CircuitBreakerLayer {
+    /// The declarative policy this breaker enforces.
+    pub policy: CircuitBreakerPolicy,
+    inner: Mutex<BreakerInner>,
+    /// Calls shed while open (accounting for E15).
+    pub shed: AtomicU64,
+}
+
+impl CircuitBreakerLayer {
+    /// A closed breaker enforcing `policy`. Attach via
+    /// [`TransparencyPolicy::with_breaker`] (fresh breaker per binding) or
+    /// [`TransparencyPolicy::with_layer`] (shared / observable instance).
+    #[must_use]
+    pub fn new(policy: CircuitBreakerPolicy) -> Arc<Self> {
+        Arc::new(Self {
+            policy,
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                opened_at: None,
+                probing: false,
+            }),
+            shed: AtomicU64::new(0),
+        })
+    }
+
+    /// The breaker's current state.
+    #[must_use]
+    pub fn state(&self) -> BreakerState {
+        self.inner.lock().state
+    }
+}
+
+impl ClientLayer for CircuitBreakerLayer {
+    fn invoke(&self, req: CallRequest, next: &dyn ClientNext) -> Result<Outcome, InvokeError> {
+        // Admission: decide whether this call may pass, and whether it is
+        // the half-open probe.
+        let is_probe = {
+            let mut inner = self.inner.lock();
+            match inner.state {
+                BreakerState::Closed => false,
+                BreakerState::Open => {
+                    let cooled = inner
+                        .opened_at
+                        .is_some_and(|t| t.elapsed() >= self.policy.cooldown);
+                    if cooled && !inner.probing {
+                        inner.state = BreakerState::HalfOpen;
+                        inner.probing = true;
+                        true
+                    } else {
+                        self.shed.fetch_add(1, Ordering::Relaxed);
+                        return Err(InvokeError::CircuitOpen);
+                    }
+                }
+                BreakerState::HalfOpen => {
+                    if inner.probing {
+                        // A probe is already in flight; shed everyone else.
+                        self.shed.fetch_add(1, Ordering::Relaxed);
+                        return Err(InvokeError::CircuitOpen);
+                    }
+                    inner.probing = true;
+                    true
+                }
+            }
+        };
+        let result = next.invoke(req);
+        let comm_failure = matches!(
+            result,
+            Err(InvokeError::Rex(
+                RexError::Timeout | RexError::Unreachable(_) | RexError::Transport(_)
+            ))
+        );
+        let mut inner = self.inner.lock();
+        if is_probe {
+            inner.probing = false;
+        }
+        if comm_failure {
+            inner.consecutive_failures = inner.consecutive_failures.saturating_add(1);
+            if is_probe || inner.consecutive_failures >= self.policy.failure_threshold {
+                inner.state = BreakerState::Open;
+                inner.opened_at = Some(Instant::now());
+            }
+        } else {
+            // Any completed exchange — application outcome, engineering
+            // termination, even a type error — proves the path is up.
+            inner.consecutive_failures = 0;
+            inner.state = BreakerState::Closed;
+            inner.opened_at = None;
+        }
+        result
+    }
+
+    fn name(&self) -> &'static str {
+        "failure:breaker"
+    }
+}
+
+impl fmt::Debug for CircuitBreakerLayer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CircuitBreakerLayer")
+            .field("policy", &self.policy)
+            .field("state", &self.state())
+            .field("shed", &self.shed.load(Ordering::Relaxed))
+            .finish()
     }
 }
 
@@ -274,6 +597,10 @@ impl ClientLayer for LocationLayer {
         };
         let mut consulted = false;
         for _chase in 0..Self::MAX_CHASE {
+            // A chase must not outlive the caller's end-to-end budget.
+            if req.remaining_budget().is_some_and(|r| r.is_zero()) {
+                return Err(InvokeError::Rex(RexError::Timeout));
+            }
             let attempt = next.invoke(req.clone());
             match attempt {
                 Ok(outcome) if outcome.termination == terminations::MOVED => {
@@ -285,6 +612,10 @@ impl ClientLayer for LocationLayer {
                                 odp_types::NodeId(*node as u64),
                                 *epoch as u64,
                             );
+                            // Fresh movement evidence re-arms the one-shot
+                            // relocator consultation: the chain may end at
+                            // a node that has itself restarted since.
+                            consulted = false;
                         }
                         _ => {
                             return Err(InvokeError::Stale {
@@ -377,5 +708,169 @@ mod tests {
         let r = RetryPolicy::default();
         assert_eq!(r.max_retries, 3);
         assert!(r.backoff > Duration::ZERO);
+        assert!(r.max_backoff >= r.backoff);
+        assert!(r.budget.is_some());
+    }
+
+    #[test]
+    fn retry_budget_drains_then_trickles_back() {
+        let b = RetryBudget::new(2);
+        assert_eq!(b.balance(), 2);
+        assert!(b.try_withdraw());
+        assert!(b.try_withdraw());
+        assert!(!b.try_withdraw(), "empty bucket must refuse");
+        // Ten successes deposit one whole token.
+        for _ in 0..10 {
+            b.deposit();
+        }
+        assert_eq!(b.balance(), 1);
+        assert!(b.try_withdraw());
+        // Deposits saturate at the cap.
+        for _ in 0..100 {
+            b.deposit();
+        }
+        assert_eq!(b.balance(), 2);
+    }
+
+    #[test]
+    fn decorrelated_jitter_stays_in_bounds_and_is_deterministic() {
+        let policy = RetryPolicy {
+            backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(200),
+            ..RetryPolicy::default()
+        };
+        let a = RetryLayer::new(policy);
+        let b = RetryLayer::new(policy);
+        let mut prev = policy.backoff;
+        for _ in 0..64 {
+            let sa = a.next_backoff(prev);
+            let sb = b.next_backoff(prev);
+            assert_eq!(sa, sb, "two identically-seeded layers must agree");
+            assert!(sa >= policy.backoff || sa == policy.max_backoff);
+            assert!(sa <= policy.max_backoff);
+            prev = sa;
+        }
+    }
+
+    /// Scripted continuation: fails the first `fails` invocations with a
+    /// Timeout, then succeeds.
+    struct ScriptedNext {
+        fails: std::sync::atomic::AtomicU64,
+        calls: std::sync::atomic::AtomicU64,
+    }
+
+    impl ScriptedNext {
+        fn failing(n: u64) -> Self {
+            Self {
+                fails: std::sync::atomic::AtomicU64::new(n),
+                calls: std::sync::atomic::AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl crate::invocation::ClientNext for ScriptedNext {
+        fn invoke(&self, _req: CallRequest) -> Result<Outcome, InvokeError> {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            if self
+                .fails
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |f| f.checked_sub(1))
+                .is_ok()
+            {
+                Err(InvokeError::Rex(RexError::Timeout))
+            } else {
+                Ok(Outcome::ok(vec![]))
+            }
+        }
+    }
+
+    fn dummy_request() -> CallRequest {
+        let ty = odp_types::InterfaceType::new(vec![]);
+        CallRequest {
+            target: odp_wire::InterfaceRef::new(
+                odp_types::InterfaceId(7),
+                odp_types::NodeId(1),
+                ty,
+            ),
+            op: "noop".to_owned(),
+            args: vec![],
+            annotations: std::collections::BTreeMap::new(),
+            qos: CallQos::default(),
+            announcement: false,
+            deadline: None,
+        }
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_probes_and_recloses() {
+        let policy = CircuitBreakerPolicy {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(20),
+        };
+        let breaker = CircuitBreakerLayer::new(policy);
+        // Trip it: three consecutive failures.
+        let always_down = ScriptedNext::failing(u64::MAX);
+        for _ in 0..3 {
+            let err = breaker.invoke(dummy_request(), &always_down).unwrap_err();
+            assert_eq!(err, InvokeError::Rex(RexError::Timeout));
+        }
+        assert_eq!(breaker.state(), BreakerState::Open);
+        // While open (cooldown not yet elapsed) calls are shed locally.
+        let err = breaker.invoke(dummy_request(), &always_down).unwrap_err();
+        assert_eq!(err, InvokeError::CircuitOpen);
+        assert_eq!(always_down.calls.load(Ordering::SeqCst), 3);
+        assert!(breaker.shed.load(Ordering::SeqCst) >= 1);
+        // After the cooldown one probe is admitted; a failing probe
+        // re-opens the breaker immediately.
+        std::thread::sleep(policy.cooldown + Duration::from_millis(5));
+        let err = breaker.invoke(dummy_request(), &always_down).unwrap_err();
+        assert_eq!(err, InvokeError::Rex(RexError::Timeout));
+        assert_eq!(breaker.state(), BreakerState::Open);
+        // Server "restarts": the next probe succeeds and closes the
+        // breaker for good.
+        std::thread::sleep(policy.cooldown + Duration::from_millis(5));
+        let healthy = ScriptedNext::failing(0);
+        breaker.invoke(dummy_request(), &healthy).unwrap();
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        breaker.invoke(dummy_request(), &healthy).unwrap();
+    }
+
+    #[test]
+    fn retry_layer_stops_when_budget_exhausted() {
+        let layer = RetryLayer::new(RetryPolicy {
+            max_retries: 10,
+            backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            budget: Some(2),
+        });
+        let next = ScriptedNext::failing(u64::MAX);
+        let err = layer.invoke(dummy_request(), &next).unwrap_err();
+        assert_eq!(err, InvokeError::Rex(RexError::Timeout));
+        // 1 initial attempt + 2 budgeted retries, not 11 attempts.
+        assert_eq!(next.calls.load(Ordering::SeqCst), 3);
+        assert_eq!(layer.budget_exhausted.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn retry_layer_respects_absolute_deadline() {
+        let layer = RetryLayer::new(RetryPolicy {
+            max_retries: 100,
+            backoff: Duration::from_millis(20),
+            max_backoff: Duration::from_millis(40),
+            budget: None,
+        });
+        let next = ScriptedNext::failing(u64::MAX);
+        let mut req = dummy_request();
+        let budget = Duration::from_millis(80);
+        req.deadline = Some(Instant::now() + budget);
+        let start = Instant::now();
+        let err = layer.invoke(req, &next).unwrap_err();
+        assert_eq!(err, InvokeError::Rex(RexError::Timeout));
+        // Bounded by deadline + one retry interval, not 100 × backoff.
+        assert!(
+            start.elapsed() < budget + layer.policy.max_backoff + Duration::from_millis(30),
+            "took {:?}",
+            start.elapsed()
+        );
+        assert!(next.calls.load(Ordering::SeqCst) < 100);
     }
 }

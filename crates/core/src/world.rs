@@ -200,6 +200,22 @@ impl World {
         self.capsules.push(Arc::clone(&capsule));
         capsule
     }
+
+    /// Creates (but does not track) a capsule at an explicit node id,
+    /// already wired to the relocator. Chaos harnesses use this to restart
+    /// a crashed node under the same identity: the transport frees a node
+    /// id on endpoint shutdown, so re-registration succeeds once the old
+    /// capsule is gone.
+    ///
+    /// # Errors
+    ///
+    /// Any [`odp_net::NetError`] from transport registration (e.g. the old
+    /// endpoint still holds the node id).
+    pub fn spawn_capsule_at(&self, node: NodeId) -> Result<Arc<Capsule>, odp_net::NetError> {
+        let capsule = Capsule::with_workers(Arc::clone(&self.transport), node, self.workers)?;
+        capsule.set_relocator(self.relocator_ref.clone());
+        Ok(capsule)
+    }
 }
 
 impl std::fmt::Debug for World {

@@ -124,6 +124,8 @@ impl ClientLayer for BoundaryLayer {
                     annotations: req.annotations.clone(),
                     qos: req.qos,
                     announcement: false,
+                    // The relay inherits the caller's end-to-end budget.
+                    deadline: req.deadline,
                 };
                 next.invoke(relay)
             }

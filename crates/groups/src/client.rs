@@ -6,10 +6,15 @@
 //!
 //! * retargets each invocation at the preferred member (initially the
 //!   sequencer);
-//! * on communication failure, fails over down the member list;
+//! * on communication failure (or a tripped circuit breaker), fails over
+//!   down the member list — but never past the caller's end-to-end
+//!   deadline: once the budget is spent the layer stops probing and
+//!   reports the last failure;
 //! * on a `__grp_not_sequencer` redirect, follows the indicated node;
 //! * remembers the member that last answered so steady-state traffic pays
-//!   no discovery cost.
+//!   no discovery cost — and, symmetrically, advances past a member that
+//!   just failed, so a silently partitioned sequencer cannot soak up the
+//!   whole deadline budget of every subsequent call.
 
 use crate::member::NOT_SEQUENCER;
 use crate::view::GroupView;
@@ -57,6 +62,12 @@ impl ClientLayer for GroupLayer {
         let start = self.preferred.load(Ordering::Relaxed) % members.len();
         let mut last_err: Option<InvokeError> = None;
         for attempt in 0..members.len() {
+            // Failover is bounded by the caller's absolute deadline: probing
+            // further members after the budget is gone only adds latency to
+            // an answer that can no longer arrive in time.
+            if req.remaining_budget().is_some_and(|r| r.is_zero()) {
+                return Err(last_err.unwrap_or(InvokeError::Rex(RexError::Timeout)));
+            }
             let idx = (start + attempt) % members.len();
             let member = &members[idx];
             let mut attempt_req = req.clone();
@@ -87,7 +98,18 @@ impl ClientLayer for GroupLayer {
                     // Redirect unusable: fall through to the next member.
                     self.failovers.fetch_add(1, Ordering::Relaxed);
                 }
-                Err(e @ InvokeError::Rex(RexError::Unreachable(_) | RexError::Timeout)) => {
+                Err(
+                    e @ (InvokeError::Rex(RexError::Unreachable(_) | RexError::Timeout)
+                    | InvokeError::CircuitOpen),
+                ) => {
+                    // A shed call (breaker open for this member) is as good
+                    // a reason to try the next replica as a timeout. Start
+                    // the *next* call at the following member too: when the
+                    // first attempt burns the whole deadline budget (a
+                    // silent partition, not a fast unreachable), re-probing
+                    // the dead member first would starve every later call.
+                    self.preferred
+                        .store((idx + 1) % members.len(), Ordering::Relaxed);
                     self.failovers.fetch_add(1, Ordering::Relaxed);
                     last_err = Some(e);
                 }

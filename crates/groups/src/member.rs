@@ -14,7 +14,11 @@
 //! * a member contacted by a client while not sequencer probes its
 //!   predecessors; if any is alive it redirects the client, if all are dead
 //!   it **promotes** itself and installs a new view ("tolerant of failures
-//!   in members of the group and of changes of membership").
+//!   in members of the group and of changes of membership");
+//! * a partitioned-away ex-sequencer that rejoins and tries to reuse
+//!   sequence numbers is fenced: relays below a member's apply point answer
+//!   [`STALE_SEQ`], and the sender then adopts the successor's view and
+//!   redirects its client instead of acknowledging a split-brain write.
 //!
 //! In hot-standby mode relays are announcements; a lost relay would stall
 //! the hold-back queue forever, so gaps older than [`GAP_TIMEOUT`] are
@@ -50,6 +54,13 @@ pub mod ops {
 /// Termination returned to a client that contacted a non-sequencer while
 /// the sequencer is alive; carries the sequencer's node id.
 pub const NOT_SEQUENCER: &str = "__grp_not_sequencer";
+
+/// Termination returned to a relay whose sequence number is below the
+/// receiver's apply point — the sender is assigning numbers it no longer
+/// owns (it missed a promotion, e.g. while partitioned away). Carries the
+/// receiver's `next_apply` so the stale sequencer can see how far behind
+/// it is.
+pub const STALE_SEQ: &str = "__grp_stale_seq";
 
 /// How long the applier waits for a sequence gap before skipping it.
 pub const GAP_TIMEOUT: Duration = Duration::from_millis(500);
@@ -132,11 +143,19 @@ impl GroupServant {
             promotions: AtomicU64::new(0),
         });
         let weak = Arc::downgrade(&member);
-        let handle = std::thread::Builder::new()
+        match std::thread::Builder::new()
             .name("group-applier".into())
             .spawn(move || Self::applier_loop(&shared, &weak))
-            .expect("spawn group applier");
-        *member.applier.lock() = Some(handle);
+        {
+            Ok(handle) => *member.applier.lock() = Some(handle),
+            Err(_) => {
+                // No applier thread means no job will ever be applied.
+                // Degrade rather than panic: mark the member stopped so
+                // client operations report "replica applier stalled"
+                // instead of tearing down the hosting capsule.
+                member.shared.running.store(false, Ordering::SeqCst);
+            }
+        }
         member
     }
 
@@ -316,7 +335,15 @@ impl GroupServant {
                 self.promote(&view, p);
             }
             None => {
-                return Outcome::fail("member is not in the group view");
+                // Expelled from the view (a successor promoted past us, or
+                // the manager removed us): point the client at the current
+                // sequencer instead of failing the call.
+                return match view.members.first() {
+                    Some(m) => {
+                        Outcome::new(NOT_SEQUENCER, vec![Value::Int(m.home.raw() as i64)])
+                    }
+                    None => Outcome::fail("member is not in the group view"),
+                };
             }
         }
         let view = self.view();
@@ -350,7 +377,35 @@ impl GroupServant {
                     GroupPolicy::Active => {
                         // Synchronous: reply only after every reachable
                         // member has accepted the ordered operation.
-                        let _ = binding.interrogate(ops::RELAY, relay_args.clone());
+                        match binding.interrogate(ops::RELAY, relay_args.clone()) {
+                            Ok(out) if out.termination == STALE_SEQ => {
+                                // The member already applied this sequence
+                                // number: a successor promoted while we were
+                                // unreachable and owns the sequence now.
+                                // Adopt its view and redirect the client
+                                // rather than acking a split-brain write.
+                                if let Ok(vout) =
+                                    binding.interrogate(ops::GET_VIEW, vec![])
+                                {
+                                    if let Some(v) =
+                                        vout.results.first().and_then(GroupView::decode)
+                                    {
+                                        self.set_view(v);
+                                    }
+                                }
+                                let target = self
+                                    .view()
+                                    .members
+                                    .iter()
+                                    .find(|m| Some(m.iface) != my)
+                                    .map_or(member.home, |m| m.home);
+                                return Outcome::new(
+                                    NOT_SEQUENCER,
+                                    vec![Value::Int(target.raw() as i64)],
+                                );
+                            }
+                            Ok(_) | Err(_) => {}
+                        }
                     }
                     GroupPolicy::HotStandby => {
                         let _ = binding.announce_compat(ops::RELAY, relay_args.clone());
@@ -359,9 +414,9 @@ impl GroupServant {
             }
         }
         // Apply locally in order and reply with the replica's outcome.
-        let rx = self
-            .enqueue(seq, op.to_owned(), args, ctx.clone(), true)
-            .expect("reply channel");
+        let Some(rx) = self.enqueue(seq, op.to_owned(), args, ctx.clone(), true) else {
+            return Outcome::fail("replica applier stalled");
+        };
         rx.recv_timeout(Duration::from_secs(10))
             .unwrap_or_else(|_| Outcome::fail("replica applier stalled"))
     }
@@ -420,9 +475,20 @@ impl GroupServant {
             if order.next_seq <= seq as u64 {
                 order.next_seq = seq as u64 + 1;
             }
-            if order.holdback.contains_key(&(seq as u64)) || (seq as u64) < order.next_apply {
-                // Duplicate relay: already accepted.
+            if order.holdback.contains_key(&(seq as u64)) {
+                // Same-sequence retransmission: already accepted.
                 return Outcome::ok(vec![]);
+            }
+            if (seq as u64) < order.next_apply {
+                // A freshly invoked relay below our apply point: the sender
+                // is assigning sequence numbers it no longer owns — it
+                // missed a promotion (e.g. it was partitioned away while a
+                // successor took over). Tell it, so it adopts the current
+                // view instead of acking split-brain writes.
+                return Outcome::new(
+                    STALE_SEQ,
+                    vec![Value::Int(order.next_apply as i64)],
+                );
             }
         }
         self.enqueue(seq as u64, op.to_owned(), app_args, ctx.clone(), false);

@@ -1,0 +1,229 @@
+//! Integration test for satellite robustness work: partition the sequencer
+//! mid-stream, heal the network, and verify the total order stays gap- and
+//! duplicate-free — including fencing the deposed sequencer when it comes
+//! back believing it still leads.
+
+use odp_core::{CallCtx, Outcome, Servant, TransparencyPolicy, World};
+use odp_groups::{replicate, GroupPolicy};
+use odp_net::{CallQos, NetFault};
+use odp_types::signature::{InterfaceTypeBuilder, OutcomeSig};
+use odp_types::{InterfaceType, TypeSpec};
+use odp_wire::Value;
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A replica recording the exact order of applied appends — the safety
+/// witness for the total order.
+struct Ledger {
+    entries: Mutex<Vec<i64>>,
+}
+
+impl Ledger {
+    fn new() -> Arc<dyn Servant> {
+        Arc::new(Self {
+            entries: Mutex::new(Vec::new()),
+        })
+    }
+}
+
+fn ledger_type() -> InterfaceType {
+    InterfaceTypeBuilder::new()
+        .interrogation(
+            "append",
+            vec![TypeSpec::Int],
+            vec![OutcomeSig::ok(vec![TypeSpec::Int])],
+        )
+        .interrogation(
+            "entries",
+            vec![],
+            vec![OutcomeSig::ok(vec![TypeSpec::seq(TypeSpec::Int)])],
+        )
+        .build()
+}
+
+impl Servant for Ledger {
+    fn interface_type(&self) -> InterfaceType {
+        ledger_type()
+    }
+
+    fn dispatch(&self, op: &str, args: Vec<Value>, _ctx: &CallCtx) -> Outcome {
+        match op {
+            "append" => {
+                let mut entries = self.entries.lock();
+                entries.push(args[0].as_int().unwrap_or(0));
+                Outcome::ok(vec![Value::Int(entries.len() as i64)])
+            }
+            "entries" => {
+                let entries = self.entries.lock();
+                Outcome::ok(vec![Value::Seq(
+                    entries.iter().map(|v| Value::Int(*v)).collect(),
+                )])
+            }
+            _ => Outcome::fail("no such op"),
+        }
+    }
+}
+
+fn ledger_entries(servant: &Arc<odp_groups::GroupServant>) -> Vec<i64> {
+    let out = servant
+        .app()
+        .dispatch("entries", vec![], &CallCtx::default());
+    out.result()
+        .and_then(Value::as_seq)
+        .map(|s| s.iter().filter_map(Value::as_int).collect())
+        .unwrap_or_default()
+}
+
+fn wait_until(pred: impl Fn() -> bool, timeout: Duration) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if pred() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    pred()
+}
+
+/// `sub` appears in `full` in order (not necessarily contiguously).
+fn is_subsequence(sub: &[i64], full: &[i64]) -> bool {
+    let mut it = full.iter();
+    sub.iter().all(|v| it.any(|f| f == v))
+}
+
+#[test]
+fn partitioned_sequencer_heals_without_gaps_or_duplicates() {
+    let world = World::builder().capsules(4).build();
+    let group = replicate(
+        &world.capsules()[..3].to_vec(),
+        &Ledger::new,
+        GroupPolicy::Active,
+    );
+    // A short end-to-end deadline so discovering a silent partition costs
+    // one budget, not the test's patience.
+    let deadline = Duration::from_millis(600);
+    let client = world.capsule(3).bind_with(
+        group.group_ref(),
+        TransparencyPolicy::minimal()
+            .with_qos(CallQos::with_deadline(deadline))
+            .with_layer(group.layer()),
+    );
+
+    // Every value the client received an acknowledgement for, in order.
+    let mut committed: Vec<i64> = Vec::new();
+
+    // Phase 1: steady state through the original sequencer.
+    for v in 0..8 {
+        let out = client
+            .interrogate("append", vec![Value::Int(v)])
+            .expect("steady-state append");
+        assert!(out.is_ok(), "steady-state append failed: {out:?}");
+        committed.push(v);
+    }
+    let prefix = committed.clone();
+
+    // Partition the sequencer away from everyone, mid-stream.
+    let seq_node = world.capsule(0).node();
+    world.net().apply(&NetFault::Isolate(seq_node));
+
+    // Phase 2: appends during the partition. The first call burns its
+    // budget discovering the silent partition; the layer then starts at
+    // the backup, which probes its dead predecessor and promotes itself.
+    // Failed appends are deliberately NOT retried — re-sending a value
+    // after a lost ack is exactly the duplication hazard under test.
+    let mut mid_committed = 0;
+    for v in 10..18 {
+        if let Ok(out) = client.interrogate("append", vec![Value::Int(v)]) {
+            if out.is_ok() {
+                committed.push(v);
+                mid_committed += 1;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        mid_committed >= 1,
+        "no append ever committed during the partition"
+    );
+    assert!(
+        group.members()[1].promotions.load(Ordering::Relaxed) >= 1,
+        "backup never promoted itself"
+    );
+
+    // Heal the network.
+    world.net().apply(&NetFault::Rejoin(seq_node));
+
+    // The healed ex-sequencer still believes it leads the old view. A
+    // client contacting it first (a fresh layer starts at member 0) must
+    // be fenced — the survivors answer its stale relays with
+    // `__grp_stale_seq`, it adopts the new view and redirects — and the
+    // append must land exactly once, at the real sequencer.
+    let fenced_client = world.capsule(3).bind_with(
+        group.group_ref(),
+        TransparencyPolicy::minimal()
+            .with_qos(CallQos::with_deadline(deadline))
+            .with_layer(group.layer()),
+    );
+    let out = fenced_client
+        .interrogate("append", vec![Value::Int(99)])
+        .expect("fenced call must be redirected, not dropped");
+    assert!(out.is_ok(), "fenced append not re-routed: {out:?}");
+    committed.push(99);
+
+    // Phase 3: liveness after heal.
+    for v in 20..28 {
+        let out = client
+            .interrogate("append", vec![Value::Int(v)])
+            .expect("post-heal append");
+        assert!(out.is_ok(), "post-heal append failed: {out:?}");
+        committed.push(v);
+    }
+
+    // Drain relays, then audit the total order on the survivors.
+    let m1 = &group.members()[1];
+    let m2 = &group.members()[2];
+    assert!(
+        wait_until(
+            || {
+                let a = ledger_entries(m1);
+                !a.is_empty() && a == ledger_entries(m2)
+            },
+            Duration::from_secs(5)
+        ),
+        "survivor ledgers never converged: {:?} vs {:?}",
+        ledger_entries(m1),
+        ledger_entries(m2),
+    );
+    let log = ledger_entries(m1);
+
+    // No duplicates anywhere in the order.
+    let unique: BTreeSet<i64> = log.iter().copied().collect();
+    assert_eq!(
+        unique.len(),
+        log.len(),
+        "duplicate entries in total order: {log:?}"
+    );
+    // No gaps: no live member ever skipped a sequence number.
+    assert_eq!(m1.gaps_skipped(), 0, "survivor skipped a sequence gap");
+    assert_eq!(m2.gaps_skipped(), 0, "survivor skipped a sequence gap");
+    // Every acknowledged append is present, in commit order.
+    assert!(
+        is_subsequence(&committed, &log),
+        "acked appends {committed:?} not a subsequence of the order {log:?}"
+    );
+
+    // The deposed sequencer was fenced: its replica froze at the
+    // pre-partition prefix and never absorbed a split-brain write.
+    let stale_log = ledger_entries(&group.members()[0]);
+    assert_eq!(
+        stale_log, prefix,
+        "deposed sequencer's replica diverged from the pre-partition prefix"
+    );
+    assert!(
+        !stale_log.contains(&99),
+        "fenced write leaked into the deposed sequencer's replica"
+    );
+}

@@ -37,6 +37,6 @@ pub mod tcp;
 pub mod transport;
 
 pub use rex::{CallQos, RexEndpoint, RexError, RexRequest};
-pub use sim::{LinkConfig, SimNet, SimNetConfig, SimNetStats};
+pub use sim::{LinkConfig, NetFault, SimNet, SimNetConfig, SimNetStats};
 pub use tcp::TcpNetwork;
 pub use transport::{Endpoint, Envelope, NetError, Transport};

@@ -62,6 +62,18 @@ impl CallQos {
             retry_interval: (deadline / 4).max(Duration::from_millis(1)),
         }
     }
+
+    /// This QoS with its deadline clamped to `remaining` — deadline
+    /// propagation: a layer that knows the caller's *end-to-end* budget
+    /// shrinks each attempt's deadline to what is actually left, so stacked
+    /// retries can never exceed the caller's total deadline.
+    #[must_use]
+    pub fn clamp_to(self, remaining: Duration) -> Self {
+        Self {
+            deadline: self.deadline.min(remaining),
+            retry_interval: self.retry_interval,
+        }
+    }
 }
 
 /// Errors surfaced by REX calls.
@@ -219,6 +231,9 @@ pub struct RexEndpoint {
     pub requests_executed: AtomicU64,
     /// Duplicate requests suppressed or answered from cache.
     pub duplicates_suppressed: AtomicU64,
+    /// Calls that failed because their deadline budget ran out (including
+    /// calls issued with an already-exhausted budget).
+    pub deadlines_expired: AtomicU64,
 }
 
 struct RexJob {
@@ -270,26 +285,37 @@ impl RexEndpoint {
             calls_sent: AtomicU64::new(0),
             requests_executed: AtomicU64::new(0),
             duplicates_suppressed: AtomicU64::new(0),
+            deadlines_expired: AtomicU64::new(0),
         });
         let mut threads = Vec::new();
+        let demux_ep = Arc::clone(&ep);
+        match std::thread::Builder::new()
+            .name(format!("rex-demux-{node}"))
+            .spawn(move || demux_ep.demux(&endpoint))
         {
-            let ep = Arc::clone(&ep);
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("rex-demux-{node}"))
-                    .spawn(move || ep.demux(&endpoint))
-                    .expect("spawn demux"),
-            );
+            Ok(h) => threads.push(h),
+            Err(e) => {
+                ep.running.store(false, Ordering::SeqCst);
+                ep.transport.deregister(node);
+                return Err(NetError::Io(format!("spawn demux thread: {e}")));
+            }
         }
         for w in 0..workers.max(1) {
-            let ep = Arc::clone(&ep);
+            let worker_ep = Arc::clone(&ep);
             let rx = job_rx.clone();
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("rex-worker-{node}-{w}"))
-                    .spawn(move || ep.worker(&rx))
-                    .expect("spawn worker"),
-            );
+            match std::thread::Builder::new()
+                .name(format!("rex-worker-{node}-{w}"))
+                .spawn(move || worker_ep.worker(&rx))
+            {
+                Ok(h) => threads.push(h),
+                Err(e) => {
+                    // Unwind cleanly: stop the threads already running and
+                    // free the node id, then report instead of panicking.
+                    ep.running.store(false, Ordering::SeqCst);
+                    ep.transport.deregister(node);
+                    return Err(NetError::Io(format!("spawn worker thread: {e}")));
+                }
+            }
         }
         *ep.threads.lock() = threads;
         Ok(ep)
@@ -324,6 +350,13 @@ impl RexEndpoint {
         if !self.running.load(Ordering::SeqCst) {
             return Err(RexError::Closed);
         }
+        if qos.deadline.is_zero() {
+            // The caller's end-to-end budget is already spent: fail fast
+            // without touching the network (deadline propagation clamps
+            // retries down to zero rather than skipping them implicitly).
+            self.deadlines_expired.fetch_add(1, Ordering::Relaxed);
+            return Err(RexError::Timeout);
+        }
         self.calls_sent.fetch_add(1, Ordering::Relaxed);
         let call_id = self.next_call.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = bounded(1);
@@ -337,11 +370,14 @@ impl RexEndpoint {
         loop {
             match self.transport.send(Envelope::new(self.node, to, msg.clone())) {
                 Ok(()) => {}
-                Err(NetError::UnknownNode(n)) => return Err(RexError::Unreachable(n)),
+                Err(NetError::UnknownNode(n) | NetError::Unreachable(n)) => {
+                    return Err(RexError::Unreachable(n))
+                }
                 Err(e) => return Err(RexError::Transport(e)),
             }
             let now = Instant::now();
             if now >= deadline {
+                self.deadlines_expired.fetch_add(1, Ordering::Relaxed);
                 return Err(RexError::Timeout);
             }
             let wait = qos.retry_interval.min(deadline - now);
@@ -352,6 +388,7 @@ impl RexEndpoint {
                 }
                 Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
                     if Instant::now() >= deadline {
+                        self.deadlines_expired.fetch_add(1, Ordering::Relaxed);
                         return Err(RexError::Timeout);
                     }
                     // Loop: retransmit.
@@ -383,7 +420,9 @@ impl RexEndpoint {
         let msg = encode_request(KIND_ANNOUNCE, call_id, iface, op, &body);
         match self.transport.send(Envelope::new(self.node, to, msg)) {
             Ok(()) => Ok(()),
-            Err(NetError::UnknownNode(n)) => Err(RexError::Unreachable(n)),
+            Err(NetError::UnknownNode(n) | NetError::Unreachable(n)) => {
+                Err(RexError::Unreachable(n))
+            }
             Err(e) => Err(RexError::Transport(e)),
         }
     }
@@ -613,6 +652,44 @@ mod tests {
             )
             .unwrap_err();
         assert_eq!(err, RexError::Timeout);
+    }
+
+    #[test]
+    fn zero_deadline_fails_fast_without_sending() {
+        let net = SimNet::perfect();
+        let (a, b) = pair(&net);
+        b.set_handler(echo_handler());
+        let qos = CallQos::default().clamp_to(Duration::ZERO);
+        assert_eq!(qos.deadline, Duration::ZERO);
+        let start = Instant::now();
+        let err = a
+            .call(NodeId(2), InterfaceId(1), "echo", Bytes::new(), qos)
+            .unwrap_err();
+        assert_eq!(err, RexError::Timeout);
+        assert!(start.elapsed() < Duration::from_millis(50));
+        assert_eq!(a.calls_sent.load(Ordering::Relaxed), 0);
+        assert_eq!(a.deadlines_expired.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn clamp_to_shrinks_but_never_grows_deadline() {
+        let qos = CallQos {
+            deadline: Duration::from_millis(500),
+            retry_interval: Duration::from_millis(50),
+        };
+        assert_eq!(
+            qos.clamp_to(Duration::from_millis(200)).deadline,
+            Duration::from_millis(200)
+        );
+        assert_eq!(
+            qos.clamp_to(Duration::from_secs(10)).deadline,
+            Duration::from_millis(500)
+        );
+        // Retry cadence is untouched by clamping.
+        assert_eq!(
+            qos.clamp_to(Duration::from_millis(200)).retry_interval,
+            Duration::from_millis(50)
+        );
     }
 
     #[test]

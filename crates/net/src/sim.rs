@@ -142,12 +142,59 @@ impl Ord for Scheduled {
     }
 }
 
+/// One network-level fault (or repair) that can be applied to a [`SimNet`].
+///
+/// Fault schedules (see the `odp-chaos` crate) are declarative lists of
+/// `NetFault`s with logical offsets; [`SimNet::apply`] is the single entry
+/// point through which they act on the network, and every applied fault —
+/// whether through `apply` or the individual convenience methods — is
+/// recorded in order in the [`SimNet::fault_log`], so a run's fault
+/// timeline can be compared across seeds for deterministic replay.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetFault {
+    /// Cut both directions between two nodes.
+    Partition(odp_types::NodeId, odp_types::NodeId),
+    /// Repair a [`NetFault::Partition`].
+    Heal(odp_types::NodeId, odp_types::NodeId),
+    /// Cut a node off from every currently registered node.
+    Isolate(odp_types::NodeId),
+    /// Reconnect a node to everyone.
+    Rejoin(odp_types::NodeId),
+    /// Reconfigure one directed link (latency spikes, loss bursts).
+    SetLink {
+        /// Sending side of the link.
+        from: odp_types::NodeId,
+        /// Receiving side of the link.
+        to: odp_types::NodeId,
+        /// New characteristics.
+        link: LinkConfig,
+    },
+    /// Reconfigure both directions of a link.
+    SetLinkBidir {
+        /// One side.
+        a: odp_types::NodeId,
+        /// The other side.
+        b: odp_types::NodeId,
+        /// New characteristics.
+        link: LinkConfig,
+    },
+    /// Remove per-link overrides so the pair reverts to the default link.
+    ClearLink(odp_types::NodeId, odp_types::NodeId),
+    /// Replace the default characteristics of every unconfigured link
+    /// (whole-network loss bursts and latency spikes).
+    SetDefaultLink(LinkConfig),
+}
+
 #[derive(Default)]
 struct Inner {
     nodes: HashMap<odp_types::NodeId, Sender<Envelope>>,
     links: HashMap<(odp_types::NodeId, odp_types::NodeId), LinkConfig>,
     /// Unordered pairs that cannot communicate.
     partitions: HashSet<(odp_types::NodeId, odp_types::NodeId)>,
+    /// Current default link (mutable at runtime for whole-network faults).
+    default_link: LinkConfig,
+    /// Ordered record of every fault applied to this network.
+    fault_log: Vec<NetFault>,
     queue: BinaryHeap<Scheduled>,
     next_seq: u64,
 }
@@ -194,7 +241,10 @@ impl SimNet {
     /// Creates a simulated network and starts its delivery thread.
     #[must_use]
     pub fn new(config: SimNetConfig) -> Self {
-        let inner = Arc::new(Mutex::new(Inner::default()));
+        let inner = Arc::new(Mutex::new(Inner {
+            default_link: config.default_link,
+            ..Inner::default()
+        }));
         let wake = Arc::new(Condvar::new());
         let running = Arc::new(AtomicBool::new(true));
         let stats = Arc::new(SimNetStats::default());
@@ -238,29 +288,60 @@ impl SimNet {
 
     /// Sets the characteristics of the directed link `from → to`.
     pub fn set_link(&self, from: odp_types::NodeId, to: odp_types::NodeId, link: LinkConfig) {
-        self.inner.lock().links.insert((from, to), link);
+        let mut inner = self.inner.lock();
+        inner.fault_log.push(NetFault::SetLink { from, to, link });
+        inner.links.insert((from, to), link);
     }
 
     /// Sets both directions of a link.
     pub fn set_link_bidir(&self, a: odp_types::NodeId, b: odp_types::NodeId, link: LinkConfig) {
         let mut inner = self.inner.lock();
+        inner.fault_log.push(NetFault::SetLinkBidir { a, b, link });
         inner.links.insert((a, b), link);
         inner.links.insert((b, a), link);
     }
 
+    /// Removes the per-link overrides for both directions of `a ↔ b`, so
+    /// the pair reverts to the default link.
+    pub fn clear_link(&self, a: odp_types::NodeId, b: odp_types::NodeId) {
+        let mut inner = self.inner.lock();
+        inner.fault_log.push(NetFault::ClearLink(a, b));
+        inner.links.remove(&(a, b));
+        inner.links.remove(&(b, a));
+    }
+
+    /// Replaces the default characteristics of every link without a
+    /// per-link override (whole-network loss bursts and latency spikes).
+    pub fn set_default_link(&self, link: LinkConfig) {
+        let mut inner = self.inner.lock();
+        inner.fault_log.push(NetFault::SetDefaultLink(link));
+        inner.default_link = link;
+    }
+
+    /// The current default link characteristics.
+    #[must_use]
+    pub fn default_link(&self) -> LinkConfig {
+        self.inner.lock().default_link
+    }
+
     /// Cuts communication between `a` and `b` in both directions.
     pub fn partition(&self, a: odp_types::NodeId, b: odp_types::NodeId) {
-        self.inner.lock().partitions.insert(Self::pair(a, b));
+        let mut inner = self.inner.lock();
+        inner.fault_log.push(NetFault::Partition(a, b));
+        inner.partitions.insert(Self::pair(a, b));
     }
 
     /// Heals a partition created by [`SimNet::partition`].
     pub fn heal(&self, a: odp_types::NodeId, b: odp_types::NodeId) {
-        self.inner.lock().partitions.remove(&Self::pair(a, b));
+        let mut inner = self.inner.lock();
+        inner.fault_log.push(NetFault::Heal(a, b));
+        inner.partitions.remove(&Self::pair(a, b));
     }
 
     /// Isolates `node` from every currently registered node.
     pub fn isolate(&self, node: odp_types::NodeId) {
         let mut inner = self.inner.lock();
+        inner.fault_log.push(NetFault::Isolate(node));
         let others: Vec<_> = inner.nodes.keys().copied().filter(|n| *n != node).collect();
         for other in others {
             inner.partitions.insert(Self::pair(node, other));
@@ -269,10 +350,44 @@ impl SimNet {
 
     /// Reconnects `node` to everyone.
     pub fn rejoin(&self, node: odp_types::NodeId) {
-        self.inner
-            .lock()
-            .partitions
-            .retain(|(a, b)| *a != node && *b != node);
+        let mut inner = self.inner.lock();
+        inner.fault_log.push(NetFault::Rejoin(node));
+        inner.partitions.retain(|(a, b)| *a != node && *b != node);
+    }
+
+    /// Applies one declarative fault. Equivalent to calling the matching
+    /// convenience method; exists so fault schedules can be replayed
+    /// mechanically.
+    pub fn apply(&self, fault: &NetFault) {
+        match *fault {
+            NetFault::Partition(a, b) => self.partition(a, b),
+            NetFault::Heal(a, b) => self.heal(a, b),
+            NetFault::Isolate(n) => self.isolate(n),
+            NetFault::Rejoin(n) => self.rejoin(n),
+            NetFault::SetLink { from, to, link } => self.set_link(from, to, link),
+            NetFault::SetLinkBidir { a, b, link } => self.set_link_bidir(a, b, link),
+            NetFault::ClearLink(a, b) => self.clear_link(a, b),
+            NetFault::SetDefaultLink(link) => self.set_default_link(link),
+        }
+    }
+
+    /// The ordered timeline of every fault applied so far. Two runs of the
+    /// same seeded schedule must produce identical logs (deterministic
+    /// replay — asserted by the chaos soak suite).
+    #[must_use]
+    pub fn fault_log(&self) -> Vec<NetFault> {
+        self.inner.lock().fault_log.clone()
+    }
+
+    /// Heals every partition and removes every per-link override — the
+    /// "end of schedule" repair used before invariant checking. Not
+    /// recorded in the fault log: it is the fixed epilogue of every run,
+    /// not part of the scheduled fault timeline.
+    pub fn heal_all(&self) {
+        let mut inner = self.inner.lock();
+        inner.partitions.clear();
+        inner.links.clear();
+        inner.default_link = self.config.default_link;
     }
 
     fn pair(a: odp_types::NodeId, b: odp_types::NodeId) -> (odp_types::NodeId, odp_types::NodeId) {
@@ -359,7 +474,7 @@ impl Transport for SimNet {
                 .links
                 .get(&(env.from, env.to))
                 .copied()
-                .unwrap_or(self.config.default_link);
+                .unwrap_or(inner.default_link);
         }
         self.stats.sent.fetch_add(1, Ordering::Relaxed);
         self.stats
@@ -570,6 +685,44 @@ mod tests {
         let b2 = net.register(NodeId(2)).unwrap();
         net.send(env(1, 2, b"hello again")).unwrap();
         assert!(b2.recv_timeout(Duration::from_secs(1)).is_ok());
+    }
+
+    #[test]
+    fn fault_log_records_ordered_timeline() {
+        let net = SimNet::perfect();
+        let _a = net.register(NodeId(1)).unwrap();
+        let _b = net.register(NodeId(2)).unwrap();
+        let burst = LinkConfig::with_loss(0.9);
+        net.partition(NodeId(1), NodeId(2));
+        net.heal(NodeId(1), NodeId(2));
+        net.apply(&NetFault::SetDefaultLink(burst));
+        net.clear_link(NodeId(1), NodeId(2));
+        assert_eq!(
+            net.fault_log(),
+            vec![
+                NetFault::Partition(NodeId(1), NodeId(2)),
+                NetFault::Heal(NodeId(1), NodeId(2)),
+                NetFault::SetDefaultLink(burst),
+                NetFault::ClearLink(NodeId(1), NodeId(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn default_link_change_affects_unconfigured_links() {
+        let net = SimNet::perfect();
+        let _a = net.register(NodeId(1)).unwrap();
+        let b = net.register(NodeId(2)).unwrap();
+        net.set_default_link(LinkConfig::with_loss(1.0));
+        for _ in 0..10 {
+            net.send(env(1, 2, b"gone")).unwrap();
+        }
+        assert!(b.recv_timeout(Duration::from_millis(20)).is_err());
+        assert_eq!(net.stats().lost.load(Ordering::Relaxed), 10);
+        // heal_all restores the configured default (lossless here).
+        net.heal_all();
+        net.send(env(1, 2, b"back")).unwrap();
+        assert!(b.recv_timeout(Duration::from_secs(1)).is_ok());
     }
 
     #[test]

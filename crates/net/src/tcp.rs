@@ -33,6 +33,21 @@ fn io_err(e: &std::io::Error) -> NetError {
     NetError::Io(e.to_string())
 }
 
+/// Write failures that mean the *cached* connection died but the peer may
+/// have restarted since (connection-reset family): retrying once on a fresh
+/// connection is safe. Anything else (local resource exhaustion, invalid
+/// data, …) is surfaced to the caller untouched.
+fn is_reset(kind: std::io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::NotConnected
+    )
+}
+
 /// Writes one frame to a stream.
 fn write_frame(stream: &mut TcpStream, from: NodeId, payload: &[u8]) -> std::io::Result<()> {
     let mut header = [0u8; 12];
@@ -110,7 +125,15 @@ impl TcpNetwork {
             .get(&to)
             .map(|s| s.addr)
             .ok_or(NetError::UnknownNode(to))?;
-        let stream = TcpStream::connect(addr).map_err(|e| io_err(&e))?;
+        let stream = TcpStream::connect(addr).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::ConnectionRefused {
+                // The peer's address is still in the directory but nothing
+                // is listening: its process is down.
+                NetError::Unreachable(to)
+            } else {
+                io_err(&e)
+            }
+        })?;
         stream.set_nodelay(true).map_err(|e| io_err(&e))?;
         let conn = Arc::new(Mutex::new(stream));
         self.connections
@@ -140,10 +163,15 @@ impl Transport for TcpNetwork {
         );
         drop(dir);
         let accept_alive = Arc::clone(&alive);
-        std::thread::Builder::new()
+        if let Err(e) = std::thread::Builder::new()
             .name(format!("tcp-accept-{node}"))
             .spawn(move || accept_loop(&listener, node, &tx, &accept_alive))
-            .expect("spawn accept thread");
+        {
+            // Without an acceptor the registration is useless: roll it back
+            // and surface the failure instead of panicking.
+            self.directory.lock().remove(&node);
+            return Err(NetError::Io(format!("spawn accept thread: {e}")));
+        }
         Ok(Endpoint::new(node, rx))
     }
 
@@ -160,10 +188,18 @@ impl Transport for TcpNetwork {
         let conn = self.connect(env.from, env.to)?;
         let mut stream = conn.lock();
         if let Err(first_err) = write_frame(&mut stream, env.from, &env.payload) {
-            // The cached connection may have died (peer restart); retry once
-            // on a fresh connection before reporting.
+            // Close the stale stream before dropping it from the cache so
+            // its file descriptor and the peer's reader drain immediately.
+            let _ = stream.shutdown(std::net::Shutdown::Both);
             drop(stream);
             self.connections.lock().remove(&(env.from, env.to));
+            if !is_reset(first_err.kind()) {
+                return Err(io_err(&first_err));
+            }
+            // Connection-reset family: the peer may have restarted, so one
+            // fresh connection attempt is warranted. If that attempt is
+            // *refused*, `connect` surfaces `Unreachable` — the peer is
+            // down, and blind retries would only burn the caller's budget.
             let conn = self.connect(env.from, env.to)?;
             let mut stream = conn.lock();
             write_frame(&mut stream, env.from, &env.payload).map_err(|e| {
@@ -188,11 +224,16 @@ fn accept_loop(
         match listener.accept() {
             Ok((stream, _peer)) => {
                 let tx = tx.clone();
-                let alive = Arc::clone(alive);
-                std::thread::Builder::new()
+                let reader_alive = Arc::clone(alive);
+                if std::thread::Builder::new()
                     .name(format!("tcp-read-{node}"))
-                    .spawn(move || read_loop(stream, node, &tx, &alive))
-                    .expect("spawn read thread");
+                    .spawn(move || read_loop(stream, node, &tx, &reader_alive))
+                    .is_err()
+                {
+                    // Thread exhaustion: drop the connection (the sender
+                    // sees a reset and reconnects) rather than panic.
+                    continue;
+                }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(2));
@@ -313,6 +354,54 @@ mod tests {
         assert!(net
             .send(Envelope::new(NodeId(1), NodeId(2), Bytes::new()))
             .is_err());
+    }
+
+    #[test]
+    fn refused_connection_surfaces_unreachable() {
+        let net = TcpNetwork::new();
+        let _a = net.register(NodeId(1)).unwrap();
+        // A port that was just bound and released: connecting to it is
+        // refused (nothing listens), modelling a peer whose process died.
+        let dead = TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap();
+        net.directory.lock().insert(
+            NodeId(9),
+            NodeState {
+                addr: dead,
+                alive: Arc::new(AtomicBool::new(true)),
+            },
+        );
+        assert_eq!(
+            net.send(Envelope::new(NodeId(1), NodeId(9), Bytes::new()))
+                .unwrap_err(),
+            NetError::Unreachable(NodeId(9))
+        );
+    }
+
+    #[test]
+    fn send_reconnects_after_reset() {
+        let net = TcpNetwork::new();
+        let _a = net.register(NodeId(1)).unwrap();
+        let b = net.register(NodeId(2)).unwrap();
+        net.send(Envelope::new(NodeId(1), NodeId(2), Bytes::from_static(b"warm")))
+            .unwrap();
+        b.recv_timeout(Duration::from_secs(5)).unwrap();
+        // Kill the cached stream under the cache's feet: the next write
+        // fails with the connection-reset family and must transparently
+        // retry on a fresh connection.
+        let conn = Arc::clone(
+            net.connections
+                .lock()
+                .get(&(NodeId(1), NodeId(2)))
+                .unwrap(),
+        );
+        conn.lock().shutdown(std::net::Shutdown::Both).unwrap();
+        net.send(Envelope::new(NodeId(1), NodeId(2), Bytes::from_static(b"again")))
+            .unwrap();
+        let got = b.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(got.payload, Bytes::from_static(b"again"));
     }
 
     #[test]

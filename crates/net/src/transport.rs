@@ -36,6 +36,10 @@ impl Envelope {
 pub enum NetError {
     /// The destination node has never been registered with this transport.
     UnknownNode(NodeId),
+    /// The destination is registered but refuses connections (its process
+    /// is down). Distinct from [`NetError::UnknownNode`] so callers can
+    /// fail fast instead of retrying blindly.
+    Unreachable(NodeId),
     /// The node id is already registered.
     AlreadyRegistered(NodeId),
     /// The transport (or this endpoint) has been shut down.
@@ -50,6 +54,7 @@ impl fmt::Display for NetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NetError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            NetError::Unreachable(n) => write!(f, "node {n} refuses connections"),
             NetError::AlreadyRegistered(n) => write!(f, "node {n} already registered"),
             NetError::Closed => write!(f, "transport closed"),
             NetError::Timeout => write!(f, "receive timed out"),

@@ -25,6 +25,7 @@
 //! | [`security`] | §7.1 | shared secrets, MACs, declaratively generated guards |
 //! | [`streams`] | §7.2 | stream interfaces, explicit binding, QoS monitoring, synchronization |
 //! | [`gc`] | §7.3 | leases, reference listing, mark-sweep, idle-time collection |
+//! | [`chaos`] | §5.4, §5.5 | deterministic fault schedules, crash-recovery soak harness, safety invariants |
 //!
 //! ## Quickstart
 //!
@@ -58,6 +59,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use odp_chaos as chaos;
 pub use odp_core as core;
 pub use odp_federation as federation;
 pub use odp_gc as gc;

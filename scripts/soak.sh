@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Crash-recovery soak: replay the chaos suite across many seed families.
+#
+# Each round runs the full `chaos_soak` integration suite under a distinct
+# CHAOS_SEED; every profile (crash/restart, partition/heal, loss burst,
+# latency spike, forced relocation, mixed) generates its schedule from that
+# family. A failing round prints the seed — re-exporting it reproduces the
+# exact fault timeline, bit for bit.
+#
+# Usage: scripts/soak.sh [rounds]      (default: 10)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+rounds="${1:-10}"
+for i in $(seq 1 "$rounds"); do
+    seed=$(( 0xA11CE + i * 104729 ))
+    echo "== soak round $i/$rounds (CHAOS_SEED=$seed) =="
+    CHAOS_SEED="$seed" cargo test -p odp --release --test chaos_soak
+done
+echo "soak: $rounds rounds clean"

@@ -1,0 +1,217 @@
+//! Chaos soak tests: deterministic fault schedules replayed against live
+//! worlds, with safety invariants checked after every run.
+//!
+//! Set `CHAOS_SEED` to soak a different seed family (`scripts/soak.sh`
+//! loops over several); the default family is fixed so CI runs are
+//! reproducible.
+
+use odp::chaos::{run, ChaosConfig, ChaosProfile, FaultSchedule, Topology};
+use odp::core::CircuitBreakerPolicy;
+use odp::net::NetFault;
+use odp::prelude::*;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn base_seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xA11CE)
+}
+
+/// Replays every profile (six seeded schedules — crash/restart, partition
+/// heal, loss burst, latency spike, forced relocation, mixed) and checks
+/// the invariant sweep: no committed record lost, at-most-once effect,
+/// interface reachable after heal.
+#[test]
+fn soak_every_profile_holds_invariants() {
+    let topo = Topology::standard();
+    for (i, profile) in ChaosProfile::ALL.into_iter().enumerate() {
+        let seed = base_seed().wrapping_add(i as u64 * 7919);
+        let schedule = FaultSchedule::generate(profile, seed, &topo);
+        let report = run(&ChaosConfig::new(schedule)).expect("harness runs");
+        assert!(
+            report.invariants.ok(),
+            "{profile:?} seed {seed}: {}",
+            report.invariants
+        );
+        assert!(report.probe_ok, "{profile:?} seed {seed}: survivor unreachable");
+        assert!(
+            !report.committed.is_empty(),
+            "{profile:?} seed {seed}: no call ever committed — harness not exercising anything"
+        );
+        match profile {
+            ChaosProfile::CrashRestart | ChaosProfile::Mixed => {
+                assert!(report.restarts >= 1, "{profile:?}: no restart performed");
+            }
+            ChaosProfile::ForcedRelocation => {
+                assert!(report.relocations >= 1, "{profile:?}: no relocation performed");
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The whole point of seeded schedules: two runs of the same seed apply
+/// the identical action sequence and leave the identical network fault
+/// log. (Client progress is timing-dependent and deliberately excluded —
+/// safety is judged by the invariant sweep, reproducibility by the
+/// timeline.)
+#[test]
+fn same_seed_produces_identical_fault_timelines() {
+    let topo = Topology::standard();
+    for profile in ChaosProfile::ALL {
+        let a = FaultSchedule::generate(profile, 0xDE7E12, &topo);
+        let b = FaultSchedule::generate(profile, 0xDE7E12, &topo);
+        assert_eq!(a, b, "{profile:?}: schedule generation not deterministic");
+    }
+    let schedule = FaultSchedule::generate(ChaosProfile::Mixed, 0xDE7E12, &topo);
+    let first = run(&ChaosConfig::new(schedule.clone())).expect("first run");
+    let second = run(&ChaosConfig::new(schedule)).expect("second run");
+    assert_eq!(
+        first.timeline, second.timeline,
+        "same seed must replay the identical fault timeline"
+    );
+    assert!(first.invariants.ok(), "{}", first.invariants);
+    assert!(second.invariants.ok(), "{}", second.invariants);
+}
+
+fn echo_type() -> InterfaceType {
+    InterfaceTypeBuilder::new()
+        .interrogation("echo", vec![], vec![OutcomeSig::ok(vec![TypeSpec::Int])])
+        .build()
+}
+
+fn echo_servant() -> Arc<FnServant> {
+    Arc::new(FnServant::new(echo_type(), |_op, _args, _ctx| {
+        Outcome::ok(vec![Value::Int(7)])
+    }))
+}
+
+/// Deadline propagation: a call stamped with a 500 ms deadline must not
+/// outlive `deadline + one retry interval`, even when the server is
+/// silently partitioned away (the worst case: every attempt runs its full
+/// per-attempt budget instead of failing fast).
+#[test]
+fn deadline_bounds_call_latency_under_partition() {
+    let world = World::builder().capsules(2).build();
+    let server = world.capsule(0);
+    let client = world.capsule(1);
+    let reference = server.export(echo_servant());
+
+    let deadline = Duration::from_millis(500);
+    let qos = CallQos::with_deadline(deadline);
+    let binding = client.bind_with(reference, TransparencyPolicy::default().with_qos(qos));
+    assert!(binding.interrogate("echo", vec![]).is_ok(), "sanity call");
+
+    world
+        .net()
+        .apply(&NetFault::Partition(client.node(), server.node()));
+    for attempt in 0..3 {
+        let start = Instant::now();
+        let result = binding.interrogate("echo", vec![]);
+        let elapsed = start.elapsed();
+        assert!(result.is_err(), "partitioned call cannot succeed");
+        assert!(
+            elapsed <= deadline + qos.retry_interval,
+            "attempt {attempt}: call took {elapsed:?}, budget is {:?} + {:?}",
+            deadline,
+            qos.retry_interval
+        );
+    }
+}
+
+/// Circuit breaking: consecutive communication failures trip the breaker
+/// open (calls shed fast, without burning their full deadline); after the
+/// cooldown a half-open probe reaches the restarted server and the
+/// breaker recloses.
+#[test]
+fn breaker_sheds_when_open_and_probes_back_after_restart() {
+    let world = World::builder().capsules(0).build();
+    let server_node = NodeId(2);
+    let client_node = NodeId(3);
+    let server = world.spawn_capsule_at(server_node).expect("spawn server");
+    let client = world.spawn_capsule_at(client_node).expect("spawn client");
+    let reference = server.export(echo_servant());
+    let iface = reference.iface;
+
+    let deadline = Duration::from_millis(200);
+    let cooldown = Duration::from_millis(100);
+    let policy = TransparencyPolicy::default()
+        .with_qos(CallQos::with_deadline(deadline))
+        .with_failure(None) // isolate the breaker from retry masking
+        .with_breaker(Some(CircuitBreakerPolicy {
+            failure_threshold: 3,
+            cooldown,
+        }));
+    let binding = client.bind_with(reference, policy);
+    assert!(binding.interrogate("echo", vec![]).is_ok(), "sanity call");
+
+    server.crash();
+    let mut shed = false;
+    for _ in 0..20 {
+        match binding.interrogate("echo", vec![]) {
+            Err(InvokeError::CircuitOpen) => {
+                shed = true;
+                break;
+            }
+            Err(_) => {}
+            Ok(_) => panic!("call succeeded against a crashed server"),
+        }
+    }
+    assert!(shed, "breaker never opened after consecutive failures");
+
+    // Open breaker = load shedding: the failure is immediate, nowhere
+    // near the call deadline.
+    let start = Instant::now();
+    assert!(matches!(
+        binding.interrogate("echo", vec![]),
+        Err(InvokeError::CircuitOpen)
+    ));
+    assert!(
+        start.elapsed() < deadline / 2,
+        "shed call burned {:?} of a {:?} deadline",
+        start.elapsed(),
+        deadline
+    );
+
+    // Restart the server under the same identity, epoch bumped.
+    let fresh = world.spawn_capsule_at(server_node).expect("restart server");
+    fresh.export_at(iface, 1, echo_servant(), ExportConfig::default());
+    std::thread::sleep(cooldown + Duration::from_millis(20));
+
+    let mut reconnected = false;
+    for _ in 0..20 {
+        if binding.interrogate("echo", vec![]).is_ok() {
+            reconnected = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert!(reconnected, "half-open probe never reconnected");
+    assert!(
+        binding.interrogate("echo", vec![]).is_ok(),
+        "breaker must be closed again after a successful probe"
+    );
+}
+
+/// Durability end to end: commit acknowledgements received before a crash
+/// must survive recovery, including across a checkpoint boundary.
+#[test]
+fn committed_records_survive_crash_and_recovery() {
+    let topo = Topology::standard();
+    // A tight checkpoint interval forces snapshot + log-tail recovery
+    // rather than pure replay.
+    let schedule = FaultSchedule::generate(ChaosProfile::CrashRestart, base_seed() ^ 0x5EED, &topo);
+    let mut config = ChaosConfig::new(schedule);
+    config.checkpoint_every = 4;
+    let report = run(&config).expect("harness runs");
+    assert!(report.invariants.ok(), "{}", report.invariants);
+    assert!(report.restarts >= 1);
+    for &(client, seq) in &report.committed {
+        assert!(
+            report.final_ledger.contains_key(&(client, seq)),
+            "committed ({client},{seq}) lost across crash"
+        );
+    }
+}

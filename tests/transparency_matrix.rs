@@ -120,6 +120,7 @@ fn failure_retry_selected_rides_partition_flap_deselected_fails() {
             .with_failure(Some(odp::core::RetryPolicy {
                 max_retries: 5,
                 backoff: Duration::from_millis(50),
+                ..odp::core::RetryPolicy::default()
             })),
     );
     let without = world.capsule(1).bind_with(
