@@ -19,7 +19,7 @@ use std::hint::black_box;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-fn echo_servant() -> Arc<FnServant> {
+fn echo_servant() -> Arc<dyn Servant> {
     let ty = InterfaceTypeBuilder::new()
         .interrogation("echo", vec![], vec![OutcomeSig::ok(vec![TypeSpec::Int])])
         .build();

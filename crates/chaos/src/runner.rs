@@ -127,6 +127,9 @@ pub struct ChaosReport {
     pub final_ledger: BTreeMap<(u64, u64), i64>,
     /// Invariant sweep over the run.
     pub invariants: InvariantReport,
+    /// Tail of the merged telemetry timeline (chaos events + sampled
+    /// invocation spans, causally ordered) captured after the probe.
+    pub event_timeline: Vec<String>,
 }
 
 /// One restartable node: the slot survives the capsule.
@@ -156,6 +159,13 @@ struct Harness {
 
 impl Harness {
     fn new(config: &ChaosConfig) -> Result<Self, String> {
+        // Chaos runs always record: schedule events land in the same
+        // timeline as invocation spans, so an invariant violation can be
+        // diagnosed from one causally-ordered trace. Sampling one call in
+        // eight keeps span volume bounded under the client hammering.
+        let hub = odp_telemetry::hub();
+        hub.set_recording(true);
+        hub.set_sampling(odp_telemetry::Sampling::OneIn(8));
         let topo = Topology::standard();
         let world = World::builder()
             .capsules(0)
@@ -217,16 +227,29 @@ impl Harness {
 
     fn apply(&mut self, action: &ChaosAction) -> Result<(), String> {
         match action {
-            ChaosAction::Net(fault) => self.world.net().apply(fault),
+            ChaosAction::Net(fault) => {
+                odp_telemetry::hub().event("chaos.net", 0, 0, format!("{fault:?}"));
+                self.world.net().apply(fault);
+            }
             ChaosAction::Crash(node) => {
                 let i = self.slot_index(*node)?;
+                odp_telemetry::hub().event("chaos.crash", node.raw(), 0, format!("{node}"));
                 self.slots[i].capsule.crash();
             }
-            ChaosAction::Restart(node) => self.restart(*node)?,
+            ChaosAction::Restart(node) => {
+                odp_telemetry::hub().event("chaos.restart", node.raw(), 0, format!("{node}"));
+                self.restart(*node)?;
+            }
             ChaosAction::Relocate { to } => {
                 let ti = self.slot_index(*to)?;
                 if ti != self.host_idx {
                     let iface = self.ledger_ref.iface;
+                    odp_telemetry::hub().event(
+                        "chaos.relocate",
+                        to.raw(),
+                        0,
+                        format!("iface={iface} -> {to}"),
+                    );
                     let source = Arc::clone(&self.slots[self.host_idx].capsule);
                     source
                         .migrate_to(iface, &self.slots[ti].capsule)
@@ -299,6 +322,7 @@ impl Harness {
     /// Heals the network and restarts any node still down, so invariants
     /// are checked against a fully recovered system.
     fn epilogue(&mut self) -> Result<(), String> {
+        odp_telemetry::hub().event("chaos.heal", 0, 0, "heal_all + restart survivors".to_owned());
         self.world.net().heal_all();
         let down: Vec<NodeId> = self
             .slots
@@ -432,6 +456,7 @@ pub fn run(config: &ChaosConfig) -> Result<ChaosReport, String> {
         probe_ok,
         final_ledger,
         invariants,
+        event_timeline: odp_telemetry::hub().render_timeline(200),
     })
 }
 
@@ -454,5 +479,22 @@ mod tests {
             report.invariants
         );
         assert!(!report.committed.is_empty(), "some calls must commit");
+        // The merged timeline must interleave schedule events with the
+        // run's telemetry — at minimum the crash and restart are there.
+        assert!(
+            report
+                .event_timeline
+                .iter()
+                .any(|l| l.contains("chaos.crash")),
+            "timeline records the crash: {:?}",
+            report.event_timeline
+        );
+        assert!(
+            report
+                .event_timeline
+                .iter()
+                .any(|l| l.contains("chaos.restart")),
+            "timeline records the restart"
+        );
     }
 }

@@ -221,6 +221,7 @@ mod tests {
             iface: odp_types::InterfaceId(1),
             announcement: false,
             annotations: std::collections::BTreeMap::new(),
+            ..CallCtx::default()
         }
     }
 

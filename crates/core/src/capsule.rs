@@ -109,6 +109,9 @@ pub struct Capsule {
     crashed: AtomicBool,
     /// Statistics.
     pub stats: CapsuleStats,
+    /// Telemetry cell for the `"dispatch"` layer on this node, resolved
+    /// once at capsule creation.
+    dispatch_metrics: Arc<odp_telemetry::LayerMetrics>,
 }
 
 impl Capsule {
@@ -141,6 +144,9 @@ impl Capsule {
             relocator: RwLock::new(None),
             crashed: AtomicBool::new(false),
             stats: CapsuleStats::default(),
+            dispatch_metrics: odp_telemetry::hub()
+                .metrics()
+                .register(node.raw(), "dispatch"),
         });
         let weak = Arc::downgrade(&capsule);
         capsule.rex.set_handler(Arc::new(move |req: RexRequest| {
@@ -444,6 +450,7 @@ impl Capsule {
             iface: req.target.iface,
             announcement,
             annotations: req.annotations.clone(),
+            trace: req.trace,
         };
         self.dispatch_entry(&mut ctx, &req.op, req.args.clone())
     }
@@ -463,12 +470,48 @@ impl Capsule {
             iface: req.iface,
             announcement: req.announcement,
             annotations,
+            trace: req.trace,
         };
         let outcome = self.dispatch_entry(&mut ctx, &req.op, args);
         object::encode_outcome(&outcome)
     }
 
     fn dispatch_entry(&self, ctx: &mut CallCtx, op: &str, args: Vec<Value>) -> Outcome {
+        let hub = odp_telemetry::hub();
+        if !hub.recording() {
+            return self.dispatch_inner(ctx, op, args);
+        }
+        if !ctx.trace.is_sampled() {
+            let outcome = self.dispatch_inner(ctx, op, args);
+            self.dispatch_metrics.count(outcome.is_engineering());
+            return outcome;
+        }
+        // Sampled: the nucleus dispatch gets its own span, and becomes the
+        // current trace so nested invocations made by the servant (or by
+        // server layers) stay causally linked to this call.
+        let span_ctx = hub.child_of(ctx.trace);
+        ctx.trace = span_ctx;
+        let _current = odp_telemetry::set_current(span_ctx);
+        let start = hub.now_ns();
+        let outcome = self.dispatch_inner(ctx, op, args);
+        let end = hub.now_ns();
+        self.dispatch_metrics
+            .record_call_ns(end.saturating_sub(start), outcome.is_engineering());
+        hub.record_span(odp_telemetry::SpanRecord {
+            trace_id: span_ctx.trace_id,
+            span_id: span_ctx.span_id,
+            parent_span: span_ctx.parent_span,
+            node: self.node.raw(),
+            layer: "dispatch",
+            op: Some(op.to_owned()),
+            start_ns: start,
+            end_ns: end,
+            termination: outcome.termination.clone(),
+        });
+        outcome
+    }
+
+    fn dispatch_inner(&self, ctx: &mut CallCtx, op: &str, args: Vec<Value>) -> Outcome {
         self.stats.served.fetch_add(1, Ordering::Relaxed);
         let (servant, config, serial) = {
             let exports = self.exports.read();

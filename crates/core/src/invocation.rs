@@ -18,6 +18,7 @@
 use crate::capsule::Capsule;
 use crate::object::{self, terminations, CallCtx, Outcome};
 use odp_net::{CallQos, RexError};
+use odp_telemetry::{LayerMetrics, SpanRecord, TraceContext};
 use odp_types::{conformance, ConformanceError, InterfaceId, NodeId, OperationKind};
 use odp_wire::{InterfaceRef, TypeCheckError, Value};
 use parking_lot::RwLock;
@@ -47,6 +48,12 @@ pub struct CallRequest {
     /// each attempt's QoS to the remaining budget, so stacked retries can
     /// never exceed the caller's total deadline.
     pub deadline: Option<Instant>,
+    /// Trace context for this request. The stub stamps a fresh (or
+    /// inherited) context when telemetry is recording; each instrumented
+    /// layer rewrites it to its own child span before delegating, so the
+    /// context the access layer puts on the wire names the innermost
+    /// client-side span — the server's dispatch span parents to it.
+    pub trace: TraceContext,
 }
 
 impl CallRequest {
@@ -281,14 +288,23 @@ impl AccessLayer {
         // Remote (or forced-remote loopback) path: marshal and exchange.
         let body = object::encode_request(&req.annotations, &req.args);
         if req.announcement {
-            capsule
-                .rex()
-                .announce(req.target.home, req.target.iface, &req.op, body)?;
+            capsule.rex().announce_traced(
+                req.target.home,
+                req.target.iface,
+                &req.op,
+                body,
+                req.trace,
+            )?;
             return Ok(Outcome::ok(vec![]));
         }
-        let reply = capsule
-            .rex()
-            .call(req.target.home, req.target.iface, &req.op, body, qos)?;
+        let reply = capsule.rex().call_traced(
+            req.target.home,
+            req.target.iface,
+            &req.op,
+            body,
+            qos,
+            req.trace,
+        )?;
         object::decode_outcome(&reply).map_err(InvokeError::Protocol)
     }
 }
@@ -301,22 +317,93 @@ impl fmt::Debug for AccessLayer {
     }
 }
 
+/// Renders an invocation result as a span termination string.
+fn termination_of(result: &Result<Outcome, InvokeError>) -> String {
+    match result {
+        Ok(outcome) => outcome.termination.clone(),
+        Err(e) => format!("error: {e}"),
+    }
+}
+
 struct StackNext<'a> {
     layers: &'a [Arc<dyn ClientLayer>],
+    /// Metric cells parallel to `layers` (resolved once at bind time).
+    metrics: &'a [Arc<LayerMetrics>],
     access: &'a AccessLayer,
+    access_metrics: &'a Arc<LayerMetrics>,
+    /// Raw node id the binding lives on, stamped into spans.
+    node: u64,
+}
+
+impl StackNext<'_> {
+    /// Runs `body` with the telemetry treatment the current mode calls
+    /// for: nothing when recording is off, counter increments when the
+    /// trace is unsampled, and a full timed span (with the request's
+    /// trace context rewritten to a fresh child) when it is sampled.
+    fn instrumented(
+        &self,
+        mut req: CallRequest,
+        layer: &'static str,
+        metric: &Arc<LayerMetrics>,
+        body: impl FnOnce(CallRequest) -> Result<Outcome, InvokeError>,
+    ) -> Result<Outcome, InvokeError> {
+        let hub = odp_telemetry::hub();
+        if !hub.recording() {
+            return body(req);
+        }
+        if !req.trace.is_sampled() {
+            let result = body(req);
+            metric.count(result.is_err());
+            return result;
+        }
+        let ctx = hub.child_of(req.trace);
+        req.trace = ctx;
+        let op = req.op.clone();
+        // Parent any nested invocations issued from inside the layer
+        // (relocator lookups, group member calls) to this span.
+        let _current = odp_telemetry::set_current(ctx);
+        let start = hub.now_ns();
+        let result = body(req);
+        let end = hub.now_ns();
+        metric.record_call_ns(end.saturating_sub(start), result.is_err());
+        hub.record_span(SpanRecord {
+            trace_id: ctx.trace_id,
+            span_id: ctx.span_id,
+            parent_span: ctx.parent_span,
+            node: self.node,
+            layer,
+            op: Some(op),
+            start_ns: start,
+            end_ns: end,
+            termination: termination_of(&result),
+        });
+        result
+    }
 }
 
 impl ClientNext for StackNext<'_> {
     fn invoke(&self, req: CallRequest) -> Result<Outcome, InvokeError> {
         match self.layers.split_first() {
-            Some((layer, rest)) => layer.invoke(
-                req,
-                &StackNext {
+            Some((layer, rest)) => {
+                // `metrics` is built parallel to `layers` at assemble time;
+                // the defensive split keeps a mismatch from ever skipping a
+                // layer.
+                let (metric, rest_metrics) = match self.metrics.split_first() {
+                    Some((m, r)) => (m, r),
+                    None => (self.access_metrics, self.metrics),
+                };
+                let next = StackNext {
                     layers: rest,
+                    metrics: rest_metrics,
                     access: self.access,
-                },
-            ),
-            None => self.access.invoke_base(req),
+                    access_metrics: self.access_metrics,
+                    node: self.node,
+                };
+                self.instrumented(req, layer.name(), metric, |req| layer.invoke(req, &next))
+            }
+            None => self.instrumented(req, "access", self.access_metrics, |req| {
+                self.access.invoke_base(req)
+            }),
         }
     }
 }
@@ -332,6 +419,13 @@ pub struct ClientBinding {
     layers: Vec<Arc<dyn ClientLayer>>,
     access: AccessLayer,
     default_qos: CallQos,
+    /// Metric cells parallel to `layers`, resolved once here so the hot
+    /// path never touches the registry.
+    layer_metrics: Vec<Arc<LayerMetrics>>,
+    access_metrics: Arc<LayerMetrics>,
+    stub_metrics: Arc<LayerMetrics>,
+    /// Raw node id of the capsule the binding was assembled on.
+    node: u64,
 }
 
 impl ClientBinding {
@@ -343,12 +437,73 @@ impl ClientBinding {
         access: AccessLayer,
         default_qos: CallQos,
     ) -> Self {
+        let node = access
+            .capsule
+            .upgrade()
+            .map(|c| c.node().raw())
+            .unwrap_or(0);
+        let registry = odp_telemetry::hub().metrics();
+        let layer_metrics = layers
+            .iter()
+            .map(|l| registry.register(node, l.name()))
+            .collect();
         Self {
             target,
             layers,
             access,
             default_qos,
+            layer_metrics,
+            access_metrics: registry.register(node, "access"),
+            stub_metrics: registry.register(node, "client"),
+            node,
         }
+    }
+
+    fn stack(&self) -> StackNext<'_> {
+        StackNext {
+            layers: &self.layers,
+            metrics: &self.layer_metrics,
+            access: &self.access,
+            access_metrics: &self.access_metrics,
+            node: self.node,
+        }
+    }
+
+    /// Runs one stub-level invocation with telemetry: stamps the trace
+    /// context (inheriting any trace current on this thread, so nested
+    /// invocations stay connected), records the root `"client"` span on
+    /// sampled traces, and counts every call when recording is on.
+    fn invoke_traced(&self, mut req: CallRequest) -> Result<Outcome, InvokeError> {
+        let hub = odp_telemetry::hub();
+        if !hub.recording() {
+            return self.stack().invoke(req);
+        }
+        let ctx = hub.begin_trace(odp_telemetry::current());
+        req.trace = ctx;
+        if !ctx.is_sampled() {
+            let result = self.stack().invoke(req);
+            self.stub_metrics.count(result.is_err());
+            return result;
+        }
+        let op = req.op.clone();
+        let _current = odp_telemetry::set_current(ctx);
+        let start = hub.now_ns();
+        let result = self.stack().invoke(req);
+        let end = hub.now_ns();
+        self.stub_metrics
+            .record_call_ns(end.saturating_sub(start), result.is_err());
+        hub.record_span(SpanRecord {
+            trace_id: ctx.trace_id,
+            span_id: ctx.span_id,
+            parent_span: ctx.parent_span,
+            node: self.node,
+            layer: "client",
+            op: Some(op),
+            start_ns: start,
+            end_ns: end,
+            termination: termination_of(&result),
+        });
+        result
     }
 
     /// The current (possibly relocated) target reference.
@@ -397,13 +552,10 @@ impl ClientBinding {
             // The binding's QoS deadline is the caller's end-to-end budget:
             // stamp it once here so every layer below shares the same clock.
             deadline: Some(Instant::now() + self.default_qos.deadline),
+            trace: TraceContext::NONE,
         };
         let iface = self.target.read().iface;
-        let outcome = StackNext {
-            layers: &self.layers,
-            access: &self.access,
-        }
-        .invoke(req)?;
+        let outcome = self.invoke_traced(req)?;
         Self::interpret(iface, outcome)
     }
 
@@ -421,12 +573,9 @@ impl ClientBinding {
             qos: self.default_qos,
             announcement: true,
             deadline: Some(Instant::now() + self.default_qos.deadline),
+            trace: TraceContext::NONE,
         };
-        StackNext {
-            layers: &self.layers,
-            access: &self.access,
-        }
-        .invoke(req)?;
+        self.invoke_traced(req)?;
         Ok(())
     }
 

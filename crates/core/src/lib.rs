@@ -37,6 +37,10 @@
 //!   location" (§5.4).
 //! * [`node_manager`] — the per-node management service of §6: creates
 //!   default servants after restart and can start/stop servants remotely.
+//! * [`management`] — capsule introspection plus the telemetry plane
+//!   ([`management::TelemetryServant`]): per-layer metrics, the merged
+//!   span/event timeline and causally-linked trace trees, all served as
+//!   ordinary ODP interrogations.
 //! * [`world`] — a harness that assembles transports, capsules and a
 //!   relocator into a running system for tests, examples and benches.
 
@@ -53,6 +57,9 @@ pub mod transparency;
 pub mod world;
 
 pub use capsule::{Capsule, ExportConfig, SyncDiscipline};
+pub use management::{
+    management_interface_type, telemetry_interface_type, ManagementServant, TelemetryServant,
+};
 pub use invocation::{
     CallRequest, ClientBinding, ClientLayer, ClientNext, InvokeError, ServerLayer, ServerNext,
 };

@@ -56,6 +56,128 @@ pub fn management_interface_type() -> InterfaceType {
         .build()
 }
 
+/// The signature of the node telemetry service.
+#[must_use]
+pub fn telemetry_interface_type() -> InterfaceType {
+    InterfaceTypeBuilder::new()
+        .interrogation(
+            "metrics",
+            vec![],
+            vec![OutcomeSig::ok(vec![TypeSpec::seq(TypeSpec::record([
+                ("node", TypeSpec::Int),
+                ("layer", TypeSpec::Str),
+                ("calls", TypeSpec::Int),
+                ("failures", TypeSpec::Int),
+                ("samples", TypeSpec::Int),
+                ("p50_ns", TypeSpec::Int),
+                ("p95_ns", TypeSpec::Int),
+                ("p99_ns", TypeSpec::Int),
+            ]))])],
+        )
+        .interrogation(
+            "timeline",
+            vec![TypeSpec::Int],
+            vec![OutcomeSig::ok(vec![TypeSpec::seq(TypeSpec::Str)])],
+        )
+        .interrogation(
+            "trace",
+            vec![TypeSpec::Int],
+            vec![OutcomeSig::ok(vec![TypeSpec::seq(TypeSpec::Str)])],
+        )
+        .interrogation("recording", vec![TypeSpec::Int], vec![OutcomeSig::ok(vec![])])
+        .build()
+}
+
+/// Exposes the node-wide telemetry plane — per-layer metric snapshots, the
+/// merged span/event timeline, and individual trace trees — as an ordinary
+/// ODP interface, so observability tooling is just another client.
+///
+/// One servant serves the whole process (the [`odp_telemetry::hub`] is
+/// global); it is exported per capsule so every node's management plane can
+/// answer interrogations locally.
+pub struct TelemetryServant {
+    capsule: Weak<Capsule>,
+}
+
+impl TelemetryServant {
+    /// Creates the telemetry servant for `capsule`.
+    #[must_use]
+    pub fn new(capsule: &Arc<Capsule>) -> Self {
+        Self::from_weak(Arc::downgrade(capsule))
+    }
+
+    /// Creates the servant from an already-downgraded capsule handle
+    /// (used by the node manager's default factory, which must not keep
+    /// the capsule alive).
+    #[must_use]
+    pub fn from_weak(capsule: Weak<Capsule>) -> Self {
+        Self { capsule }
+    }
+}
+
+impl Servant for TelemetryServant {
+    fn interface_type(&self) -> InterfaceType {
+        telemetry_interface_type()
+    }
+
+    fn dispatch(&self, op: &str, args: Vec<Value>, _ctx: &CallCtx) -> Outcome {
+        if self.capsule.upgrade().is_none() {
+            return Outcome::fail("capsule has shut down");
+        }
+        let hub = odp_telemetry::hub();
+        match op {
+            "metrics" => Outcome::ok(vec![Value::Seq(
+                hub.metrics_snapshot()
+                    .into_iter()
+                    .map(|m| {
+                        Value::record([
+                            ("node", Value::Int(m.node as i64)),
+                            ("layer", Value::str(m.layer)),
+                            ("calls", Value::Int(m.calls as i64)),
+                            ("failures", Value::Int(m.failures as i64)),
+                            ("samples", Value::Int(m.samples as i64)),
+                            ("p50_ns", Value::Int(m.p50_ns as i64)),
+                            ("p95_ns", Value::Int(m.p95_ns as i64)),
+                            ("p99_ns", Value::Int(m.p99_ns as i64)),
+                        ])
+                    })
+                    .collect(),
+            )]),
+            "timeline" => {
+                let limit = args
+                    .first()
+                    .and_then(Value::as_int)
+                    .map_or(100, |n| n.max(0) as usize);
+                Outcome::ok(vec![Value::Seq(
+                    hub.render_timeline(limit).into_iter().map(Value::Str).collect(),
+                )])
+            }
+            "trace" => {
+                let Some(id) = args.first().and_then(Value::as_int) else {
+                    return Outcome::fail("trace requires a trace id");
+                };
+                Outcome::ok(vec![Value::Seq(
+                    hub.render_trace(id as u64).into_iter().map(Value::Str).collect(),
+                )])
+            }
+            "recording" => {
+                let Some(on) = args.first().and_then(Value::as_int) else {
+                    return Outcome::fail("recording requires 0 or 1");
+                };
+                hub.set_recording(on != 0);
+                Outcome::ok(vec![])
+            }
+            _ => Outcome::fail("unknown operation"),
+        }
+    }
+}
+
+impl std::fmt::Debug for TelemetryServant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetryServant").finish()
+    }
+}
+
 /// Exposes a capsule's engineering state for monitoring and control.
 pub struct ManagementServant {
     capsule: Weak<Capsule>,
@@ -166,5 +288,49 @@ mod tests {
 
         let out = binding.interrogate("relocator", vec![]).unwrap();
         assert_eq!(out.termination, "ok");
+    }
+
+    #[test]
+    fn telemetry_metrics_and_timeline_visible_remotely() {
+        let world = World::quick();
+        let capsule = world.capsule(0);
+        let tel_ref = capsule.export(Arc::new(TelemetryServant::new(capsule)));
+        let binding = world.capsule(1).bind(tel_ref);
+
+        let hub = odp_telemetry::hub();
+        hub.set_recording(true);
+        hub.set_sampling(odp_telemetry::Sampling::All);
+
+        // Generate some instrumented traffic, then interrogate the plane
+        // about itself: the "metrics" call below is itself recorded.
+        let _ = binding.interrogate("metrics", vec![]).unwrap();
+        let out = binding.interrogate("metrics", vec![]).unwrap();
+        let rows = out.result().unwrap().as_seq().unwrap().to_vec();
+        assert!(
+            rows.iter().any(|r| {
+                r.field("layer").and_then(Value::as_str) == Some("client")
+                    && r.field("calls").and_then(Value::as_int).unwrap_or(0) >= 1
+            }),
+            "expected a client-layer metric row, got {rows:?}"
+        );
+
+        let out = binding
+            .interrogate("timeline", vec![Value::Int(50)])
+            .unwrap();
+        let lines = out.result().unwrap().as_seq().unwrap().to_vec();
+        assert!(
+            lines.iter().any(|l| l
+                .as_str()
+                .is_some_and(|s| s.contains("span") && s.contains("client"))),
+            "expected a client span in the timeline, got {lines:?}"
+        );
+
+        // The switch is reachable through the same interface.
+        let out = binding
+            .interrogate("recording", vec![Value::Int(0)])
+            .unwrap();
+        assert!(out.is_ok());
+        assert!(!hub.recording());
+        hub.set_sampling(odp_telemetry::Sampling::Off);
     }
 }

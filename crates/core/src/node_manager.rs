@@ -63,13 +63,26 @@ pub struct NodeManager {
 
 impl NodeManager {
     /// Creates a manager for `capsule`.
+    ///
+    /// A `"telemetry"` factory (the [`crate::management::TelemetryServant`]
+    /// for this capsule) is pre-registered so every node exposes the
+    /// telemetry plane through its management service by default.
     #[must_use]
     pub fn new(capsule: &Arc<Capsule>) -> Self {
-        Self {
+        let manager = Self {
             capsule: Arc::downgrade(capsule),
             factories: Mutex::new(HashMap::new()),
             started: Mutex::new(Vec::new()),
-        }
+        };
+        let weak = Arc::downgrade(capsule);
+        manager.register_factory(
+            "telemetry",
+            Box::new(move || {
+                Arc::new(crate::management::TelemetryServant::from_weak(weak.clone()))
+                    as Arc<dyn Servant>
+            }),
+        );
+        manager
     }
 
     /// Registers a servant factory under `name`.

@@ -144,6 +144,10 @@ pub struct CallCtx {
     pub announcement: bool,
     /// Engineering annotations carried with the call.
     pub annotations: BTreeMap<String, Value>,
+    /// Trace context the invocation arrived with (from the request
+    /// envelope, or directly from the caller on the co-located fast
+    /// path); [`odp_telemetry::TraceContext::NONE`] when untraced.
+    pub trace: odp_telemetry::TraceContext,
 }
 
 impl CallCtx {

@@ -368,6 +368,12 @@ impl ClientLayer for RetryLayer {
                         // Budget exhausted: fail fast with the last
                         // communication error rather than multiply load.
                         self.budget_exhausted.fetch_add(1, Ordering::Relaxed);
+                        odp_telemetry::hub().event(
+                            "retry.budget_exhausted",
+                            0,
+                            req.trace.trace_id,
+                            format!("op={} attempt={attempt}", req.op),
+                        );
                         return Err(last_err.unwrap_or(InvokeError::Rex(RexError::Timeout)));
                     }
                 }
@@ -390,6 +396,12 @@ impl ClientLayer for RetryLayer {
                 Err(e @ InvokeError::Rex(RexError::Timeout | RexError::Unreachable(_)))
                     if attempt < self.policy.max_retries =>
                 {
+                    odp_telemetry::hub().event(
+                        "retry.attempt",
+                        0,
+                        req.trace.trace_id,
+                        format!("op={} attempt={} after {e}", req.op, attempt + 1),
+                    );
                     last_err = Some(e);
                 }
                 other => {
@@ -466,6 +478,12 @@ impl ClientLayer for CircuitBreakerLayer {
                     if cooled && !inner.probing {
                         inner.state = BreakerState::HalfOpen;
                         inner.probing = true;
+                        odp_telemetry::hub().event(
+                            "breaker.probe",
+                            0,
+                            req.trace.trace_id,
+                            format!("half-open probe op={}", req.op),
+                        );
                         true
                     } else {
                         self.shed.fetch_add(1, Ordering::Relaxed);
@@ -483,6 +501,7 @@ impl ClientLayer for CircuitBreakerLayer {
                 }
             }
         };
+        let trace_id = req.trace.trace_id;
         let result = next.invoke(req);
         let comm_failure = matches!(
             result,
@@ -497,13 +516,30 @@ impl ClientLayer for CircuitBreakerLayer {
         if comm_failure {
             inner.consecutive_failures = inner.consecutive_failures.saturating_add(1);
             if is_probe || inner.consecutive_failures >= self.policy.failure_threshold {
+                let was_open = inner.state == BreakerState::Open;
                 inner.state = BreakerState::Open;
                 inner.opened_at = Some(Instant::now());
+                if !was_open {
+                    odp_telemetry::hub().event(
+                        "breaker.open",
+                        0,
+                        trace_id,
+                        format!("consecutive_failures={}", inner.consecutive_failures),
+                    );
+                }
             }
         } else {
             // Any completed exchange — application outcome, engineering
             // termination, even a type error — proves the path is up.
             inner.consecutive_failures = 0;
+            if inner.state != BreakerState::Closed {
+                odp_telemetry::hub().event(
+                    "breaker.close",
+                    0,
+                    trace_id,
+                    "path recovered".to_string(),
+                );
+            }
             inner.state = BreakerState::Closed;
             inner.opened_at = None;
         }
@@ -545,6 +581,15 @@ impl LocationLayer {
     pub const MAX_CHASE: usize = 8;
 
     fn retarget(&self, req: &CallRequest, home: odp_types::NodeId, epoch: u64) -> CallRequest {
+        odp_telemetry::hub().event(
+            "location.retarget",
+            home.raw(),
+            req.trace.trace_id,
+            format!(
+                "iface={} {} -> {home} epoch={epoch}",
+                req.target.iface, req.target.home
+            ),
+        );
         let mut updated = req.clone();
         updated.target.home = home;
         updated.target.epoch = epoch;
@@ -797,6 +842,7 @@ mod tests {
             qos: CallQos::default(),
             announcement: false,
             deadline: None,
+            trace: odp_telemetry::TraceContext::NONE,
         }
     }
 

@@ -112,6 +112,12 @@ impl ClientLayer for BoundaryLayer {
                 let gateway = self.map.gateway_of(d).ok_or_else(|| {
                     InvokeError::Protocol(format!("no gateway known for {d}"))
                 })?;
+                odp_telemetry::hub().event(
+                    "federation.crossing",
+                    gateway.home.raw(),
+                    req.trace.trace_id,
+                    format!("op={} {} -> {d}", req.op, self.my_domain_name),
+                );
                 let relay = CallRequest {
                     target: gateway,
                     op: RELAY_OP.to_owned(),
@@ -124,8 +130,11 @@ impl ClientLayer for BoundaryLayer {
                     annotations: req.annotations.clone(),
                     qos: req.qos,
                     announcement: false,
-                    // The relay inherits the caller's end-to-end budget.
+                    // The relay inherits the caller's end-to-end budget
+                    // and trace context, so the crossing stays on the
+                    // caller's span tree.
                     deadline: req.deadline,
+                    trace: req.trace,
                 };
                 next.invoke(relay)
             }

@@ -97,6 +97,12 @@ impl ClientLayer for GroupLayer {
                     }
                     // Redirect unusable: fall through to the next member.
                     self.failovers.fetch_add(1, Ordering::Relaxed);
+                    odp_telemetry::hub().event(
+                        "group.failover",
+                        member.home.raw(),
+                        req.trace.trace_id,
+                        format!("op={} unusable redirect from member {idx}", req.op),
+                    );
                 }
                 Err(
                     e @ (InvokeError::Rex(RexError::Unreachable(_) | RexError::Timeout)
@@ -111,6 +117,12 @@ impl ClientLayer for GroupLayer {
                     self.preferred
                         .store((idx + 1) % members.len(), Ordering::Relaxed);
                     self.failovers.fetch_add(1, Ordering::Relaxed);
+                    odp_telemetry::hub().event(
+                        "group.failover",
+                        member.home.raw(),
+                        req.trace.trace_id,
+                        format!("op={} member {idx} failed: {e}", req.op),
+                    );
                     last_err = Some(e);
                 }
                 Ok(outcome) => {

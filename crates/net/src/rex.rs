@@ -26,7 +26,9 @@
 use crate::transport::{Endpoint, Envelope, NetError, Transport};
 use bytes::{BufMut, Bytes, BytesMut};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use odp_telemetry::TraceContext;
 use odp_types::{InterfaceId, NodeId};
+use odp_wire::trace::get_trace;
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
@@ -119,6 +121,9 @@ pub struct RexRequest {
     pub body: Bytes,
     /// True for announcements (no reply will be sent).
     pub announcement: bool,
+    /// Trace context carried in the request envelope
+    /// ([`TraceContext::NONE`] when the caller was untraced).
+    pub trace: TraceContext,
 }
 
 /// Server-side request handler: returns the marshalled reply body.
@@ -128,10 +133,20 @@ const KIND_REQUEST: u8 = 0;
 const KIND_REPLY: u8 = 1;
 const KIND_ANNOUNCE: u8 = 2;
 
-fn encode_request(kind: u8, call_id: u64, iface: InterfaceId, op: &str, body: &[u8]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(1 + 8 + 8 + 2 + op.len() + body.len());
+fn encode_request(
+    kind: u8,
+    call_id: u64,
+    trace: &TraceContext,
+    iface: InterfaceId,
+    op: &str,
+    body: &[u8],
+) -> Bytes {
+    let mut buf = BytesMut::with_capacity(
+        1 + 8 + TraceContext::WIRE_LEN + 8 + 2 + op.len() + body.len(),
+    );
     buf.put_u8(kind);
     buf.put_u64(call_id);
+    odp_wire::trace::put_trace(&mut buf, trace);
     buf.put_u64(iface.raw());
     buf.put_u16(op.len() as u16);
     buf.extend_from_slice(op.as_bytes());
@@ -150,6 +165,7 @@ fn encode_reply(call_id: u64, body: &[u8]) -> Bytes {
 enum Parsed {
     Request {
         call_id: u64,
+        trace: TraceContext,
         iface: InterfaceId,
         op: String,
         body: Bytes,
@@ -174,6 +190,7 @@ fn parse(mut payload: Bytes) -> Result<Parsed, RexError> {
             body: payload,
         }),
         KIND_REQUEST | KIND_ANNOUNCE => {
+            let trace = get_trace(&mut payload).ok_or(RexError::Malformed)?;
             if payload.len() < 10 {
                 return Err(RexError::Malformed);
             }
@@ -188,6 +205,7 @@ fn parse(mut payload: Bytes) -> Result<Parsed, RexError> {
                 .to_owned();
             Ok(Parsed::Request {
                 call_id,
+                trace,
                 iface,
                 op,
                 body: payload,
@@ -234,11 +252,15 @@ pub struct RexEndpoint {
     /// Calls that failed because their deadline budget ran out (including
     /// calls issued with an already-exhausted budget).
     pub deadlines_expired: AtomicU64,
+    /// Incoming frames dropped because they did not parse as REX messages
+    /// (hostile or corrupt peer; each drop is also a telemetry event).
+    pub malformed_dropped: AtomicU64,
 }
 
 struct RexJob {
     from: NodeId,
     call_id: u64,
+    trace: TraceContext,
     iface: InterfaceId,
     op: String,
     body: Bytes,
@@ -286,6 +308,7 @@ impl RexEndpoint {
             requests_executed: AtomicU64::new(0),
             duplicates_suppressed: AtomicU64::new(0),
             deadlines_expired: AtomicU64::new(0),
+            malformed_dropped: AtomicU64::new(0),
         });
         let mut threads = Vec::new();
         let demux_ep = Arc::clone(&ep);
@@ -347,6 +370,28 @@ impl RexEndpoint {
         body: Bytes,
         qos: CallQos,
     ) -> Result<Bytes, RexError> {
+        // Protocol layers (groups, transactions, …) issue REX calls from
+        // inside a traced dispatch; the thread-local current trace keeps
+        // their nested invocations causally linked without plumbing.
+        self.call_traced(to, iface, op, body, qos, odp_telemetry::current())
+    }
+
+    /// [`RexEndpoint::call`] with an explicit trace context stamped into
+    /// the request envelope (used by the access layer, which owns the
+    /// per-call context).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RexEndpoint::call`].
+    pub fn call_traced(
+        &self,
+        to: NodeId,
+        iface: InterfaceId,
+        op: &str,
+        body: Bytes,
+        qos: CallQos,
+        trace: TraceContext,
+    ) -> Result<Bytes, RexError> {
         if !self.running.load(Ordering::SeqCst) {
             return Err(RexError::Closed);
         }
@@ -365,7 +410,7 @@ impl RexEndpoint {
             pending: &self.pending,
             call_id,
         };
-        let msg = encode_request(KIND_REQUEST, call_id, iface, op, &body);
+        let msg = encode_request(KIND_REQUEST, call_id, &trace, iface, op, &body);
         let deadline = Instant::now() + qos.deadline;
         loop {
             match self.transport.send(Envelope::new(self.node, to, msg.clone())) {
@@ -413,11 +458,28 @@ impl RexEndpoint {
         op: &str,
         body: Bytes,
     ) -> Result<(), RexError> {
+        self.announce_traced(to, iface, op, body, odp_telemetry::current())
+    }
+
+    /// [`RexEndpoint::announce`] with an explicit trace context stamped
+    /// into the announcement envelope.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RexEndpoint::announce`].
+    pub fn announce_traced(
+        &self,
+        to: NodeId,
+        iface: InterfaceId,
+        op: &str,
+        body: Bytes,
+        trace: TraceContext,
+    ) -> Result<(), RexError> {
         if !self.running.load(Ordering::SeqCst) {
             return Err(RexError::Closed);
         }
         let call_id = self.next_call.fetch_add(1, Ordering::Relaxed);
-        let msg = encode_request(KIND_ANNOUNCE, call_id, iface, op, &body);
+        let msg = encode_request(KIND_ANNOUNCE, call_id, &trace, iface, op, &body);
         match self.transport.send(Envelope::new(self.node, to, msg)) {
             Ok(()) => Ok(()),
             Err(NetError::UnknownNode(n) | NetError::Unreachable(n)) => {
@@ -456,6 +518,8 @@ impl RexEndpoint {
                 }
                 Err(_) => return,
             };
+            let from = env.from;
+            let frame_len = env.payload.len();
             match parse(env.payload) {
                 Ok(Parsed::Reply { call_id, body }) => {
                     if let Some(tx) = self.pending.lock().remove(&call_id) {
@@ -465,14 +529,16 @@ impl RexEndpoint {
                 }
                 Ok(Parsed::Request {
                     call_id,
+                    trace,
                     iface,
                     op,
                     body,
                     announcement,
                 }) => {
                     let _ = self.job_tx.send(RexJob {
-                        from: env.from,
+                        from,
                         call_id,
+                        trace,
                         iface,
                         op,
                         body,
@@ -480,7 +546,16 @@ impl RexEndpoint {
                     });
                 }
                 Err(_) => {
-                    // Hostile or corrupt peer: drop, never crash (§4.2).
+                    // Hostile or corrupt peer: drop, never crash (§4.2) —
+                    // but count the drop and leave a failure event on the
+                    // timeline so corruption is observable.
+                    self.malformed_dropped.fetch_add(1, Ordering::Relaxed);
+                    odp_telemetry::hub().event(
+                        "rex.malformed",
+                        self.node.raw(),
+                        0,
+                        format!("dropped {frame_len}-byte frame from {from}"),
+                    );
                 }
             }
         }
@@ -528,6 +603,7 @@ impl RexEndpoint {
                         op: job.op,
                         body: job.body,
                         announcement: job.announcement,
+                        trace: job.trace,
                     })
                 }
                 None => Bytes::new(),
@@ -838,5 +914,71 @@ mod tests {
             parse(Bytes::from_static(b"\x09\x00\x00\x00\x00\x00\x00\x00\x00")),
             Err(RexError::Malformed)
         ));
+        // A request whose trace context is truncated: kind + call id are
+        // intact but only 10 of the 25 trace bytes follow.
+        let mut truncated = BytesMut::new();
+        truncated.put_u8(KIND_REQUEST);
+        truncated.put_u64(42);
+        truncated.extend_from_slice(&[0u8; 10]);
+        assert!(matches!(parse(truncated.freeze()), Err(RexError::Malformed)));
+    }
+
+    #[test]
+    fn request_trace_context_survives_the_wire() {
+        let ctx = TraceContext {
+            trace_id: 7,
+            span_id: 8,
+            parent_span: 6,
+            flags: odp_telemetry::FLAG_SAMPLED,
+        };
+        let msg = encode_request(KIND_REQUEST, 1, &ctx, InterfaceId(3), "op", b"body");
+        match parse(msg).unwrap() {
+            Parsed::Request { trace, op, .. } => {
+                assert_eq!(trace, ctx);
+                assert_eq!(op, "op");
+            }
+            Parsed::Reply { .. } => panic!("parsed as reply"),
+        }
+    }
+
+    #[test]
+    fn handler_sees_caller_trace() {
+        let net = SimNet::perfect();
+        let (a, b) = pair(&net);
+        let seen = Arc::new(Mutex::new(TraceContext::NONE));
+        let s = Arc::clone(&seen);
+        b.set_handler(Arc::new(move |req: RexRequest| {
+            *s.lock() = req.trace;
+            req.body
+        }));
+        let ctx = TraceContext {
+            trace_id: 99,
+            span_id: 5,
+            parent_span: 4,
+            flags: odp_telemetry::FLAG_SAMPLED,
+        };
+        a.call_traced(
+            NodeId(2),
+            InterfaceId(1),
+            "echo",
+            Bytes::from_static(b"x"),
+            CallQos::default(),
+            ctx,
+        )
+        .unwrap();
+        assert_eq!(*seen.lock(), ctx);
+    }
+
+    #[test]
+    fn malformed_frames_counted_and_recorded() {
+        let net = SimNet::perfect();
+        let (_a, b) = pair(&net);
+        net.send(Envelope::new(NodeId(1), NodeId(2), Bytes::from_static(b"\xff\xff")))
+            .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while b.malformed_dropped.load(Ordering::Relaxed) == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(b.malformed_dropped.load(Ordering::Relaxed), 1);
     }
 }

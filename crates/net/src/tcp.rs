@@ -75,14 +75,20 @@ fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<(NodeId, Bytes)>
             Err(e) => return Err(e),
         }
     }
-    let len = u32::from_be_bytes(header[..4].try_into().expect("4 bytes"));
+    // Fixed-size copies: infallible by construction, so a framing bug can
+    // never panic the reader thread.
+    let mut len_bytes = [0u8; 4];
+    len_bytes.copy_from_slice(&header[..4]);
+    let len = u32::from_be_bytes(len_bytes);
     if len > MAX_FRAME {
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidData,
             format!("frame of {len} bytes exceeds MAX_FRAME"),
         ));
     }
-    let from = NodeId(u64::from_be_bytes(header[4..].try_into().expect("8 bytes")));
+    let mut from_bytes = [0u8; 8];
+    from_bytes.copy_from_slice(&header[4..]);
+    let from = NodeId(u64::from_be_bytes(from_bytes));
     let mut payload = vec![0u8; len as usize];
     stream.read_exact(&mut payload)?;
     Ok(Some((from, Bytes::from(payload))))
@@ -268,7 +274,17 @@ fn read_loop(mut stream: TcpStream, node: NodeId, tx: &Sender<Envelope>, alive: 
             {
                 continue;
             }
-            Err(_) => return,
+            Err(e) => {
+                // The connection dies (REX retransmission recovers the
+                // messages), but the corruption itself must be observable.
+                odp_telemetry::hub().event(
+                    "tcp.frame_error",
+                    node.raw(),
+                    0,
+                    format!("reader closed: {e}"),
+                );
+                return;
+            }
         }
     }
 }

@@ -26,6 +26,7 @@
 //! | [`streams`] | §7.2 | stream interfaces, explicit binding, QoS monitoring, synchronization |
 //! | [`gc`] | §7.3 | leases, reference listing, mark-sweep, idle-time collection |
 //! | [`chaos`] | §5.4, §5.5 | deterministic fault schedules, crash-recovery soak harness, safety invariants |
+//! | [`telemetry`] | §7.4 | cross-capsule trace propagation, per-layer metrics, merged chaos/span timeline |
 //!
 //! ## Quickstart
 //!
@@ -68,6 +69,7 @@ pub use odp_net as net;
 pub use odp_security as security;
 pub use odp_storage as storage;
 pub use odp_streams as streams;
+pub use odp_telemetry as telemetry;
 pub use odp_trading as trading;
 pub use odp_tx as tx;
 pub use odp_types as types;
@@ -77,7 +79,7 @@ pub use odp_wire as wire;
 pub mod prelude {
     pub use odp_core::{
         CallCtx, Capsule, ClientBinding, ExportConfig, FnServant, InvokeError, Outcome, Servant,
-        SyncDiscipline, TransparencyPolicy, World,
+        SyncDiscipline, TelemetryServant, TransparencyPolicy, World,
     };
     pub use odp_net::{CallQos, LinkConfig, SimNet, TcpNetwork, Transport};
     pub use odp_types::signature::{InterfaceTypeBuilder, OutcomeSig};

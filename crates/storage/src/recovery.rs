@@ -53,6 +53,7 @@ pub fn recover(
         iface,
         announcement: false,
         annotations: std::collections::BTreeMap::new(),
+        ..CallCtx::default()
     };
     for record in tail {
         let _ = replica.dispatch(&record.op, record.args, &ctx);

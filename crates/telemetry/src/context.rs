@@ -1,0 +1,183 @@
+//! Trace context: the compact span identity carried in every invocation
+//! envelope, plus the per-thread "current trace" used to parent nested
+//! invocations without threading the context through every signature.
+
+use std::cell::Cell;
+
+/// Trace flag bit: this trace was chosen for full span recording.
+///
+/// Unsampled traces still count toward per-layer metrics; only sampled
+/// traces pay for timestamps and span storage on every layer.
+pub const FLAG_SAMPLED: u8 = 0x01;
+
+/// Compact trace identity carried on the wire with each invocation.
+///
+/// The layout is deliberately minimal — three 64-bit ids and a flag
+/// byte — so the envelope cost is a fixed [`TraceContext::WIRE_LEN`]
+/// bytes and the struct is `Copy`. A `trace_id` of zero means "no
+/// trace": the reserved [`TraceContext::NONE`] value that every
+/// uninstrumented call carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// Identity of the whole causal tree (one client interrogation).
+    pub trace_id: u64,
+    /// Identity of the current span within the tree.
+    pub span_id: u64,
+    /// Span this one is causally nested under (zero for the root).
+    pub parent_span: u64,
+    /// Bit flags; see [`FLAG_SAMPLED`].
+    pub flags: u8,
+}
+
+impl TraceContext {
+    /// The absent trace: all ids zero, no flags.
+    pub const NONE: TraceContext = TraceContext {
+        trace_id: 0,
+        span_id: 0,
+        parent_span: 0,
+        flags: 0,
+    };
+
+    /// Encoded size on the wire: three big-endian `u64`s plus the flag byte.
+    pub const WIRE_LEN: usize = 25;
+
+    /// True when this is the reserved "no trace" value.
+    pub fn is_none(&self) -> bool {
+        self.trace_id == 0
+    }
+
+    /// True when the trace was chosen for full span recording.
+    pub fn is_sampled(&self) -> bool {
+        self.flags & FLAG_SAMPLED != 0
+    }
+
+    /// Fixed-layout wire encoding: `trace_id | span_id | parent_span`
+    /// big-endian, then the flag byte.
+    pub fn to_bytes(&self) -> [u8; Self::WIRE_LEN] {
+        let mut out = [0u8; Self::WIRE_LEN];
+        out[0..8].copy_from_slice(&self.trace_id.to_be_bytes());
+        out[8..16].copy_from_slice(&self.span_id.to_be_bytes());
+        out[16..24].copy_from_slice(&self.parent_span.to_be_bytes());
+        out[24] = self.flags;
+        out
+    }
+
+    /// Decode the fixed layout produced by [`TraceContext::to_bytes`].
+    /// Returns `None` when fewer than [`TraceContext::WIRE_LEN`] bytes
+    /// are available (a malformed frame, never a panic).
+    pub fn from_bytes(buf: &[u8]) -> Option<TraceContext> {
+        if buf.len() < Self::WIRE_LEN {
+            return None;
+        }
+        let mut id = [0u8; 8];
+        id.copy_from_slice(&buf[0..8]);
+        let trace_id = u64::from_be_bytes(id);
+        id.copy_from_slice(&buf[8..16]);
+        let span_id = u64::from_be_bytes(id);
+        id.copy_from_slice(&buf[16..24]);
+        let parent_span = u64::from_be_bytes(id);
+        Some(TraceContext {
+            trace_id,
+            span_id,
+            parent_span,
+            flags: buf[24],
+        })
+    }
+}
+
+impl Default for TraceContext {
+    fn default() -> Self {
+        TraceContext::NONE
+    }
+}
+
+thread_local! {
+    static CURRENT: Cell<TraceContext> = const { Cell::new(TraceContext::NONE) };
+}
+
+/// The trace context of the invocation currently executing on this
+/// thread ([`TraceContext::NONE`] outside any traced call). Protocol
+/// layers that issue their own nested invocations read this so the
+/// nested spans parent correctly without explicit plumbing.
+pub fn current() -> TraceContext {
+    CURRENT.with(|c| c.get())
+}
+
+/// Install `ctx` as the thread's current trace for the lifetime of the
+/// returned guard; the previous value is restored on drop. Used at
+/// dispatch boundaries (worker threads, announcement threads) so nested
+/// invocations made by servant code inherit the caller's trace.
+pub fn set_current(ctx: TraceContext) -> CurrentGuard {
+    let previous = CURRENT.with(|c| c.replace(ctx));
+    CurrentGuard { previous }
+}
+
+/// Restores the previously-current trace context when dropped.
+/// Returned by [`set_current`]; hold it for the scope of the traced work.
+#[must_use = "dropping the guard immediately restores the previous trace"]
+pub struct CurrentGuard {
+    previous: TraceContext,
+}
+
+impl Drop for CurrentGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.previous));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let ctx = TraceContext {
+            trace_id: 0xDEAD_BEEF_0102_0304,
+            span_id: 42,
+            parent_span: 7,
+            flags: FLAG_SAMPLED,
+        };
+        let bytes = ctx.to_bytes();
+        assert_eq!(TraceContext::from_bytes(&bytes), Some(ctx));
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        assert_eq!(TraceContext::from_bytes(&[0u8; 24]), None);
+        assert_eq!(TraceContext::from_bytes(&[]), None);
+    }
+
+    #[test]
+    fn none_is_none() {
+        assert!(TraceContext::NONE.is_none());
+        assert!(!TraceContext::NONE.is_sampled());
+        let bytes = TraceContext::NONE.to_bytes();
+        assert_eq!(bytes, [0u8; TraceContext::WIRE_LEN]);
+    }
+
+    #[test]
+    fn current_guard_restores() {
+        assert!(current().is_none());
+        let outer = TraceContext {
+            trace_id: 1,
+            span_id: 2,
+            parent_span: 0,
+            flags: 0,
+        };
+        let _g = set_current(outer);
+        assert_eq!(current(), outer);
+        {
+            let inner = TraceContext {
+                trace_id: 1,
+                span_id: 3,
+                parent_span: 2,
+                flags: FLAG_SAMPLED,
+            };
+            let _g2 = set_current(inner);
+            assert_eq!(current(), inner);
+        }
+        assert_eq!(current(), outer);
+        drop(_g);
+        assert!(current().is_none());
+    }
+}

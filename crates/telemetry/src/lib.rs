@@ -1,0 +1,35 @@
+//! odp-telemetry: the observability plane for odp-rs.
+//!
+//! The paper's framing — transparency is an *effect* produced by layers
+//! linked into the access path — makes the access path itself the thing
+//! worth observing. This crate provides the three pieces the rest of the
+//! workspace threads through that path:
+//!
+//! 1. [`TraceContext`]: a 25-byte span identity carried in every
+//!    invocation envelope (and on the wire by `odp-wire`/`odp-net`), so
+//!    one client interrogation yields a causally-linked span tree across
+//!    stub, transparency layers, nucleus dispatch, nested invocations,
+//!    federation boundaries, and group fan-out.
+//! 2. [`LayerMetrics`]/[`MetricsRegistry`]: lock-free per-`(node, layer)`
+//!    counters and log-bucketed latency histograms, resolved to `Arc`
+//!    handles at bind time so the hot path is a couple of relaxed
+//!    `fetch_add`s.
+//! 3. [`TelemetryHub`]: the process-global hub holding the recording
+//!    switch, the sampling policy, bounded span/event rings, and the
+//!    merged timeline / trace-tree renderers used by the chaos harness
+//!    and the nucleus introspection interface.
+//!
+//! This crate sits at the bottom of the dependency graph (std +
+//! `parking_lot` only); nodes are identified by raw `u64` so it does not
+//! depend on `odp-types`.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod context;
+mod hub;
+mod metrics;
+
+pub use context::{current, set_current, CurrentGuard, TraceContext, FLAG_SAMPLED};
+pub use hub::{hub, EventRecord, Sampling, SpanRecord, TelemetryHub};
+pub use metrics::{LayerMetrics, MetricsRegistry, MetricsSnapshot};

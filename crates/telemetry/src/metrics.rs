@@ -1,0 +1,233 @@
+//! Lock-free per-layer metrics: atomic call/failure counters plus a
+//! log₂-bucketed latency histogram per `(node, layer)` pair.
+//!
+//! Handles are resolved once (at bind / capsule-creation time) and the
+//! hot path touches only `AtomicU64`s with relaxed ordering — no locks,
+//! no allocation. Quantiles are computed lazily from the buckets when a
+//! snapshot is taken.
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of log₂ latency buckets: bucket `i` holds samples with
+/// `floor(log2(ns)) == i`, covering 1 ns … ~17 minutes.
+const BUCKETS: usize = 40;
+
+/// Per-layer metric cell: two counters and a latency histogram.
+///
+/// All fields are atomics updated with relaxed ordering; a handle is an
+/// `Arc` resolved at bind time, so recording is wait-free.
+#[derive(Debug)]
+pub struct LayerMetrics {
+    calls: AtomicU64,
+    failures: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl LayerMetrics {
+    fn new() -> LayerMetrics {
+        LayerMetrics {
+            calls: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Count one call (and optionally one failure) without a latency
+    /// sample — the cheapest recording mode, used on unsampled calls.
+    pub fn count(&self, failed: bool) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        if failed {
+            self.failures.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Count one call with a latency sample in nanoseconds.
+    pub fn record_call_ns(&self, ns: u64, failed: bool) {
+        self.count(failed);
+        let bucket = (64 - ns.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total calls recorded so far.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Total failed calls recorded so far.
+    pub fn failures(&self) -> u64 {
+        self.failures.load(Ordering::Relaxed)
+    }
+
+    fn quantile(&self, counts: &[u64; BUCKETS], total: u64, q: f64) -> u64 {
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((total as f64) * q).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Representative value: geometric midpoint of the bucket.
+                return (1u64 << i) + (1u64 << i) / 2;
+            }
+        }
+        (1u64 << (BUCKETS - 1)) + (1u64 << (BUCKETS - 1)) / 2
+    }
+
+    /// Zero every counter and bucket in place. Handles resolved before
+    /// the reset keep recording into the same cell.
+    fn reset(&self) {
+        self.calls.store(0, Ordering::Relaxed);
+        self.failures.store(0, Ordering::Relaxed);
+        for bucket in &self.buckets {
+            bucket.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot counters and derive p50/p95/p99 from the histogram.
+    pub fn snapshot(&self, node: u64, layer: &'static str) -> MetricsSnapshot {
+        let counts: [u64; BUCKETS] = std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
+        let samples: u64 = counts.iter().sum();
+        MetricsSnapshot {
+            node,
+            layer,
+            calls: self.calls(),
+            failures: self.failures(),
+            samples,
+            p50_ns: self.quantile(&counts, samples, 0.50),
+            p95_ns: self.quantile(&counts, samples, 0.95),
+            p99_ns: self.quantile(&counts, samples, 0.99),
+        }
+    }
+}
+
+/// Point-in-time view of one `(node, layer)` metric cell, with
+/// bucket-resolution quantiles (values are bucket midpoints, so they are
+/// accurate to within a factor of ~1.5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Node the capsule lives on.
+    pub node: u64,
+    /// Layer name, e.g. `"failure:retry"` or `"dispatch"`.
+    pub layer: &'static str,
+    /// Total calls observed by the layer.
+    pub calls: u64,
+    /// Calls that terminated in an error.
+    pub failures: u64,
+    /// Latency samples in the histogram (only sampled calls contribute).
+    pub samples: u64,
+    /// Median latency in nanoseconds (bucket midpoint).
+    pub p50_ns: u64,
+    /// 95th-percentile latency in nanoseconds (bucket midpoint).
+    pub p95_ns: u64,
+    /// 99th-percentile latency in nanoseconds (bucket midpoint).
+    pub p99_ns: u64,
+}
+
+/// Registry mapping `(node, layer)` to its metric cell. Registration
+/// takes a write lock (cold: once per binding/capsule); recording uses
+/// the returned `Arc` directly and never touches the registry again.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    cells: RwLock<BTreeMap<(u64, &'static str), Arc<LayerMetrics>>>,
+}
+
+impl MetricsRegistry {
+    /// Create an empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Fetch (or create) the metric cell for `(node, layer)`.
+    pub fn register(&self, node: u64, layer: &'static str) -> Arc<LayerMetrics> {
+        if let Some(cell) = self.cells.read().get(&(node, layer)) {
+            return Arc::clone(cell);
+        }
+        Arc::clone(
+            self.cells
+                .write()
+                .entry((node, layer))
+                .or_insert_with(|| Arc::new(LayerMetrics::new())),
+        )
+    }
+
+    /// Snapshot every registered cell, ordered by `(node, layer)`.
+    pub fn snapshot_all(&self) -> Vec<MetricsSnapshot> {
+        self.cells
+            .read()
+            .iter()
+            .map(|(&(node, layer), cell)| cell.snapshot(node, layer))
+            .collect()
+    }
+
+    /// Zero every registered cell in place (test isolation). Cells are
+    /// deliberately *not* dropped: bindings and capsules hold handles
+    /// resolved at bind time, and dropping the registry entry would
+    /// silently disconnect them from future snapshots.
+    pub fn clear(&self) {
+        for cell in self.cells.read().values() {
+            cell.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = LayerMetrics::new();
+        m.count(false);
+        m.count(true);
+        m.record_call_ns(1000, false);
+        assert_eq!(m.calls(), 3);
+        assert_eq!(m.failures(), 1);
+    }
+
+    #[test]
+    fn quantiles_track_buckets() {
+        let m = LayerMetrics::new();
+        for _ in 0..90 {
+            m.record_call_ns(1_000, false);
+        }
+        for _ in 0..10 {
+            m.record_call_ns(1_000_000, false);
+        }
+        let s = m.snapshot(1, "test");
+        assert_eq!(s.samples, 100);
+        // p50 lands in the 1 µs cluster, p99 in the 1 ms cluster.
+        assert!(s.p50_ns < 4_000, "p50 {}", s.p50_ns);
+        assert!(s.p99_ns > 250_000, "p99 {}", s.p99_ns);
+        assert!(s.p50_ns <= s.p95_ns && s.p95_ns <= s.p99_ns);
+    }
+
+    #[test]
+    fn registry_dedups_and_snapshots() {
+        let r = MetricsRegistry::new();
+        let a = r.register(1, "access");
+        let b = r.register(1, "access");
+        assert!(Arc::ptr_eq(&a, &b));
+        a.count(false);
+        let snaps = r.snapshot_all();
+        assert_eq!(snaps.len(), 1);
+        assert_eq!(snaps[0].calls, 1);
+        r.clear();
+        // Cells survive a clear (handles stay connected); counts reset.
+        let snaps = r.snapshot_all();
+        assert_eq!(snaps.len(), 1);
+        assert_eq!(snaps[0].calls, 0);
+        a.count(false);
+        assert_eq!(r.snapshot_all()[0].calls, 1);
+    }
+
+    #[test]
+    fn zero_ns_does_not_panic() {
+        let m = LayerMetrics::new();
+        m.record_call_ns(0, false);
+        assert_eq!(m.snapshot(0, "z").samples, 1);
+    }
+}

@@ -34,6 +34,7 @@
 pub mod decode;
 pub mod encode;
 pub mod ifref;
+pub mod trace;
 pub mod typecheck;
 pub mod value;
 

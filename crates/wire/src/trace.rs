@@ -1,0 +1,67 @@
+//! Trace-context envelope codec.
+//!
+//! The invocation envelope carries a fixed-size [`TraceContext`]
+//! (25 bytes: `trace_id | span_id | parent_span` big-endian, then a flag
+//! byte) so one client interrogation yields a causally-linked span tree
+//! across capsules. The codec lives here, next to the rest of the wire
+//! format, so transports (`odp-net`) agree on one layout; the context
+//! type itself comes from `odp-telemetry`.
+
+pub use odp_telemetry::TraceContext;
+
+use bytes::{Buf, Bytes, BytesMut};
+
+/// Append the fixed-layout trace context to an envelope under
+/// construction.
+pub fn put_trace(buf: &mut BytesMut, trace: &TraceContext) {
+    buf.extend_from_slice(&trace.to_bytes());
+}
+
+/// Consume and decode a trace context from the front of `buf`.
+/// Returns `None` — without consuming anything — when fewer than
+/// [`TraceContext::WIRE_LEN`] bytes remain (a truncated frame).
+pub fn get_trace(buf: &mut Bytes) -> Option<TraceContext> {
+    if buf.len() < TraceContext::WIRE_LEN {
+        return None;
+    }
+    let ctx = TraceContext::from_bytes(&buf[..TraceContext::WIRE_LEN])?;
+    buf.advance(TraceContext::WIRE_LEN);
+    Some(ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_envelope() {
+        let ctx = TraceContext {
+            trace_id: 0x0102_0304_0506_0708,
+            span_id: 11,
+            parent_span: 10,
+            flags: odp_telemetry::FLAG_SAMPLED,
+        };
+        let mut buf = BytesMut::new();
+        put_trace(&mut buf, &ctx);
+        buf.extend_from_slice(b"payload");
+        let mut bytes = buf.freeze();
+        assert_eq!(get_trace(&mut bytes), Some(ctx));
+        assert_eq!(&bytes[..], b"payload");
+    }
+
+    #[test]
+    fn truncated_envelope_rejected_without_consuming() {
+        let mut short = Bytes::from_static(&[0u8; 24]);
+        assert_eq!(get_trace(&mut short), None);
+        assert_eq!(short.len(), 24);
+    }
+
+    #[test]
+    fn none_roundtrips() {
+        let mut buf = BytesMut::new();
+        put_trace(&mut buf, &TraceContext::NONE);
+        let mut bytes = buf.freeze();
+        let got = get_trace(&mut bytes).expect("full frame");
+        assert!(got.is_none());
+    }
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# The tier-1 gate, plus the telemetry propagation suite.
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== test (workspace) =="
+cargo test -q
+
+echo "== trace propagation =="
+cargo test -p odp --release --test trace_propagation
+
+echo "ci: clean"

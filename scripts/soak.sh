@@ -5,16 +5,34 @@
 # CHAOS_SEED; every profile (crash/restart, partition/heal, loss burst,
 # latency spike, forced relocation, mixed) generates its schedule from that
 # family. A failing round prints the seed — re-exporting it reproduces the
-# exact fault timeline, bit for bit.
+# exact fault timeline, bit for bit — plus the tail of the merged telemetry
+# timeline (chaos events interleaved with sampled invocation spans) that the
+# failing test dumped, and the script exits non-zero.
 #
 # Usage: scripts/soak.sh [rounds]      (default: 10)
-set -euo pipefail
+set -uo pipefail
 cd "$(dirname "$0")/.."
 
 rounds="${1:-10}"
+log="$(mktemp /tmp/odp-soak.XXXXXX.log)"
+trap 'rm -f "$log"' EXIT
+
 for i in $(seq 1 "$rounds"); do
     seed=$(( 0xA11CE + i * 104729 ))
     echo "== soak round $i/$rounds (CHAOS_SEED=$seed) =="
-    CHAOS_SEED="$seed" cargo test -p odp --release --test chaos_soak
+    if ! CHAOS_SEED="$seed" cargo test -p odp --release --test chaos_soak \
+            -- --nocapture 2>&1 | tee "$log"; then
+        echo ""
+        echo "soak: FAILED at round $i (CHAOS_SEED=$seed)" >&2
+        echo "---- event timeline tail from the failing round ----" >&2
+        # The failing test printed the merged timeline between these
+        # markers; fall back to the last lines of the log if it did not.
+        if grep -q "=== event timeline tail" "$log"; then
+            sed -n '/=== event timeline tail/,/=== end timeline/p' "$log" >&2
+        else
+            tail -n 40 "$log" >&2
+        fi
+        exit 1
+    fi
 done
 echo "soak: $rounds rounds clean"

@@ -5,7 +5,7 @@
 //! loops over several); the default family is fixed so CI runs are
 //! reproducible.
 
-use odp::chaos::{run, ChaosConfig, ChaosProfile, FaultSchedule, Topology};
+use odp::chaos::{run, ChaosConfig, ChaosProfile, ChaosReport, FaultSchedule, Topology};
 use odp::core::CircuitBreakerPolicy;
 use odp::net::NetFault;
 use odp::prelude::*;
@@ -19,6 +19,21 @@ fn base_seed() -> u64 {
         .unwrap_or(0xA11CE)
 }
 
+/// On a bad run, dump the tail of the merged telemetry timeline (chaos
+/// events + sampled spans, causally ordered) before the assertions fire —
+/// `scripts/soak.sh` surfaces these lines from the log.
+fn dump_timeline_if_bad(report: &ChaosReport, label: &str) {
+    if report.invariants.ok() && report.probe_ok {
+        return;
+    }
+    eprintln!("=== event timeline tail ({label}) ===");
+    let tail = report.event_timeline.len().saturating_sub(40);
+    for line in &report.event_timeline[tail..] {
+        eprintln!("{line}");
+    }
+    eprintln!("=== end timeline ===");
+}
+
 /// Replays every profile (six seeded schedules — crash/restart, partition
 /// heal, loss burst, latency spike, forced relocation, mixed) and checks
 /// the invariant sweep: no committed record lost, at-most-once effect,
@@ -30,6 +45,7 @@ fn soak_every_profile_holds_invariants() {
         let seed = base_seed().wrapping_add(i as u64 * 7919);
         let schedule = FaultSchedule::generate(profile, seed, &topo);
         let report = run(&ChaosConfig::new(schedule)).expect("harness runs");
+        dump_timeline_if_bad(&report, &format!("{profile:?} seed {seed}"));
         assert!(
             report.invariants.ok(),
             "{profile:?} seed {seed}: {}",
@@ -82,7 +98,7 @@ fn echo_type() -> InterfaceType {
         .build()
 }
 
-fn echo_servant() -> Arc<FnServant> {
+fn echo_servant() -> Arc<dyn Servant> {
     Arc::new(FnServant::new(echo_type(), |_op, _args, _ctx| {
         Outcome::ok(vec![Value::Int(7)])
     }))
@@ -206,6 +222,7 @@ fn committed_records_survive_crash_and_recovery() {
     let mut config = ChaosConfig::new(schedule);
     config.checkpoint_every = 4;
     let report = run(&config).expect("harness runs");
+    dump_timeline_if_bad(&report, "durability");
     assert!(report.invariants.ok(), "{}", report.invariants);
     assert!(report.restarts >= 1);
     for &(client, seq) in &report.committed {

@@ -1,0 +1,235 @@
+//! Cross-capsule trace propagation: one client interrogation must yield
+//! one *connected* span tree — client stub, every transparency layer it
+//! selected, the access layer, the remote nucleus dispatch, and any nested
+//! invocations those trigger (location chases, retries, group multicast
+//! fan-out) — with no orphaned spans, even while the schedule is hostile
+//! (relocation mid-binding, a partition that heals under retry, a crashed
+//! group sequencer).
+//!
+//! The telemetry hub is process-global and these tests run concurrently,
+//! so each test uses its own operation names and identifies its own traces
+//! by trace id; nothing here clears or disables the hub mid-run.
+
+use odp::groups::{replicate, GroupPolicy};
+use odp::prelude::*;
+use odp::telemetry::{hub, Sampling, SpanRecord};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn enable_tracing() {
+    hub().set_recording(true);
+    hub().set_sampling(Sampling::All);
+}
+
+/// A one-interrogation servant with a caller-chosen operation name, so
+/// concurrent tests can tell their spans apart.
+fn adder(op: &'static str) -> Arc<dyn Servant> {
+    struct Adder(&'static str, AtomicI64);
+    impl Servant for Adder {
+        fn interface_type(&self) -> InterfaceType {
+            InterfaceTypeBuilder::new()
+                .interrogation(
+                    self.0,
+                    vec![TypeSpec::Int],
+                    vec![OutcomeSig::ok(vec![TypeSpec::Int])],
+                )
+                .build()
+        }
+        fn dispatch(&self, op: &str, args: Vec<Value>, _ctx: &CallCtx) -> Outcome {
+            if op == self.0 {
+                let add = args.first().and_then(Value::as_int).unwrap_or(0);
+                Outcome::ok(vec![Value::Int(self.1.fetch_add(add, Ordering::SeqCst) + add)])
+            } else {
+                Outcome::fail("no such op")
+            }
+        }
+        fn snapshot(&self) -> Option<Vec<u8>> {
+            Some(self.1.load(Ordering::SeqCst).to_be_bytes().to_vec())
+        }
+        fn restore(&self, snapshot: &[u8]) -> Result<(), String> {
+            let arr: [u8; 8] = snapshot.try_into().map_err(|_| "bad snapshot")?;
+            self.1.store(i64::from_be_bytes(arr), Ordering::SeqCst);
+            Ok(())
+        }
+    }
+    Arc::new(Adder(op, AtomicI64::new(0)))
+}
+
+/// The root ("client"-layer, unparented) spans recorded for `op` whose
+/// trace ids are not in `seen`.
+fn new_roots(op: &str, seen: &BTreeSet<u64>) -> Vec<SpanRecord> {
+    hub()
+        .spans()
+        .into_iter()
+        .filter(|s| {
+            s.layer == "client"
+                && s.parent_span == 0
+                && s.op.as_deref() == Some(op)
+                && !seen.contains(&s.trace_id)
+        })
+        .collect()
+}
+
+/// Asserts the trace is one tree: a single root, and every other span's
+/// parent is a span of the same trace (no orphans). Returns the layer
+/// names present.
+fn assert_connected(trace_id: u64) -> BTreeSet<&'static str> {
+    let spans = hub().trace_spans(trace_id);
+    assert!(!spans.is_empty(), "trace {trace_id} recorded no spans");
+    let ids: BTreeSet<u64> = spans.iter().map(|s| s.span_id).collect();
+    let roots: Vec<_> = spans.iter().filter(|s| s.parent_span == 0).collect();
+    assert_eq!(
+        roots.len(),
+        1,
+        "trace {trace_id} must have exactly one root, got {roots:?}"
+    );
+    for s in &spans {
+        assert!(
+            s.parent_span == 0 || ids.contains(&s.parent_span),
+            "orphaned span in trace {trace_id}: {s:?} (parent not recorded)"
+        );
+    }
+    spans.iter().map(|s| s.layer).collect()
+}
+
+#[test]
+fn one_call_through_retry_and_relocation_is_one_connected_tree() {
+    enable_tracing();
+    let world = World::builder().capsules(3).build();
+    let r = world.capsule(0).export(adder("tp_reloc_add"));
+    let client = world.capsule(1).bind_with(
+        r.clone(),
+        TransparencyPolicy::default().with_qos(CallQos::with_deadline(Duration::from_secs(2))),
+    );
+    let mut seen = BTreeSet::new();
+
+    // Plain call: stub -> retry -> location -> access -> dispatch.
+    client.interrogate("tp_reloc_add", vec![Value::Int(1)]).unwrap();
+    let roots = new_roots("tp_reloc_add", &seen);
+    assert_eq!(roots.len(), 1, "exactly one root per interrogation");
+    let layers = assert_connected(roots[0].trace_id);
+    for expected in ["client", "failure:retry", "location", "access", "dispatch"] {
+        assert!(layers.contains(expected), "missing {expected} in {layers:?}");
+    }
+    seen.insert(roots[0].trace_id);
+
+    // Relocate the servant; the next call chases the __moved tombstone.
+    // The chase happens *inside* the caller's location span, so the extra
+    // access-layer work must still hang off the same tree.
+    world
+        .capsule(0)
+        .migrate_to(r.iface, world.capsule(2))
+        .unwrap();
+    assert_eq!(
+        client.interrogate("tp_reloc_add", vec![Value::Int(1)]).unwrap().int(),
+        Some(2)
+    );
+    let roots = new_roots("tp_reloc_add", &seen);
+    assert_eq!(roots.len(), 1);
+    let moved_trace = roots[0].trace_id;
+    let layers = assert_connected(moved_trace);
+    assert!(layers.contains("dispatch"), "chase still reaches dispatch");
+    assert!(
+        hub().events().iter().any(|e| {
+            e.kind == "location.retarget" && e.trace_id == moved_trace
+        }),
+        "the retarget must be on the moved call's trace"
+    );
+    seen.insert(moved_trace);
+
+    // Partition the client from the (new) home. Partition drops are
+    // silent, so a generous deadline would let REX retransmission ride
+    // the flap without ever surfacing a failure; a short end-to-end
+    // budget makes the first attempt time out for real. The retry
+    // layer's attempt must land as an event on the failing call's trace,
+    // and the failing call must still be one connected tree.
+    let a = world.capsule(1).node();
+    let b = world.capsule(2).node();
+    world.net().partition(a, b);
+    let hurried = world.capsule(1).bind_with(
+        r,
+        TransparencyPolicy::default()
+            .with_qos(CallQos::with_deadline(Duration::from_millis(100)))
+            .with_failure(Some(odp::core::RetryPolicy {
+                max_retries: 3,
+                backoff: Duration::from_millis(10),
+                ..odp::core::RetryPolicy::default()
+            })),
+    );
+    assert!(
+        hurried.interrogate("tp_reloc_add", vec![Value::Int(1)]).is_err(),
+        "partitioned call with a 100ms budget must fail"
+    );
+    let roots = new_roots("tp_reloc_add", &seen);
+    assert_eq!(roots.len(), 1);
+    let failed_trace = roots[0].trace_id;
+    assert_connected(failed_trace);
+    assert!(
+        hub().events().iter().any(|e| {
+            e.kind == "retry.attempt" && e.trace_id == failed_trace
+        }),
+        "the retry under partition must be an event on the call's trace"
+    );
+    seen.insert(failed_trace);
+
+    // Heal: the original binding's next call crosses the restored link
+    // and its tree reaches the relocated servant's dispatch.
+    world.net().heal(a, b);
+    assert_eq!(
+        client.interrogate("tp_reloc_add", vec![Value::Int(1)]).unwrap().int(),
+        Some(3)
+    );
+    let roots = new_roots("tp_reloc_add", &seen);
+    assert_eq!(roots.len(), 1);
+    let healed_layers = assert_connected(roots[0].trace_id);
+    assert!(healed_layers.contains("dispatch"));
+}
+
+#[test]
+fn group_fan_out_and_failover_stay_on_one_tree() {
+    enable_tracing();
+    let world = World::builder().capsules(4).build();
+    let factory = || adder("tp_fan_add");
+    let group = replicate(&world.capsules()[..3].to_vec(), &factory, GroupPolicy::Active);
+    let client = group.bind_via(world.capsule(3));
+    let mut seen = BTreeSet::new();
+
+    // One interrogation actively multicasts to every member: the
+    // sequencer's dispatch span must parent the relay calls, whose own
+    // dispatch spans land on the other two nodes — one tree, three
+    // dispatches.
+    client.interrogate("tp_fan_add", vec![Value::Int(5)]).unwrap();
+    let roots = new_roots("tp_fan_add", &seen);
+    assert_eq!(roots.len(), 1);
+    let fan_trace = roots[0].trace_id;
+    let layers = assert_connected(fan_trace);
+    assert!(layers.contains("replication:group"));
+    let dispatch_nodes: BTreeSet<u64> = hub()
+        .trace_spans(fan_trace)
+        .into_iter()
+        .filter(|s| s.layer == "dispatch")
+        .map(|s| s.node)
+        .collect();
+    assert!(
+        dispatch_nodes.len() >= 3,
+        "active multicast must dispatch on every member, got {dispatch_nodes:?}"
+    );
+    seen.insert(fan_trace);
+
+    // Crash the sequencer: the group layer fails over mid-call, and the
+    // failover is an event on the same trace as the surviving attempt.
+    world.capsule(0).crash();
+    client.interrogate("tp_fan_add", vec![Value::Int(7)]).unwrap();
+    let roots = new_roots("tp_fan_add", &seen);
+    assert_eq!(roots.len(), 1);
+    let failover_trace = roots[0].trace_id;
+    assert_connected(failover_trace);
+    assert!(
+        hub().events().iter().any(|e| {
+            e.kind == "group.failover" && e.trace_id == failover_trace
+        }),
+        "failover must be recorded on the failing call's trace"
+    );
+}
