@@ -55,9 +55,10 @@ fn access_ladder(c: &mut Criterion) {
     });
 
     // Rung 4: co-located but forced through marshalling + loopback REX.
-    let forced = world
-        .capsule(0)
-        .bind_with(r.clone(), TransparencyPolicy::default().with_force_remote(true));
+    let forced = world.capsule(0).bind_with(
+        r.clone(),
+        TransparencyPolicy::default().with_force_remote(true),
+    );
     group.bench_function("4_colocated_forced_remote", |b| {
         b.iter(|| {
             black_box(forced.interrogate("add", vec![Value::Int(1)]).unwrap());
@@ -75,7 +76,11 @@ fn access_ladder(c: &mut Criterion) {
     // Report the fast-path counter so the optimization's use is visible.
     eprintln!(
         "[e01] co-located fast-path dispatches: {}",
-        world.capsule(0).stats.local_fast_path.load(Ordering::Relaxed)
+        world
+            .capsule(0)
+            .stats
+            .local_fast_path
+            .load(Ordering::Relaxed)
     );
     drop(world);
     let _ = Arc::strong_count(&servant);

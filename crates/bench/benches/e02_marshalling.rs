@@ -62,12 +62,32 @@ fn payload_sizes(c: &mut Criterion) {
     for size in [64usize, 1024, 16 * 1024, 64 * 1024] {
         let values = vec![Value::bytes(vec![0xABu8; size])];
         group.throughput(Throughput::Bytes(size as u64));
-        group.bench_with_input(BenchmarkId::new("round_trip", size), &values, |b, values| {
-            b.iter(|| {
-                let bytes = odp::wire::marshal(black_box(values));
-                black_box(odp::wire::unmarshal(&bytes).unwrap())
-            });
-        });
+        // The hot path: pooled encode (recycled, exact-sized buffer) and
+        // frame-backed decode (payloads borrowed from the arrival frame).
+        let frame = odp::wire::marshal(&values);
+        group.bench_with_input(
+            BenchmarkId::new("round_trip", size),
+            &values,
+            |b, values| {
+                b.iter(|| {
+                    let buf = odp::wire::marshal_pooled(black_box(values));
+                    black_box(buf.len());
+                    black_box(odp::wire::unmarshal_frame(black_box(&frame)).unwrap())
+                });
+            },
+        );
+        // The legacy copying path, kept for comparison: fresh allocation
+        // per encode, owned copies of every payload on decode.
+        group.bench_with_input(
+            BenchmarkId::new("round_trip_copying", size),
+            &values,
+            |b, values| {
+                b.iter(|| {
+                    let bytes = odp::wire::marshal(black_box(values));
+                    black_box(odp::wire::unmarshal(&bytes).unwrap())
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -114,12 +134,13 @@ fn copy_vs_reference(c: &mut Criterion) {
         )
         .build();
     let rec2 = record;
-    let accessor = world
-        .capsule(0)
-        .export(Arc::new(FnServant::new(field_ty, move |_o, args, _c| {
-            let name = args[0].as_str().unwrap_or("");
-            Outcome::ok(vec![rec2.field(name).cloned().unwrap_or(Value::Unit)])
-        })));
+    let accessor =
+        world
+            .capsule(0)
+            .export(Arc::new(FnServant::new(field_ty, move |_o, args, _c| {
+                let name = args[0].as_str().unwrap_or("");
+                Outcome::ok(vec![rec2.field(name).cloned().unwrap_or(Value::Unit)])
+            })));
     let ref_binding = world.capsule(1).bind(accessor);
     group.bench_function("constant_record_by_reference", |b| {
         b.iter(|| {

@@ -31,7 +31,7 @@ fn replication(c: &mut Criterion) {
             (GroupPolicy::Active, "active"),
             (GroupPolicy::HotStandby, "hot_standby"),
         ] {
-            let handle = replicate(&world.capsules()[..size].to_vec(), &counter, policy);
+            let handle = replicate(&world.capsules()[..size], &counter, policy);
             let client = handle.bind_via(world.capsule(size));
             group.bench_with_input(
                 BenchmarkId::new(format!("{name}_write"), size),

@@ -24,11 +24,7 @@ fn order_throughput(c: &mut Criterion) {
     group.sample_size(10);
     for size in [2usize, 3, 5] {
         let world = World::builder().capsules(size + 4).build();
-        let handle = replicate(
-            &world.capsules()[..size].to_vec(),
-            &counter,
-            GroupPolicy::Active,
-        );
+        let handle = replicate(&world.capsules()[..size], &counter, GroupPolicy::Active);
         group.bench_with_input(
             BenchmarkId::new("4_clients_x16_writes", size),
             &size,
@@ -64,11 +60,8 @@ fn membership_change(c: &mut Criterion) {
                     let mut total = Duration::ZERO;
                     for _ in 0..iters {
                         let mut world = World::builder().capsules(2).build();
-                        let mut handle = replicate(
-                            &world.capsules()[..2].to_vec(),
-                            &counter,
-                            GroupPolicy::Active,
-                        );
+                        let mut handle =
+                            replicate(&world.capsules()[..2], &counter, GroupPolicy::Active);
                         let client = handle.bind_via(world.capsule(1));
                         for _ in 0..*warm_ops {
                             client.interrogate("add", vec![Value::Int(1)]).unwrap();
@@ -98,7 +91,7 @@ fn failover(c: &mut Criterion) {
                 let mut total = Duration::ZERO;
                 for _ in 0..iters {
                     let world = World::builder().capsules(4).build();
-                    let handle = replicate(&world.capsules()[..3].to_vec(), &counter, policy);
+                    let handle = replicate(&world.capsules()[..3], &counter, policy);
                     let client = handle.bind_via(world.capsule(3));
                     client.interrogate("add", vec![Value::Int(1)]).unwrap();
                     world.capsule(0).crash();
@@ -114,11 +107,7 @@ fn failover(c: &mut Criterion) {
     group.bench_function("steady_state_call", |b| {
         b.iter_custom(|iters| {
             let world = World::builder().capsules(4).build();
-            let handle = replicate(
-                &world.capsules()[..3].to_vec(),
-                &counter,
-                GroupPolicy::Active,
-            );
+            let handle = replicate(&world.capsules()[..3], &counter, GroupPolicy::Active);
             let client = handle.bind_via(world.capsule(3));
             client.interrogate("add", vec![Value::Int(1)]).unwrap();
             let start = Instant::now();

@@ -41,10 +41,9 @@ fn rig(n_accounts: usize) -> Rig {
         let r = capsule.export_with(
             Arc::clone(&servant),
             ExportConfig {
-                layers: vec![rt.concurrency_layer(
-                    &servant,
-                    SeparationConstraint::readers(&["read"]),
-                )],
+                layers: vec![
+                    rt.concurrency_layer(&servant, SeparationConstraint::readers(&["read"]))
+                ],
                 ..ExportConfig::default()
             },
         );

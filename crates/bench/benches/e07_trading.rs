@@ -15,16 +15,20 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use odp::trading::{PropertyConstraint, Trader};
 use odp::types::conformance::conforms;
 use odp::types::signature::{InterfaceTypeBuilder, OutcomeSig};
+use odp::types::{InterfaceId, NodeId};
 use odp::types::{InterfaceType, TypeSpec};
 use odp::wire::{InterfaceRef, Value};
-use odp::types::{InterfaceId, NodeId};
 use std::collections::BTreeMap;
 use std::hint::black_box;
 
 fn iface(ops: &[String]) -> InterfaceType {
     let mut b = InterfaceTypeBuilder::new();
     for op in ops {
-        b = b.interrogation(op.clone(), vec![TypeSpec::Int], vec![OutcomeSig::ok(vec![])]);
+        b = b.interrogation(
+            op.clone(),
+            vec![TypeSpec::Int],
+            vec![OutcomeSig::ok(vec![])],
+        );
     }
     b.build()
 }
@@ -37,7 +41,10 @@ fn populate(n: usize) -> Trader {
         let ops: Vec<String> = if i % 100 == 0 {
             vec!["rare_op".into(), format!("common_{}", i % 7)]
         } else {
-            vec![format!("common_{}", i % 7), format!("common_{}", (i + 1) % 7)]
+            vec![
+                format!("common_{}", i % 7),
+                format!("common_{}", (i + 1) % 7),
+            ]
         };
         let mut props = BTreeMap::new();
         props.insert("tier".to_owned(), Value::Int((i % 5) as i64));

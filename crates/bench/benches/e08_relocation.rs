@@ -73,7 +73,10 @@ fn relocation(c: &mut Criterion) {
                 let r = world.capsule(0).export(counter());
                 let binding = world.capsule(2).bind(r.clone());
                 binding.interrogate("read", vec![]).unwrap();
-                world.capsule(0).migrate_to(r.iface, world.capsule(1)).unwrap();
+                world
+                    .capsule(0)
+                    .migrate_to(r.iface, world.capsule(1))
+                    .unwrap();
                 world.capsule(0).crash();
                 let start = Instant::now();
                 black_box(binding.interrogate("read", vec![]).unwrap());
@@ -91,7 +94,10 @@ fn relocation(c: &mut Criterion) {
             let r = world.capsule(0).export(counter());
             let binding = world.capsule(2).bind(r.clone());
             binding.interrogate("read", vec![]).unwrap();
-            world.capsule(0).migrate_to(r.iface, world.capsule(1)).unwrap();
+            world
+                .capsule(0)
+                .migrate_to(r.iface, world.capsule(1))
+                .unwrap();
             binding.interrogate("read", vec![]).unwrap(); // pays the chase
             let start = Instant::now();
             for _ in 0..iters {

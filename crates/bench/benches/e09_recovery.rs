@@ -14,7 +14,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use odp::prelude::*;
-use odp::storage::{recover, CheckpointPolicy, LoggingLayer, Passivator, StableRepository, WriteAheadLog};
+use odp::storage::{
+    recover, CheckpointPolicy, LoggingLayer, Passivator, StableRepository, WriteAheadLog,
+};
 use odp_bench::counter;
 use std::hint::black_box;
 use std::sync::Arc;
@@ -76,7 +78,9 @@ fn checkpoint_overhead(c: &mut Criterion) {
             &servant,
             wal,
             repo,
-            CheckpointPolicy { every_n_ops: interval },
+            CheckpointPolicy {
+                every_n_ops: interval,
+            },
             Arc::new(|op| op == "add"),
         );
         let r = world.capsule(0).export_with(

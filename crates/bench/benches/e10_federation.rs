@@ -42,10 +42,7 @@ fn rig(translator: bool, proxies: bool) -> Rig {
         AdmissionPolicy::allow_all(),
     );
     if translator {
-        gw = gw.with_translator(Arc::new(ValueMapper::new(
-            Arc::new(|v| v),
-            Arc::new(|v| v),
-        )));
+        gw = gw.with_translator(Arc::new(ValueMapper::new(Arc::new(|v| v), Arc::new(|v| v))));
     }
     if proxies {
         gw = gw.with_proxies();
@@ -62,8 +59,8 @@ fn federation(c: &mut Criterion) {
     // Same-domain call with the boundary layer installed but idle.
     {
         let r = rig(false, false);
-        let policy = TransparencyPolicy::default()
-            .with_layer(BoundaryLayer::new(Arc::clone(&r.map), A));
+        let policy =
+            TransparencyPolicy::default().with_layer(BoundaryLayer::new(Arc::clone(&r.map), A));
         let binding = r.world.capsule(1).bind_with(r.svc.clone(), policy);
         group.bench_function("same_domain_layer_idle", |b| {
             b.iter(|| black_box(binding.interrogate("add", vec![Value::Int(1)]).unwrap()));
@@ -73,8 +70,8 @@ fn federation(c: &mut Criterion) {
     // One crossing: admission + accounting + forward.
     {
         let r = rig(false, false);
-        let policy = TransparencyPolicy::default()
-            .with_layer(BoundaryLayer::new(Arc::clone(&r.map), B));
+        let policy =
+            TransparencyPolicy::default().with_layer(BoundaryLayer::new(Arc::clone(&r.map), B));
         let binding = r.world.capsule(2).bind_with(r.svc.clone(), policy);
         group.bench_function("one_crossing", |b| {
             b.iter(|| black_box(binding.interrogate("add", vec![Value::Int(1)]).unwrap()));
@@ -84,8 +81,8 @@ fn federation(c: &mut Criterion) {
     // One crossing with value translation in both directions.
     {
         let r = rig(true, false);
-        let policy = TransparencyPolicy::default()
-            .with_layer(BoundaryLayer::new(Arc::clone(&r.map), B));
+        let policy =
+            TransparencyPolicy::default().with_layer(BoundaryLayer::new(Arc::clone(&r.map), B));
         let binding = r.world.capsule(2).bind_with(r.svc.clone(), policy);
         group.bench_function("one_crossing_translated", |b| {
             b.iter(|| black_box(binding.interrogate("add", vec![Value::Int(1)]).unwrap()));
@@ -106,8 +103,8 @@ fn federation(c: &mut Criterion) {
             .export(Arc::new(FnServant::new(ty, move |_o, _a, _c| {
                 Outcome::ok(vec![Value::Interface(inner.clone())])
             })));
-        let policy = TransparencyPolicy::default()
-            .with_layer(BoundaryLayer::new(Arc::clone(&r.map), B));
+        let policy =
+            TransparencyPolicy::default().with_layer(BoundaryLayer::new(Arc::clone(&r.map), B));
         let binding = r.world.capsule(2).bind_with(dir, policy);
         group.bench_function("one_crossing_with_proxy_substitution", |b| {
             b.iter(|| black_box(binding.interrogate("get_ref", vec![]).unwrap()));

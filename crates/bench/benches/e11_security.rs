@@ -57,7 +57,11 @@ fn guarded_invocation(c: &mut Criterion) {
     let unauthenticated = world.capsule(1).bind(guarded_ref);
     group.bench_function("guarded_rejection", |b| {
         b.iter(|| {
-            black_box(unauthenticated.interrogate("add", vec![Value::Int(1)]).unwrap_err());
+            black_box(
+                unauthenticated
+                    .interrogate("add", vec![Value::Int(1)])
+                    .unwrap_err(),
+            );
         });
     });
     group.finish();
@@ -68,18 +72,22 @@ fn mac_cost(c: &mut Criterion) {
     let secret = Secret::from_seed(9);
     for size in [0usize, 64, 1024, 16 * 1024] {
         let args = vec![Value::bytes(vec![7u8; size])];
-        group.bench_with_input(BenchmarkId::new("mac_args_bytes", size), &args, |b, args| {
-            b.iter(|| {
-                black_box(mac(
-                    secret,
-                    "client",
-                    odp::types::InterfaceId(1),
-                    "op",
-                    black_box(args),
-                    42,
-                ))
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("mac_args_bytes", size),
+            &args,
+            |b, args| {
+                b.iter(|| {
+                    black_box(mac(
+                        secret,
+                        "client",
+                        odp::types::InterfaceId(1),
+                        "op",
+                        black_box(args),
+                        42,
+                    ))
+                });
+            },
+        );
     }
     group.finish();
 }

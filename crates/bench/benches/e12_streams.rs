@@ -124,7 +124,9 @@ fn per_frame_cost(c: &mut Criterion) {
     };
     group.bench_function("raw_frame_send", |b| {
         b.iter(|| {
-            producer.send(world.capsule(1).node(), black_box(&frame)).unwrap();
+            producer
+                .send(world.capsule(1).node(), black_box(&frame))
+                .unwrap();
         });
     });
     group.finish();

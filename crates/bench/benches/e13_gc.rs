@@ -41,9 +41,9 @@ fn sweep_scale(c: &mut Criterion) {
                             let r = capsule.export(counter());
                             if i % 2 == 0 {
                                 match prev {
-                                    None => registry
-                                        .leases()
-                                        .renew(r.iface, world.capsule(1).node()),
+                                    None => {
+                                        registry.leases().renew(r.iface, world.capsule(1).node())
+                                    }
                                     Some(p) => registry.add_edge(p, r.iface),
                                 }
                                 prev = Some(r.iface);

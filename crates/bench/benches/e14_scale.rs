@@ -79,10 +79,11 @@ fn federation_diameter(c: &mut Criterion) {
         let svc_ty = ITB::new()
             .interrogation("serve", vec![], vec![OS::ok(vec![])])
             .build();
-        let svc = world.capsule(diameter + 1).export(Arc::new(FnServant::new(
-            svc_ty.clone(),
-            |_o, _a, _c| Outcome::ok(vec![]),
-        )));
+        let svc = world
+            .capsule(diameter + 1)
+            .export(Arc::new(FnServant::new(svc_ty.clone(), |_o, _a, _c| {
+                Outcome::ok(vec![])
+            })));
         traders[diameter].export_offer(svc, Default::default());
         let path: ContextName = vec!["next"; diameter].join("/").parse().unwrap();
         group.bench_with_input(
@@ -90,8 +91,7 @@ fn federation_diameter(c: &mut Criterion) {
             &diameter,
             |b, _| {
                 b.iter(|| {
-                    let found =
-                        import_path(&traders[0], &path, &svc_ty, &[], 1, 16).unwrap();
+                    let found = import_path(&traders[0], &path, &svc_ty, &[], 1, 16).unwrap();
                     black_box(found.len());
                 });
             },

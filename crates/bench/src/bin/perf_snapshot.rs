@@ -1,0 +1,236 @@
+//! Machine-readable perf snapshot for the experiment suite.
+//!
+//! Criterion's HTML/console output is not diffable across PRs, so the
+//! bench trajectory (`scripts/bench.sh`, `BENCH_PR5.json`) uses this bin:
+//! it re-measures the core E1/E2/E3/E14 workloads with a plain
+//! `Instant`-based harness (calibrated iteration count, median of
+//! repeats) and prints one flat JSON object `{case: median_ns_per_op}`.
+//!
+//! Keep the case set in sync with the Criterion benches of the same
+//! names — this is the subset later PRs compare against.
+
+use odp::prelude::*;
+use odp_bench::counter;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Median ns/op: calibrate the iteration count to ~20 ms per repeat,
+/// then take the median of 7 timed repeats.
+fn measure<F: FnMut()>(mut f: F) -> u64 {
+    let mut n: u64 = 1;
+    loop {
+        let t = Instant::now();
+        for _ in 0..n {
+            f();
+        }
+        let elapsed = t.elapsed();
+        if elapsed >= Duration::from_millis(20) || n >= 1 << 22 {
+            break;
+        }
+        // Aim straight at the target from the current estimate.
+        let per_op = (elapsed.as_nanos() as u64 / n).max(1);
+        n = (20_000_000 / per_op).clamp(n + 1, 1 << 22);
+    }
+    let mut samples: Vec<u64> = (0..7)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..n {
+                f();
+            }
+            t.elapsed().as_nanos() as u64 / n
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn e02_shapes() -> Vec<(&'static str, Vec<Value>)> {
+    vec![
+        ("int", vec![Value::Int(123_456_789)]),
+        ("str_16", vec![Value::str("sixteen-byte-str")]),
+        (
+            "ints_x32",
+            vec![Value::Seq((0..32).map(Value::Int).collect())],
+        ),
+        (
+            "record_flat",
+            vec![Value::record([
+                ("id", Value::Int(7)),
+                ("name", Value::str("object")),
+                ("active", Value::Bool(true)),
+            ])],
+        ),
+        (
+            "record_nested_x8",
+            vec![(0..8).fold(Value::Int(0), |acc, i| {
+                Value::record([("level", Value::Int(i)), ("inner", acc)])
+            })],
+        ),
+    ]
+}
+
+fn main() {
+    let mut out: Vec<(String, u64)> = Vec::new();
+    let mut record = |name: String, ns: u64| {
+        eprintln!("{name}: {ns} ns/op");
+        out.push((name, ns));
+    };
+
+    // --- E1: the access ladder -----------------------------------------
+    {
+        let world = World::quick();
+        let r = world.capsule(0).export(counter());
+        let colocated = world.capsule(0).bind(r.clone());
+        record(
+            "e01/3_colocated_stub".into(),
+            measure(|| {
+                black_box(colocated.interrogate("add", vec![Value::Int(1)]).unwrap());
+            }),
+        );
+        let forced = world.capsule(0).bind_with(
+            r.clone(),
+            TransparencyPolicy::default().with_force_remote(true),
+        );
+        record(
+            "e01/4_colocated_forced_remote".into(),
+            measure(|| {
+                black_box(forced.interrogate("add", vec![Value::Int(1)]).unwrap());
+            }),
+        );
+        let remote = world.capsule(1).bind(r);
+        record(
+            "e01/5_remote_perfect_net".into(),
+            measure(|| {
+                black_box(remote.interrogate("add", vec![Value::Int(1)]).unwrap());
+            }),
+        );
+    }
+
+    // --- E2: marshalling shapes and payload round trips ----------------
+    for (name, values) in &e02_shapes() {
+        record(
+            format!("e02/marshal/{name}"),
+            measure(|| {
+                black_box(odp::wire::marshal(black_box(values)));
+            }),
+        );
+        let bytes = odp::wire::marshal(values);
+        record(
+            format!("e02/unmarshal/{name}"),
+            measure(|| {
+                black_box(odp::wire::unmarshal(black_box(&bytes)).unwrap());
+            }),
+        );
+    }
+    for size in [64usize, 1024, 16 * 1024, 64 * 1024] {
+        let values = vec![Value::bytes(vec![0xABu8; size])];
+        // Hot path: pooled encode + frame-backed (borrowing) decode.
+        let frame = odp::wire::marshal(&values);
+        record(
+            format!("e02/round_trip/{size}"),
+            measure(|| {
+                let buf = odp::wire::marshal_pooled(black_box(&values));
+                black_box(buf.len());
+                black_box(odp::wire::unmarshal_frame(black_box(&frame)).unwrap());
+            }),
+        );
+        record(
+            format!("e02/round_trip_copying/{size}"),
+            measure(|| {
+                let bytes = odp::wire::marshal(black_box(&values));
+                black_box(odp::wire::unmarshal(&bytes).unwrap());
+            }),
+        );
+    }
+
+    // --- E3: invocation styles at zero simulated latency ----------------
+    {
+        let world = World::builder().capsules(2).build();
+        let ty = InterfaceTypeBuilder::new()
+            .interrogation(
+                "one",
+                vec![TypeSpec::Int],
+                vec![OutcomeSig::ok(vec![TypeSpec::Int])],
+            )
+            .interrogation(
+                "eight",
+                vec![],
+                vec![OutcomeSig::ok(vec![TypeSpec::Int; 8])],
+            )
+            .announcement("tick", vec![TypeSpec::Int])
+            .build();
+        let r = world.capsule(0).export(std::sync::Arc::new(FnServant::new(
+            ty,
+            |op, args, _ctx| match op {
+                "one" => Outcome::ok(vec![Value::Int(args[0].as_int().unwrap_or(0))]),
+                "eight" => Outcome::ok((0..8).map(Value::Int).collect()),
+                "tick" => Outcome::ok(vec![]),
+                _ => Outcome::fail("no such op"),
+            },
+        )));
+        let binding = world.capsule(1).bind(r);
+        record(
+            "e03/interrogation/0".into(),
+            measure(|| {
+                black_box(binding.interrogate("one", vec![Value::Int(1)]).unwrap());
+            }),
+        );
+        record(
+            "e03/announcement_caller_cost/0".into(),
+            measure(|| {
+                binding.announce("tick", vec![Value::Int(1)]).unwrap();
+            }),
+        );
+        record(
+            "e03/batch_1_call_x8_results/0".into(),
+            measure(|| {
+                let out = binding.interrogate("eight", vec![]).unwrap();
+                black_box(out.results.len());
+            }),
+        );
+        record(
+            "e03/batch_8_calls_x1_result/0".into(),
+            measure(|| {
+                for i in 0..8 {
+                    let out = binding.interrogate("one", vec![Value::Int(i)]).unwrap();
+                    black_box(out.int());
+                }
+            }),
+        );
+    }
+
+    // --- E14: steady-state cost vs system size ---------------------------
+    for capsules in [2usize, 32, 128] {
+        let world = World::builder().capsules(capsules).workers(2).build();
+        let mut refs = Vec::new();
+        for i in 0..capsules {
+            refs.push(world.capsule(i).export(counter()));
+        }
+        let steady = world.capsule(capsules - 1).bind(refs[0].clone());
+        record(
+            format!("e14/steady_state_call/{capsules}"),
+            measure(|| {
+                black_box(steady.interrogate("read", vec![]).unwrap());
+            }),
+        );
+        if capsules == 32 {
+            let target = refs[0].clone();
+            record(
+                "e14/bind_plus_first_call/32".into(),
+                measure(|| {
+                    let binding = world.capsule(capsules - 1).bind(target.clone());
+                    black_box(binding.interrogate("read", vec![]).unwrap());
+                }),
+            );
+        }
+    }
+
+    // Flat JSON, stable key order, no external serializer needed.
+    out.sort();
+    println!("{{");
+    for (i, (name, ns)) in out.iter().enumerate() {
+        let comma = if i + 1 == out.len() { "" } else { "," };
+        println!("  \"{name}\": {ns}{comma}");
+    }
+    println!("}}");
+}

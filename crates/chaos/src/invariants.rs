@@ -111,7 +111,9 @@ mod tests {
     }
 
     fn ledger_of(keys: &[(u64, u64)]) -> BTreeMap<(u64, u64), i64> {
-        keys.iter().map(|&(c, s)| ((c, s), expected_value(c, s))).collect()
+        keys.iter()
+            .map(|&(c, s)| ((c, s), expected_value(c, s)))
+            .collect()
     }
 
     #[test]

@@ -39,9 +39,7 @@ pub mod workload;
 
 pub use invariants::{verify_run, InvariantReport};
 pub use runner::{run, ChaosConfig, ChaosReport, Timeline};
-pub use schedule::{
-    ChaosAction, ChaosEvent, ChaosProfile, FaultSchedule, SplitMix64, Topology,
-};
+pub use schedule::{ChaosAction, ChaosEvent, ChaosProfile, FaultSchedule, SplitMix64, Topology};
 pub use workload::{
     expected_value, ledger_interface_type, ledger_is_mutating, parse_entries, LedgerServant,
     LEDGER_OP_ENTRIES, LEDGER_OP_LEN, LEDGER_OP_RECORD,

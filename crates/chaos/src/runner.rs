@@ -322,7 +322,12 @@ impl Harness {
     /// Heals the network and restarts any node still down, so invariants
     /// are checked against a fully recovered system.
     fn epilogue(&mut self) -> Result<(), String> {
-        odp_telemetry::hub().event("chaos.heal", 0, 0, "heal_all + restart survivors".to_owned());
+        odp_telemetry::hub().event(
+            "chaos.heal",
+            0,
+            0,
+            "heal_all + restart survivors".to_owned(),
+        );
         self.world.net().heal_all();
         let down: Vec<NodeId> = self
             .slots
@@ -437,7 +442,10 @@ pub fn run(config: &ChaosConfig) -> Result<ChaosReport, String> {
     let committed = committed.into_inner();
     let invariants = verify_run(&committed, &final_ledger, probe_ok);
     let dup_deliveries = harness.dup_accumulated
-        + harness.current_ledger.dup_deliveries.load(Ordering::Relaxed);
+        + harness
+            .current_ledger
+            .dup_deliveries
+            .load(Ordering::Relaxed);
     Ok(ChaosReport {
         seed: config.schedule.seed,
         profile: config.schedule.profile,

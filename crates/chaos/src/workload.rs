@@ -46,7 +46,11 @@ pub fn ledger_interface_type() -> InterfaceType {
             vec![],
             vec![OutcomeSig::ok(vec![TypeSpec::Any])],
         )
-        .interrogation(LEDGER_OP_LEN, vec![], vec![OutcomeSig::ok(vec![TypeSpec::Int])])
+        .interrogation(
+            LEDGER_OP_LEN,
+            vec![],
+            vec![OutcomeSig::ok(vec![TypeSpec::Int])],
+        )
         .build()
 }
 
@@ -111,12 +115,15 @@ impl Servant for LedgerServant {
                 };
                 let key = (client as u64, seq as u64);
                 let mut entries = self.entries.lock();
-                if entries.contains_key(&key) {
-                    self.dup_deliveries.fetch_add(1, Ordering::Relaxed);
-                    Outcome::ok(vec![Value::Int(0)])
-                } else {
-                    entries.insert(key, value);
-                    Outcome::ok(vec![Value::Int(1)])
+                match entries.entry(key) {
+                    std::collections::btree_map::Entry::Occupied(_) => {
+                        self.dup_deliveries.fetch_add(1, Ordering::Relaxed);
+                        Outcome::ok(vec![Value::Int(0)])
+                    }
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        e.insert(value);
+                        Outcome::ok(vec![Value::Int(1)])
+                    }
                 }
             }
             LEDGER_OP_ENTRIES => {
@@ -230,13 +237,21 @@ mod tests {
         let ledger = LedgerServant::new();
         let out = ledger.dispatch(
             LEDGER_OP_RECORD,
-            vec![Value::Int(1), Value::Int(0), Value::Int(expected_value(1, 0))],
+            vec![
+                Value::Int(1),
+                Value::Int(0),
+                Value::Int(expected_value(1, 0)),
+            ],
             &ctx(),
         );
         assert_eq!(out.int(), Some(1));
         let out = ledger.dispatch(
             LEDGER_OP_RECORD,
-            vec![Value::Int(1), Value::Int(0), Value::Int(expected_value(1, 0))],
+            vec![
+                Value::Int(1),
+                Value::Int(0),
+                Value::Int(expected_value(1, 0)),
+            ],
             &ctx(),
         );
         assert_eq!(out.int(), Some(0), "duplicate delivery must not re-apply");
@@ -269,7 +284,11 @@ mod tests {
         let ledger = LedgerServant::new();
         ledger.dispatch(
             LEDGER_OP_RECORD,
-            vec![Value::Int(2), Value::Int(7), Value::Int(expected_value(2, 7))],
+            vec![
+                Value::Int(2),
+                Value::Int(7),
+                Value::Int(expected_value(2, 7)),
+            ],
             &ctx(),
         );
         let out = ledger.dispatch(LEDGER_OP_ENTRIES, vec![], &ctx());

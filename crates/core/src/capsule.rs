@@ -30,9 +30,7 @@ use crate::invocation::{
 use crate::object::{self, terminations, CallCtx, Outcome, Servant};
 use crate::transparency::TransparencyPolicy;
 use odp_net::{CallQos, NetError, RexEndpoint, RexRequest, Transport};
-use odp_types::{
-    ids::InterfaceIdAllocator, InterfaceId, InterfaceType, NodeId,
-};
+use odp_types::{ids::InterfaceIdAllocator, InterfaceId, InterfaceType, NodeId};
 use odp_wire::{InterfaceRef, Value};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -66,7 +64,10 @@ pub struct ExportConfig {
 impl fmt::Debug for ExportConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ExportConfig")
-            .field("layers", &self.layers.iter().map(|l| l.name()).collect::<Vec<_>>())
+            .field(
+                "layers",
+                &self.layers.iter().map(|l| l.name()).collect::<Vec<_>>(),
+            )
             .field("discipline", &self.discipline)
             .field("check_args", &self.check_args)
             .finish()
@@ -149,12 +150,12 @@ impl Capsule {
                 .register(node.raw(), "dispatch"),
         });
         let weak = Arc::downgrade(&capsule);
-        capsule.rex.set_handler(Arc::new(move |req: RexRequest| {
-            match weak.upgrade() {
+        capsule
+            .rex
+            .set_handler(Arc::new(move |req: RexRequest| match weak.upgrade() {
                 Some(capsule) => capsule.handle_rex(&req),
-                None => bytes::Bytes::new(),
-            }
-        }));
+                None => odp_wire::PooledBuf::default(),
+            }));
         Ok(capsule)
     }
 
@@ -443,25 +444,29 @@ impl Capsule {
         self.stats.local_fast_path.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Dispatches a request that arrived locally (co-located fast path).
-    pub(crate) fn dispatch_entry_for(&self, req: &CallRequest, announcement: bool) -> Outcome {
+    /// Dispatches a request that arrived locally, consuming it (co-located
+    /// fast path: annotations and args move straight into the servant with
+    /// no clones and no wire round-trip).
+    pub(crate) fn dispatch_entry_owned(&self, req: CallRequest, announcement: bool) -> Outcome {
         let mut ctx = CallCtx {
             caller: self.node,
             iface: req.target.iface,
             announcement,
-            annotations: req.annotations.clone(),
+            annotations: req.annotations,
             trace: req.trace,
         };
-        self.dispatch_entry(&mut ctx, &req.op, req.args.clone())
+        self.dispatch_entry(&mut ctx, &req.op, req.args)
     }
 
-    fn handle_rex(&self, req: &RexRequest) -> bytes::Bytes {
-        let (annotations, args) = match object::decode_request(&req.body) {
+    fn handle_rex(&self, req: &RexRequest) -> odp_wire::PooledBuf {
+        // Zero-copy inbound: string/blob args are slices of the arrival
+        // frame. Servants that retain them call `Value::into_owned`.
+        let (annotations, args) = match object::decode_request_frame(&req.body) {
             Ok(parts) => parts,
             Err(why) => {
-                return object::encode_outcome(&Outcome::engineering(
+                return object::encode_outcome_pooled(&Outcome::engineering(
                     terminations::TYPE_ERROR,
-                    vec![Value::Str(format!("bad request payload: {why}"))],
+                    vec![Value::str(format!("bad request payload: {why}"))],
                 ))
             }
         };
@@ -473,7 +478,7 @@ impl Capsule {
             trace: req.trace,
         };
         let outcome = self.dispatch_entry(&mut ctx, &req.op, args);
-        object::encode_outcome(&outcome)
+        object::encode_outcome_pooled(&outcome)
     }
 
     fn dispatch_entry(&self, ctx: &mut CallCtx, op: &str, args: Vec<Value>) -> Outcome {
@@ -545,14 +550,14 @@ impl Capsule {
                     let Some(op_sig) = ty.operation(op) else {
                         return Outcome::engineering(
                             terminations::NO_SUCH_OPERATION,
-                            vec![Value::Str(op.to_owned())],
+                            vec![Value::str(op)],
                         );
                     };
                     if config.check_args {
                         if args.len() != op_sig.params.len() {
                             return Outcome::engineering(
                                 terminations::TYPE_ERROR,
-                                vec![Value::Str(format!(
+                                vec![Value::str(format!(
                                     "expected {} args, got {}",
                                     op_sig.params.len(),
                                     args.len()
@@ -563,7 +568,7 @@ impl Capsule {
                             if let Err(e) = odp_wire::check_value(arg, spec) {
                                 return Outcome::engineering(
                                     terminations::TYPE_ERROR,
-                                    vec![Value::Str(e.to_string())],
+                                    vec![Value::str(e.to_string())],
                                 );
                             }
                         }

@@ -177,13 +177,8 @@ pub trait ServerNext: Sync {
 /// One mechanism in the server-side dispatch path (guards, lock managers).
 pub trait ServerLayer: Send + Sync {
     /// Handles the dispatch, typically delegating to `next`.
-    fn dispatch(
-        &self,
-        ctx: &CallCtx,
-        op: &str,
-        args: Vec<Value>,
-        next: &dyn ServerNext,
-    ) -> Outcome;
+    fn dispatch(&self, ctx: &CallCtx, op: &str, args: Vec<Value>, next: &dyn ServerNext)
+        -> Outcome;
 
     /// Diagnostic name.
     fn name(&self) -> &'static str;
@@ -259,7 +254,8 @@ impl AccessLayer {
             }));
         }
         for (i, (arg, spec)) in req.args.iter().zip(&op_sig.params).enumerate() {
-            odp_wire::check_value(arg, spec).map_err(|e| InvokeError::TypeCheck(e.at_position(i)))?;
+            odp_wire::check_value(arg, spec)
+                .map_err(|e| InvokeError::TypeCheck(e.at_position(i)))?;
         }
 
         let local = req.target.home == capsule.node() && capsule.has_export(req.target.iface);
@@ -272,27 +268,28 @@ impl AccessLayer {
                 let spawned = std::thread::Builder::new()
                     .name("odp-announce".into())
                     .spawn(move || {
-                        let _ = spawn_capsule.dispatch_entry_for(&spawn_req, true);
+                        let _ = spawn_capsule.dispatch_entry_owned(spawn_req, true);
                     });
                 if spawned.is_err() {
                     // Thread exhaustion: run synchronously rather than
                     // panic or drop the announcement. The caller loses only
                     // the asynchrony, never the invocation.
-                    let _ = capsule.dispatch_entry_for(&req, true);
+                    let _ = capsule.dispatch_entry_owned(req, true);
                 }
                 return Ok(Outcome::ok(vec![]));
             }
-            return Ok(capsule.dispatch_entry_for(&req, false));
+            return Ok(capsule.dispatch_entry_owned(req, false));
         }
 
-        // Remote (or forced-remote loopback) path: marshal and exchange.
-        let body = object::encode_request(&req.annotations, &req.args);
+        // Remote (or forced-remote loopback) path: marshal into a pooled
+        // buffer (zero allocations at steady state) and exchange.
+        let body = object::encode_request_pooled(&req.annotations, &req.args);
         if req.announcement {
             capsule.rex().announce_traced(
                 req.target.home,
                 req.target.iface,
                 &req.op,
-                body,
+                &body,
                 req.trace,
             )?;
             return Ok(Outcome::ok(vec![]));
@@ -301,11 +298,11 @@ impl AccessLayer {
             req.target.home,
             req.target.iface,
             &req.op,
-            body,
+            &body,
             qos,
             req.trace,
         )?;
-        object::decode_outcome(&reply).map_err(InvokeError::Protocol)
+        object::decode_outcome_frame(&reply).map_err(InvokeError::Protocol)
     }
 }
 

@@ -57,11 +57,11 @@ pub mod transparency;
 pub mod world;
 
 pub use capsule::{Capsule, ExportConfig, SyncDiscipline};
-pub use management::{
-    management_interface_type, telemetry_interface_type, ManagementServant, TelemetryServant,
-};
 pub use invocation::{
     CallRequest, ClientBinding, ClientLayer, ClientNext, InvokeError, ServerLayer, ServerNext,
+};
+pub use management::{
+    management_interface_type, telemetry_interface_type, ManagementServant, TelemetryServant,
 };
 pub use object::{terminations, CallCtx, FnServant, Outcome, Servant};
 pub use relocator::{RelocationServant, RELOCATOR_OP_LOOKUP, RELOCATOR_OP_REGISTER};

@@ -84,7 +84,11 @@ pub fn telemetry_interface_type() -> InterfaceType {
             vec![TypeSpec::Int],
             vec![OutcomeSig::ok(vec![TypeSpec::seq(TypeSpec::Str)])],
         )
-        .interrogation("recording", vec![TypeSpec::Int], vec![OutcomeSig::ok(vec![])])
+        .interrogation(
+            "recording",
+            vec![TypeSpec::Int],
+            vec![OutcomeSig::ok(vec![])],
+        )
         .build()
 }
 
@@ -149,7 +153,10 @@ impl Servant for TelemetryServant {
                     .and_then(Value::as_int)
                     .map_or(100, |n| n.max(0) as usize);
                 Outcome::ok(vec![Value::Seq(
-                    hub.render_timeline(limit).into_iter().map(Value::Str).collect(),
+                    hub.render_timeline(limit)
+                        .into_iter()
+                        .map(Value::str)
+                        .collect(),
                 )])
             }
             "trace" => {
@@ -157,7 +164,10 @@ impl Servant for TelemetryServant {
                     return Outcome::fail("trace requires a trace id");
                 };
                 Outcome::ok(vec![Value::Seq(
-                    hub.render_trace(id as u64).into_iter().map(Value::Str).collect(),
+                    hub.render_trace(id as u64)
+                        .into_iter()
+                        .map(Value::str)
+                        .collect(),
                 )])
             }
             "recording" => {

@@ -81,7 +81,7 @@ impl Outcome {
     pub fn fail<S: Into<String>>(message: S) -> Self {
         Self {
             termination: "fail".to_owned(),
-            results: vec![Value::Str(message.into())],
+            results: vec![Value::str(message.into())],
         }
     }
 
@@ -252,9 +252,50 @@ where
 #[must_use]
 pub fn encode_outcome(outcome: &Outcome) -> bytes::Bytes {
     let mut values = Vec::with_capacity(1 + outcome.results.len());
-    values.push(Value::Str(outcome.termination.clone()));
+    values.push(Value::str(outcome.termination.as_str()));
     values.extend(outcome.results.iter().cloned());
     odp_wire::marshal(&values)
+}
+
+/// Encodes an outcome as a REX reply body into a recycled pool buffer,
+/// streaming the termination string and results without cloning them into
+/// an intermediate `Vec<Value>`. The steady-state server reply path costs
+/// zero heap allocations.
+#[must_use]
+pub fn encode_outcome_pooled(outcome: &Outcome) -> odp_wire::PooledBuf {
+    use odp_wire::encode::{encode_str_value, encode_value, put_varint, str_value_len, varint_len};
+    use odp_wire::EncodeBuf;
+    let count = 1 + outcome.results.len();
+    let total = 1
+        + varint_len(count as u64)
+        + str_value_len(&outcome.termination)
+        + outcome
+            .results
+            .iter()
+            .map(odp_wire::encoded_len)
+            .sum::<usize>();
+    let mut buf = odp_wire::PooledBuf::acquire(total);
+    buf.push_u8(odp_wire::WIRE_VERSION);
+    put_varint(&mut buf, count as u64);
+    encode_str_value(&mut buf, &outcome.termination);
+    for v in &outcome.results {
+        encode_value(&mut buf, v);
+    }
+    buf
+}
+
+fn outcome_from_values(mut values: Vec<Value>) -> Result<Outcome, String> {
+    if values.is_empty() {
+        return Err("empty outcome payload".to_owned());
+    }
+    let termination = match values.remove(0) {
+        Value::Str(s) => s.into_string(),
+        other => return Err(format!("termination must be a string, got {other:?}")),
+    };
+    Ok(Outcome {
+        termination,
+        results: values,
+    })
 }
 
 /// Decodes a REX reply body back into an outcome.
@@ -263,18 +304,18 @@ pub fn encode_outcome(outcome: &Outcome) -> bytes::Bytes {
 ///
 /// Returns a description if the body is not a valid outcome encoding.
 pub fn decode_outcome(body: &[u8]) -> Result<Outcome, String> {
-    let mut values = odp_wire::unmarshal(body).map_err(|e| e.to_string())?;
-    if values.is_empty() {
-        return Err("empty outcome payload".to_owned());
-    }
-    let termination = match values.remove(0) {
-        Value::Str(s) => s,
-        other => return Err(format!("termination must be a string, got {other:?}")),
-    };
-    Ok(Outcome {
-        termination,
-        results: values,
-    })
+    outcome_from_values(odp_wire::unmarshal(body).map_err(|e| e.to_string())?)
+}
+
+/// Decodes a REX reply body zero-copy: string and blob results are
+/// refcounted slices of `body` rather than copies. Callers that retain
+/// results past the frame's lifetime should [`Value::into_owned`] them.
+///
+/// # Errors
+///
+/// As [`decode_outcome`].
+pub fn decode_outcome_frame(body: &bytes::Bytes) -> Result<Outcome, String> {
+    outcome_from_values(odp_wire::unmarshal_frame(body).map_err(|e| e.to_string())?)
 }
 
 /// Encodes a request body: `[Record(annotations), args…]`.
@@ -291,13 +332,46 @@ pub fn encode_request(annotations: &BTreeMap<String, Value>, args: &[Value]) -> 
     odp_wire::marshal(&values)
 }
 
-/// Decodes a request body into `(annotations, args)`.
-///
-/// # Errors
-///
-/// Returns a description if the body is malformed.
-pub fn decode_request(body: &[u8]) -> Result<(BTreeMap<String, Value>, Vec<Value>), String> {
-    let mut values = odp_wire::unmarshal(body).map_err(|e| e.to_string())?;
+/// Encodes a request body into a recycled pool buffer, streaming the
+/// annotations map field-by-field so the hot path never clones it into a
+/// `Value::Record` or copies the args.
+#[must_use]
+pub fn encode_request_pooled(
+    annotations: &BTreeMap<String, Value>,
+    args: &[Value],
+) -> odp_wire::PooledBuf {
+    use odp_wire::encode::{
+        encode_value, put_record_header, put_str, put_varint, record_header_len, str_len,
+        varint_len,
+    };
+    use odp_wire::EncodeBuf;
+    let count = 1 + args.len();
+    let record_len = record_header_len(annotations.len())
+        + annotations
+            .iter()
+            .map(|(k, v)| str_len(k) + odp_wire::encoded_len(v))
+            .sum::<usize>();
+    let total = 1
+        + varint_len(count as u64)
+        + record_len
+        + args.iter().map(odp_wire::encoded_len).sum::<usize>();
+    let mut buf = odp_wire::PooledBuf::acquire(total);
+    buf.push_u8(odp_wire::WIRE_VERSION);
+    put_varint(&mut buf, count as u64);
+    put_record_header(&mut buf, annotations.len());
+    for (k, v) in annotations {
+        put_str(&mut buf, k);
+        encode_value(&mut buf, v);
+    }
+    for v in args {
+        encode_value(&mut buf, v);
+    }
+    buf
+}
+
+type RequestParts = (BTreeMap<String, Value>, Vec<Value>);
+
+fn request_from_values(mut values: Vec<Value>) -> Result<RequestParts, String> {
     if values.is_empty() {
         return Err("empty request payload".to_owned());
     }
@@ -306,6 +380,26 @@ pub fn decode_request(body: &[u8]) -> Result<(BTreeMap<String, Value>, Vec<Value
         other => return Err(format!("annotations must be a record, got {other:?}")),
     };
     Ok((annotations, values))
+}
+
+/// Decodes a request body into `(annotations, args)`.
+///
+/// # Errors
+///
+/// Returns a description if the body is malformed.
+pub fn decode_request(body: &[u8]) -> Result<RequestParts, String> {
+    request_from_values(odp_wire::unmarshal(body).map_err(|e| e.to_string())?)
+}
+
+/// Decodes a request body zero-copy: string and blob args are refcounted
+/// slices of `body`. Servants that retain argument values must
+/// [`Value::into_owned`] them.
+///
+/// # Errors
+///
+/// As [`decode_request`].
+pub fn decode_request_frame(body: &bytes::Bytes) -> Result<RequestParts, String> {
+    request_from_values(odp_wire::unmarshal_frame(body).map_err(|e| e.to_string())?)
 }
 
 #[cfg(test)]
@@ -370,7 +464,11 @@ mod tests {
     #[test]
     fn fn_servant_dispatches() {
         let ty = InterfaceTypeBuilder::new()
-            .interrogation("double", vec![TypeSpec::Int], vec![OutcomeSig::ok(vec![TypeSpec::Int])])
+            .interrogation(
+                "double",
+                vec![TypeSpec::Int],
+                vec![OutcomeSig::ok(vec![TypeSpec::Int])],
+            )
             .build();
         let servant = FnServant::new(ty.clone(), |op, args, _ctx| match op {
             "double" => Outcome::ok(vec![Value::Int(args[0].as_int().unwrap() * 2)]),

@@ -33,7 +33,10 @@ pub fn relocator_interface_type() -> InterfaceType {
         .interrogation(
             RELOCATOR_OP_REGISTER,
             vec![TypeSpec::Int, TypeSpec::Int, TypeSpec::Int],
-            vec![OutcomeSig::ok(vec![]), OutcomeSig::new("stale", vec![TypeSpec::Int])],
+            vec![
+                OutcomeSig::ok(vec![]),
+                OutcomeSig::new("stale", vec![TypeSpec::Int]),
+            ],
         )
         .interrogation(
             RELOCATOR_OP_LOOKUP,
@@ -43,7 +46,11 @@ pub fn relocator_interface_type() -> InterfaceType {
                 OutcomeSig::new("not_found", vec![]),
             ],
         )
-        .interrogation(RELOCATOR_OP_UNREGISTER, vec![TypeSpec::Int], vec![OutcomeSig::ok(vec![])])
+        .interrogation(
+            RELOCATOR_OP_UNREGISTER,
+            vec![TypeSpec::Int],
+            vec![OutcomeSig::ok(vec![])],
+        )
         .build()
 }
 

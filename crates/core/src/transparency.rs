@@ -652,11 +652,8 @@ impl ClientLayer for LocationLayer {
                     // Tombstone: follow the forwarding pointer.
                     match (outcome.results.first(), outcome.results.get(1)) {
                         (Some(Value::Int(node)), Some(Value::Int(epoch))) => {
-                            req = self.retarget(
-                                &req,
-                                odp_types::NodeId(*node as u64),
-                                *epoch as u64,
-                            );
+                            req =
+                                self.retarget(&req, odp_types::NodeId(*node as u64), *epoch as u64);
                             // Fresh movement evidence re-arms the one-shot
                             // relocator consultation: the chain may end at
                             // a node that has itself restarted since.

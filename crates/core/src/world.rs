@@ -87,11 +87,11 @@ impl WorldBuilder {
             default_link: self.link,
         });
         let transport: Arc<dyn Transport> = Arc::new(net.clone());
-        let system =
-            Capsule::with_workers(Arc::clone(&transport), SYSTEM_NODE, self.workers)
-                .expect("register system capsule");
+        let system = Capsule::with_workers(Arc::clone(&transport), SYSTEM_NODE, self.workers)
+            .expect("register system capsule");
         let relocator_servant = Arc::new(RelocationServant::new());
-        let relocator_ref = system.export(Arc::clone(&relocator_servant) as Arc<dyn crate::Servant>);
+        let relocator_ref =
+            system.export(Arc::clone(&relocator_servant) as Arc<dyn crate::Servant>);
         system.set_relocator(relocator_ref.clone());
         let mut capsules = Vec::with_capacity(self.capsules);
         for i in 0..self.capsules {

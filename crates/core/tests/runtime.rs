@@ -2,8 +2,8 @@
 //! migration transparency behaviour end to end over the simulated network.
 
 use odp_core::{
-    terminations, Capsule, CallCtx, ExportConfig, FnServant, InvokeError, Outcome, Servant,
-    SyncDiscipline, TransparencyPolicy, World,
+    terminations, CallCtx, ExportConfig, FnServant, InvokeError, Outcome, Servant, SyncDiscipline,
+    TransparencyPolicy, World,
 };
 use odp_net::{CallQos, LinkConfig, RexError};
 use odp_types::signature::{InterfaceTypeBuilder, OutcomeSig};
@@ -17,7 +17,11 @@ use std::time::Duration;
 fn counter_type() -> InterfaceType {
     InterfaceTypeBuilder::new()
         .interrogation("read", vec![], vec![OutcomeSig::ok(vec![TypeSpec::Int])])
-        .interrogation("add", vec![TypeSpec::Int], vec![OutcomeSig::ok(vec![TypeSpec::Int])])
+        .interrogation(
+            "add",
+            vec![TypeSpec::Int],
+            vec![OutcomeSig::ok(vec![TypeSpec::Int])],
+        )
         .announcement("log", vec![TypeSpec::Str])
         .build()
 }
@@ -76,8 +80,20 @@ fn remote_interrogation_end_to_end() {
     let counter = Counter::new();
     let r = world.capsule(0).export(counter);
     let binding = world.capsule(1).bind(r);
-    assert_eq!(binding.interrogate("add", vec![Value::Int(5)]).unwrap().int(), Some(5));
-    assert_eq!(binding.interrogate("add", vec![Value::Int(2)]).unwrap().int(), Some(7));
+    assert_eq!(
+        binding
+            .interrogate("add", vec![Value::Int(5)])
+            .unwrap()
+            .int(),
+        Some(5)
+    );
+    assert_eq!(
+        binding
+            .interrogate("add", vec![Value::Int(2)])
+            .unwrap()
+            .int(),
+        Some(7)
+    );
     assert_eq!(binding.interrogate("read", vec![]).unwrap().int(), Some(7));
 }
 
@@ -102,7 +118,9 @@ fn colocated_calls_take_fast_path() {
 fn announcements_are_fire_and_forget_and_reach_servant() {
     let world = World::quick();
     let counter = Counter::new();
-    let r = world.capsule(0).export(Arc::clone(&counter) as Arc<dyn Servant>);
+    let r = world
+        .capsule(0)
+        .export(Arc::clone(&counter) as Arc<dyn Servant>);
     let binding = world.capsule(1).bind(r);
     binding.announce("log", vec![Value::str("hello")]).unwrap();
     let deadline = std::time::Instant::now() + Duration::from_secs(2);
@@ -125,7 +143,9 @@ fn announcing_an_interrogation_is_a_kind_mismatch() {
             ..
         }
     ));
-    let err = binding.interrogate("log", vec![Value::str("x")]).unwrap_err();
+    let err = binding
+        .interrogate("log", vec![Value::str("x")])
+        .unwrap_err();
     assert!(matches!(
         err,
         InvokeError::KindMismatch {
@@ -160,19 +180,26 @@ fn server_side_checking_catches_unchecked_clients() {
     // different signature (simulated by binding with a lying reference).
     let world = World::quick();
     let counter = Counter::new();
-    let r = world
-        .capsule(0)
-        .export_with(counter, ExportConfig {
+    let r = world.capsule(0).export_with(
+        counter,
+        ExportConfig {
             check_args: true,
             ..ExportConfig::default()
-        });
+        },
+    );
     // Lie about the signature: claim `add` takes a string.
     let mut lying = r.clone();
     lying.ty = InterfaceTypeBuilder::new()
-        .interrogation("add", vec![TypeSpec::Str], vec![OutcomeSig::ok(vec![TypeSpec::Int])])
+        .interrogation(
+            "add",
+            vec![TypeSpec::Str],
+            vec![OutcomeSig::ok(vec![TypeSpec::Int])],
+        )
         .build();
     let binding = world.capsule(1).bind(lying);
-    let err = binding.interrogate("add", vec![Value::str("payload")]).unwrap_err();
+    let err = binding
+        .interrogate("add", vec![Value::str("payload")])
+        .unwrap_err();
     assert!(matches!(err, InvokeError::RemoteTypeError(_)), "{err:?}");
 }
 
@@ -196,9 +223,7 @@ fn unexported_interfaces_report_no_such_interface() {
     let capsule = world.capsule(0);
     let r = capsule.export(counter);
     capsule.unexport(r.iface);
-    let binding = world
-        .capsule(1)
-        .bind_with(r, TransparencyPolicy::minimal());
+    let binding = world.capsule(1).bind_with(r, TransparencyPolicy::minimal());
     let err = binding.interrogate("read", vec![]).unwrap_err();
     assert!(matches!(err, InvokeError::NoSuchInterface(_)), "{err:?}");
 }
@@ -330,12 +355,15 @@ fn unreachable_server_times_out_with_minimal_policy() {
     let counter = Counter::new();
     let r = world.capsule(0).export(counter);
     world.capsule(0).crash();
-    let policy = TransparencyPolicy::minimal()
-        .with_qos(CallQos::with_deadline(Duration::from_millis(100)));
+    let policy =
+        TransparencyPolicy::minimal().with_qos(CallQos::with_deadline(Duration::from_millis(100)));
     let binding = world.capsule(1).bind_with(r, policy);
     let err = binding.interrogate("read", vec![]).unwrap_err();
     assert!(
-        matches!(err, InvokeError::Rex(RexError::Unreachable(_) | RexError::Timeout)),
+        matches!(
+            err,
+            InvokeError::Rex(RexError::Unreachable(_) | RexError::Timeout)
+        ),
         "{err:?}"
     );
 }
@@ -358,7 +386,9 @@ fn bind_typed_enforces_conformance() {
         .interrogation("reset", vec![], vec![OutcomeSig::ok(vec![])])
         .build();
     assert!(matches!(
-        world.capsule(1).bind_typed(r, &too_wide, TransparencyPolicy::default()),
+        world
+            .capsule(1)
+            .bind_typed(r, &too_wide, TransparencyPolicy::default()),
         Err(InvokeError::NotConformant(_))
     ));
 }
@@ -387,7 +417,13 @@ fn interface_references_travel_as_arguments() {
     assert_eq!(fetched.iface, counter_ref.iface);
     // The fetched reference is immediately usable.
     let binding = world.capsule(1).bind(fetched);
-    assert_eq!(binding.interrogate("add", vec![Value::Int(4)]).unwrap().int(), Some(4));
+    assert_eq!(
+        binding
+            .interrogate("add", vec![Value::Int(4)])
+            .unwrap()
+            .int(),
+        Some(4)
+    );
 }
 
 #[test]
@@ -399,14 +435,22 @@ fn multiple_results_in_one_outcome() {
         .interrogation(
             "stats",
             vec![],
-            vec![OutcomeSig::ok(vec![TypeSpec::Int, TypeSpec::Int, TypeSpec::Str])],
+            vec![OutcomeSig::ok(vec![
+                TypeSpec::Int,
+                TypeSpec::Int,
+                TypeSpec::Str,
+            ])],
         )
         .build();
     let servant = FnServant::new(ty, |_op, _args, _ctx| {
         Outcome::ok(vec![Value::Int(1), Value::Int(2), Value::str("three")])
     });
     let r = world.capsule(0).export(Arc::new(servant));
-    let out = world.capsule(1).bind(r).interrogate("stats", vec![]).unwrap();
+    let out = world
+        .capsule(1)
+        .bind(r)
+        .interrogate("stats", vec![])
+        .unwrap();
     assert_eq!(out.results.len(), 3);
     assert_eq!(out.results[2], Value::str("three"));
 }
@@ -434,7 +478,9 @@ fn application_terminations_pass_through() {
     });
     let r = world.capsule(0).export(Arc::new(servant));
     let binding = world.capsule(1).bind(r);
-    let out = binding.interrogate("withdraw", vec![Value::Int(150)]).unwrap();
+    let out = binding
+        .interrogate("withdraw", vec![Value::Int(150)])
+        .unwrap();
     assert_eq!(out.termination, "overdrawn");
     assert_eq!(out.int(), Some(100));
 }
@@ -450,11 +496,19 @@ fn node_manager_starts_and_stops_servants() {
     let binding = world.capsule(1).bind(mgr_ref);
 
     assert!(binding.interrogate("ping", vec![]).unwrap().is_ok());
-    let out = binding.interrogate("start", vec![Value::str("counter")]).unwrap();
+    let out = binding
+        .interrogate("start", vec![Value::str("counter")])
+        .unwrap();
     assert!(out.is_ok());
     let started = out.result().unwrap().as_interface().unwrap().clone();
     let counter = world.capsule(1).bind(started.clone());
-    assert_eq!(counter.interrogate("add", vec![Value::Int(1)]).unwrap().int(), Some(1));
+    assert_eq!(
+        counter
+            .interrogate("add", vec![Value::Int(1)])
+            .unwrap()
+            .int(),
+        Some(1)
+    );
 
     let listed = binding.interrogate("list", vec![]).unwrap();
     assert_eq!(listed.result().unwrap().as_seq().unwrap().len(), 1);
@@ -467,7 +521,9 @@ fn node_manager_starts_and_stops_servants() {
         Err(InvokeError::Closed(_))
     ));
 
-    let out = binding.interrogate("start", vec![Value::str("nonexistent")]).unwrap();
+    let out = binding
+        .interrogate("start", vec![Value::str("nonexistent")])
+        .unwrap();
     assert_eq!(out.termination, "unknown_factory");
 }
 

@@ -33,9 +33,7 @@ impl Accounting {
     /// Records one admitted crossing.
     pub fn record(&self, from_domain: &str, iface: InterfaceId, bytes: usize) {
         let mut lines = self.lines.lock();
-        let line = lines
-            .entry((from_domain.to_owned(), iface))
-            .or_default();
+        let line = lines.entry((from_domain.to_owned(), iface)).or_default();
         line.interactions += 1;
         line.bytes += bytes as u64;
     }

@@ -34,9 +34,13 @@ use std::sync::{Arc, Weak};
 /// The gateway relay operation.
 pub const RELAY_OP: &str = "__fed_relay";
 
+/// Predicate deciding whether a `(from_domain_name, op)` crossing is
+/// admitted at the gateway.
+pub type AdmissionRule = Arc<dyn Fn(&str, &str) -> bool + Send + Sync>;
+
 /// Which foreign domains may invoke which operations.
 pub struct AdmissionPolicy {
-    rule: Arc<dyn Fn(&str, &str) -> bool + Send + Sync>,
+    rule: AdmissionRule,
 }
 
 impl AdmissionPolicy {
@@ -50,7 +54,7 @@ impl AdmissionPolicy {
 
     /// Admits per `(from_domain_name, op)` predicate.
     #[must_use]
-    pub fn with_rule(rule: Arc<dyn Fn(&str, &str) -> bool + Send + Sync>) -> Self {
+    pub fn with_rule(rule: AdmissionRule) -> Self {
         Self { rule }
     }
 
@@ -109,9 +113,10 @@ impl ClientLayer for BoundaryLayer {
         let target_domain = self.map.domain_of(req.target.home);
         match target_domain {
             Some(d) if d != self.my_domain => {
-                let gateway = self.map.gateway_of(d).ok_or_else(|| {
-                    InvokeError::Protocol(format!("no gateway known for {d}"))
-                })?;
+                let gateway = self
+                    .map
+                    .gateway_of(d)
+                    .ok_or_else(|| InvokeError::Protocol(format!("no gateway known for {d}")))?;
                 odp_telemetry::hub().event(
                     "federation.crossing",
                     gateway.home.raw(),
@@ -123,9 +128,9 @@ impl ClientLayer for BoundaryLayer {
                     op: RELAY_OP.to_owned(),
                     args: vec![
                         Value::Int(req.target.iface.raw() as i64),
-                        Value::Str(req.op.clone()),
+                        Value::str(req.op.as_str()),
                         Value::Bytes(odp_wire::marshal(&req.args)),
-                        Value::Str(self.my_domain_name.clone()),
+                        Value::str(self.my_domain_name.as_str()),
                     ],
                     annotations: req.annotations.clone(),
                     qos: req.qos,
@@ -265,7 +270,7 @@ impl Gateway {
         let outcome = match binding.interrogate_annotated(op, app_args, ctx.annotations.clone()) {
             Ok(outcome) => outcome,
             Err(InvokeError::Denied(why)) => {
-                return Outcome::engineering(terminations::DENIED, vec![Value::Str(why)])
+                return Outcome::engineering(terminations::DENIED, vec![Value::str(why)])
             }
             Err(e) => return Outcome::fail(format!("gateway forwarding failed: {e}")),
         };

@@ -52,9 +52,9 @@ impl ValueMapper {
 
     fn map(value: Value, f: &(dyn Fn(Value) -> Value + Send + Sync)) -> Value {
         match value {
-            Value::Seq(items) => {
-                f(Value::Seq(items.into_iter().map(|v| Self::map(v, f)).collect()))
-            }
+            Value::Seq(items) => f(Value::Seq(
+                items.into_iter().map(|v| Self::map(v, f)).collect(),
+            )),
             Value::Record(fields) => f(Value::Record(
                 fields
                     .into_iter()
@@ -113,7 +113,7 @@ mod tests {
                 other => other,
             }),
             Arc::new(|v| match v {
-                Value::Int(i) => Value::Str(i.to_string()),
+                Value::Int(i) => Value::str(i.to_string()),
                 other => other,
             }),
         );

@@ -3,9 +3,7 @@
 //! multi-hop chains.
 
 use odp_core::{FnServant, InvokeError, Outcome, Servant, TransparencyPolicy, World};
-use odp_federation::{
-    AdmissionPolicy, BoundaryLayer, DomainMap, Gateway, ValueMapper,
-};
+use odp_federation::{AdmissionPolicy, BoundaryLayer, DomainMap, Gateway, ValueMapper};
 use odp_types::signature::{InterfaceTypeBuilder, OutcomeSig};
 use odp_types::{DomainId, InterfaceType, TypeSpec};
 use odp_wire::Value;
@@ -13,7 +11,11 @@ use std::sync::Arc;
 
 fn echo_type() -> InterfaceType {
     InterfaceTypeBuilder::new()
-        .interrogation("echo", vec![TypeSpec::Any], vec![OutcomeSig::ok(vec![TypeSpec::Any])])
+        .interrogation(
+            "echo",
+            vec![TypeSpec::Any],
+            vec![OutcomeSig::ok(vec![TypeSpec::Any])],
+        )
         .build()
 }
 
@@ -57,8 +59,8 @@ fn two_domains(policy: AdmissionPolicy) -> TwoDomains {
 }
 
 fn globex_client(td: &TwoDomains) -> odp_core::ClientBinding {
-    let policy = TransparencyPolicy::default()
-        .with_layer(BoundaryLayer::new(Arc::clone(&td.map), GLOBEX));
+    let policy =
+        TransparencyPolicy::default().with_layer(BoundaryLayer::new(Arc::clone(&td.map), GLOBEX));
     td.world.capsule(2).bind_with(td.svc.clone(), policy)
 }
 
@@ -66,24 +68,42 @@ fn globex_client(td: &TwoDomains) -> odp_core::ClientBinding {
 fn cross_domain_invocation_is_intercepted_and_works() {
     let td = two_domains(AdmissionPolicy::allow_all());
     let client = globex_client(&td);
-    let out = client.interrogate("echo", vec![Value::str("over the wall")]).unwrap();
+    let out = client
+        .interrogate("echo", vec![Value::str("over the wall")])
+        .unwrap();
     assert_eq!(out.results[0], Value::str("over the wall"));
     // The crossing was accounted at acme's gateway.
     let gw_capsule = td.world.capsule(1);
-    assert!(gw_capsule.stats.served.load(std::sync::atomic::Ordering::Relaxed) >= 1);
+    assert!(
+        gw_capsule
+            .stats
+            .served
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1
+    );
 }
 
 #[test]
 fn same_domain_calls_bypass_the_gateway() {
     let td = two_domains(AdmissionPolicy::allow_all());
     // A client in acme with a boundary layer: target is in its own domain.
-    let policy = TransparencyPolicy::default()
-        .with_layer(BoundaryLayer::new(Arc::clone(&td.map), ACME));
+    let policy =
+        TransparencyPolicy::default().with_layer(BoundaryLayer::new(Arc::clone(&td.map), ACME));
     let client = td.world.capsule(1).bind_with(td.svc.clone(), policy);
-    let before = td.world.capsule(1).stats.served.load(std::sync::atomic::Ordering::Relaxed);
+    let before = td
+        .world
+        .capsule(1)
+        .stats
+        .served
+        .load(std::sync::atomic::Ordering::Relaxed);
     client.interrogate("echo", vec![Value::Int(1)]).unwrap();
     // No relay was dispatched on the gateway capsule.
-    let after = td.world.capsule(1).stats.served.load(std::sync::atomic::Ordering::Relaxed);
+    let after = td
+        .world
+        .capsule(1)
+        .stats
+        .served
+        .load(std::sync::atomic::Ordering::Relaxed);
     assert_eq!(before, after);
 }
 
@@ -112,7 +132,11 @@ fn accounting_records_crossings() {
     // denied counts none, and the service actually answered 5 times.
     drop(gw);
     assert_eq!(
-        td.world.capsule(0).stats.served.load(std::sync::atomic::Ordering::Relaxed),
+        td.world
+            .capsule(0)
+            .stats
+            .served
+            .load(std::sync::atomic::Ordering::Relaxed),
         5
     );
 }
@@ -130,7 +154,7 @@ fn technology_translation_at_the_boundary() {
     map.assign(world.capsule(2).node(), GLOBEX);
     let translator = ValueMapper::new(
         Arc::new(|v| match v {
-            Value::Int(i) => Value::Str(i.to_string()),
+            Value::Int(i) => Value::str(i.to_string()),
             other => other,
         }),
         Arc::new(|v| match v {
@@ -154,8 +178,8 @@ fn technology_translation_at_the_boundary() {
         }
     }));
     let svc = world.capsule(0).export(legacy);
-    let policy = TransparencyPolicy::default()
-        .with_layer(BoundaryLayer::new(Arc::clone(&map), GLOBEX));
+    let policy =
+        TransparencyPolicy::default().with_layer(BoundaryLayer::new(Arc::clone(&map), GLOBEX));
     let client = world.capsule(2).bind_with(svc, policy);
     // Client sends an Int; service sees a Str; client gets an Int back.
     let out = client.interrogate("echo", vec![Value::Int(42)]).unwrap();
@@ -191,8 +215,8 @@ fn proxies_stand_in_for_inner_objects() {
         Outcome::ok(vec![Value::Interface(handed.clone())])
     }));
     let dir_ref = world.capsule(0).export(dir);
-    let policy = TransparencyPolicy::default()
-        .with_layer(BoundaryLayer::new(Arc::clone(&map), GLOBEX));
+    let policy =
+        TransparencyPolicy::default().with_layer(BoundaryLayer::new(Arc::clone(&map), GLOBEX));
     let client = world.capsule(2).bind_with(dir_ref, policy.clone());
     let out = client.interrogate("get", vec![]).unwrap();
     let got = out.results[0].as_interface().unwrap().clone();
@@ -203,7 +227,9 @@ fn proxies_stand_in_for_inner_objects() {
     // And it works: invocations forward through the proxy to the inner
     // object.
     let via_proxy = world.capsule(2).bind_with(got, policy);
-    let out = via_proxy.interrogate("echo", vec![Value::str("via proxy")]).unwrap();
+    let out = via_proxy
+        .interrogate("echo", vec![Value::str("via proxy")])
+        .unwrap();
     assert_eq!(out.results[0], Value::str("via proxy"));
 }
 
@@ -221,8 +247,13 @@ fn three_domain_chain_crosses_two_boundaries() {
     map.assign(world.capsule(1).node(), ACME); // acme gateway
     map.assign(world.capsule(2).node(), INITECH); // initech gateway
     map.assign(world.capsule(3).node(), INITECH); // service host
-    Gateway::new(Arc::clone(&map), ACME, world.capsule(1), AdmissionPolicy::allow_all())
-        .install();
+    Gateway::new(
+        Arc::clone(&map),
+        ACME,
+        world.capsule(1),
+        AdmissionPolicy::allow_all(),
+    )
+    .install();
     Gateway::new(
         Arc::clone(&map),
         INITECH,
@@ -259,12 +290,27 @@ fn three_domain_chain_crosses_two_boundaries() {
         .install()
     };
     map.set_gateway(INITECH, initech_gw_ref);
-    let policy = TransparencyPolicy::default()
-        .with_layer(BoundaryLayer::new(client_map, GLOBEX));
+    let policy = TransparencyPolicy::default().with_layer(BoundaryLayer::new(client_map, GLOBEX));
     let client = world.capsule(0).bind_with(svc, policy);
-    let out = client.interrogate("echo", vec![Value::str("two hops")]).unwrap();
+    let out = client
+        .interrogate("echo", vec![Value::str("two hops")])
+        .unwrap();
     assert_eq!(out.results[0], Value::str("two hops"));
     // Both gateways dispatched a relay.
-    assert!(world.capsule(1).stats.served.load(std::sync::atomic::Ordering::Relaxed) >= 1);
-    assert!(world.capsule(2).stats.served.load(std::sync::atomic::Ordering::Relaxed) >= 1);
+    assert!(
+        world
+            .capsule(1)
+            .stats
+            .served
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1
+    );
+    assert!(
+        world
+            .capsule(2)
+            .stats
+            .served
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1
+    );
 }

@@ -30,11 +30,9 @@ impl Collector {
         let live = self.registry.live_set();
         let mut collected = Vec::new();
         for iface in capsule.exported_interfaces() {
-            if !live.contains(&iface) {
-                if capsule.unexport(iface).is_some() {
-                    self.registry.forget(iface);
-                    collected.push(iface);
-                }
+            if !live.contains(&iface) && capsule.unexport(iface).is_some() {
+                self.registry.forget(iface);
+                collected.push(iface);
             }
         }
         collected

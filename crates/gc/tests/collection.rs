@@ -33,10 +33,9 @@ fn unreferenced_objects_are_collected_referenced_survive() {
     assert!(capsule.has_export(kept.iface));
     assert!(!capsule.has_export(doomed.iface));
     // Invoking the collected interface now fails.
-    let binding = world.capsule(1).bind_with(
-        doomed,
-        odp_core::TransparencyPolicy::minimal(),
-    );
+    let binding = world
+        .capsule(1)
+        .bind_with(doomed, odp_core::TransparencyPolicy::minimal());
     assert!(matches!(
         binding.interrogate("ping", vec![]),
         Err(InvokeError::NoSuchInterface(_))
@@ -70,7 +69,10 @@ fn renewal_over_the_wire_keeps_objects_alive() {
     // Client renews three times across 300 ms; object must survive.
     for _ in 0..3 {
         let out = gc_binding
-            .interrogate(ops::RENEW, vec![Value::Seq(vec![Value::Int(obj.iface.raw() as i64)])])
+            .interrogate(
+                ops::RENEW,
+                vec![Value::Seq(vec![Value::Int(obj.iface.raw() as i64)])],
+            )
             .unwrap();
         assert!(out.is_ok());
         std::thread::sleep(Duration::from_millis(100));
@@ -78,7 +80,10 @@ fn renewal_over_the_wire_keeps_objects_alive() {
     }
     // Client releases explicitly; next sweep reclaims.
     gc_binding
-        .interrogate(ops::RELEASE, vec![Value::Seq(vec![Value::Int(obj.iface.raw() as i64)])])
+        .interrogate(
+            ops::RELEASE,
+            vec![Value::Seq(vec![Value::Int(obj.iface.raw() as i64)])],
+        )
         .unwrap();
     assert_eq!(collector.collect(capsule), vec![obj.iface]);
 }

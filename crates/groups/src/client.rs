@@ -76,9 +76,7 @@ impl ClientLayer for GroupLayer {
                 Ok(outcome) if outcome.termination == NOT_SEQUENCER => {
                     // Redirect: prefer the member on the indicated node.
                     if let Some(Value::Int(node)) = outcome.results.first() {
-                        if let Some(pos) = members
-                            .iter()
-                            .position(|m| m.home.raw() == *node as u64)
+                        if let Some(pos) = members.iter().position(|m| m.home.raw() == *node as u64)
                         {
                             let mut redirect_req = req.clone();
                             redirect_req.target = members[pos].clone();

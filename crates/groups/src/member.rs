@@ -280,10 +280,8 @@ impl GroupServant {
                         Some(_waiting_for_gap) => {
                             // A later op exists but `next` is missing: wait
                             // up to GAP_TIMEOUT, then skip the gap.
-                            let timed_out = shared
-                                .wake
-                                .wait_for(&mut order, GAP_TIMEOUT)
-                                .timed_out();
+                            let timed_out =
+                                shared.wake.wait_for(&mut order, GAP_TIMEOUT).timed_out();
                             if timed_out
                                 && order
                                     .holdback
@@ -326,10 +324,7 @@ impl GroupServant {
             Some(p) => {
                 // Probe predecessors; redirect to the first live one.
                 if let Some(alive) = self.first_live_predecessor(&view, p) {
-                    return Outcome::new(
-                        NOT_SEQUENCER,
-                        vec![Value::Int(alive.raw() as i64)],
-                    );
+                    return Outcome::new(NOT_SEQUENCER, vec![Value::Int(alive.raw() as i64)]);
                 }
                 // All predecessors dead: promote.
                 self.promote(&view, p);
@@ -339,9 +334,7 @@ impl GroupServant {
                 // the manager removed us): point the client at the current
                 // sequencer instead of failing the call.
                 return match view.members.first() {
-                    Some(m) => {
-                        Outcome::new(NOT_SEQUENCER, vec![Value::Int(m.home.raw() as i64)])
-                    }
+                    Some(m) => Outcome::new(NOT_SEQUENCER, vec![Value::Int(m.home.raw() as i64)]),
                     None => Outcome::fail("member is not in the group view"),
                 };
             }
@@ -369,9 +362,8 @@ impl GroupServant {
             for member in view.members.iter().filter(|m| Some(m.iface) != my) {
                 let binding = capsule.bind_with(
                     member.clone(),
-                    TransparencyPolicy::minimal().with_qos(CallQos::with_deadline(
-                        Duration::from_secs(2),
-                    )),
+                    TransparencyPolicy::minimal()
+                        .with_qos(CallQos::with_deadline(Duration::from_secs(2))),
                 );
                 match self.policy {
                     GroupPolicy::Active => {
@@ -384,9 +376,7 @@ impl GroupServant {
                                 // unreachable and owns the sequence now.
                                 // Adopt its view and redirect the client
                                 // rather than acking a split-brain write.
-                                if let Ok(vout) =
-                                    binding.interrogate(ops::GET_VIEW, vec![])
-                                {
+                                if let Ok(vout) = binding.interrogate(ops::GET_VIEW, vec![]) {
                                     if let Some(v) =
                                         vout.results.first().and_then(GroupView::decode)
                                     {
@@ -421,11 +411,7 @@ impl GroupServant {
             .unwrap_or_else(|_| Outcome::fail("replica applier stalled"))
     }
 
-    fn first_live_predecessor(
-        &self,
-        view: &GroupView,
-        my_pos: usize,
-    ) -> Option<odp_types::NodeId> {
+    fn first_live_predecessor(&self, view: &GroupView, my_pos: usize) -> Option<odp_types::NodeId> {
         let capsule = self.capsule_handle()?;
         for pred in &view.members[..my_pos] {
             let binding = capsule.bind_with(
@@ -485,10 +471,7 @@ impl GroupServant {
                 // missed a promotion (e.g. it was partitioned away while a
                 // successor took over). Tell it, so it adopts the current
                 // view instead of acking split-brain writes.
-                return Outcome::new(
-                    STALE_SEQ,
-                    vec![Value::Int(order.next_apply as i64)],
-                );
+                return Outcome::new(STALE_SEQ, vec![Value::Int(order.next_apply as i64)]);
             }
         }
         self.enqueue(seq as u64, op.to_owned(), app_args, ctx.clone(), false);

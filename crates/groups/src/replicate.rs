@@ -143,11 +143,9 @@ impl GroupHandle {
         // stale state).
         let donor = {
             let view = self.view.read();
-            view.members.iter().find_map(|m| {
-                self.servants
-                    .iter()
-                    .find(|s| s.identity() == Some(m.iface))
-            })
+            view.members
+                .iter()
+                .find_map(|m| self.servants.iter().find(|s| s.identity() == Some(m.iface)))
         };
         if let Some(donor) = donor {
             if let Some(snapshot) = donor.app().snapshot() {

@@ -11,7 +11,11 @@ use std::sync::Arc;
 
 fn sqrt_type() -> InterfaceType {
     InterfaceTypeBuilder::new()
-        .interrogation("isqrt", vec![TypeSpec::Int], vec![OutcomeSig::ok(vec![TypeSpec::Int])])
+        .interrogation(
+            "isqrt",
+            vec![TypeSpec::Int],
+            vec![OutcomeSig::ok(vec![TypeSpec::Int])],
+        )
         .build()
 }
 
@@ -60,11 +64,15 @@ fn versions(world: &World, buggy: bool) -> Vec<InterfaceRef> {
     ]
 }
 
-fn bind_voted(world: &World, refs: Vec<InterfaceRef>) -> (odp_core::ClientBinding, Arc<VotingLayer>) {
+fn bind_voted(
+    world: &World,
+    refs: Vec<InterfaceRef>,
+) -> (odp_core::ClientBinding, Arc<VotingLayer>) {
     let layer = VotingLayer::majority(refs.clone());
     let binding = world.capsule(3).bind_with(
         refs[0].clone(),
-        TransparencyPolicy::minimal().with_layer(Arc::clone(&layer) as Arc<dyn odp_core::ClientLayer>),
+        TransparencyPolicy::minimal()
+            .with_layer(Arc::clone(&layer) as Arc<dyn odp_core::ClientLayer>),
     );
     (binding, layer)
 }
@@ -107,11 +115,15 @@ fn no_quorum_is_an_explicit_error() {
             let servant = FnServant::new(ty.clone(), move |_o, _a, _c| {
                 Outcome::ok(vec![Value::Int(i)])
             });
-            world.capsule(i as usize).export(Arc::new(servant) as Arc<dyn Servant>)
+            world
+                .capsule(i as usize)
+                .export(Arc::new(servant) as Arc<dyn Servant>)
         })
         .collect();
     let (binding, _layer) = bind_voted(&world, refs);
-    let err = binding.interrogate("isqrt", vec![Value::Int(9)]).unwrap_err();
+    let err = binding
+        .interrogate("isqrt", vec![Value::Int(9)])
+        .unwrap_err();
     assert!(
         matches!(err, InvokeError::Protocol(ref why) if why.contains("quorum")),
         "{err:?}"

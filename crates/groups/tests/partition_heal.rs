@@ -22,7 +22,7 @@ struct Ledger {
 }
 
 impl Ledger {
-    fn new() -> Arc<dyn Servant> {
+    fn servant() -> Arc<dyn Servant> {
         Arc::new(Self {
             entries: Mutex::new(Vec::new()),
         })
@@ -98,8 +98,8 @@ fn is_subsequence(sub: &[i64], full: &[i64]) -> bool {
 fn partitioned_sequencer_heals_without_gaps_or_duplicates() {
     let world = World::builder().capsules(4).build();
     let group = replicate(
-        &world.capsules()[..3].to_vec(),
-        &Ledger::new,
+        &world.capsules()[..3],
+        &Ledger::servant,
         GroupPolicy::Active,
     );
     // A short end-to-end deadline so discovering a silent partition costs

@@ -17,7 +17,7 @@ struct Ledger {
 }
 
 impl Ledger {
-    fn new() -> Arc<dyn Servant> {
+    fn servant() -> Arc<dyn Servant> {
         Arc::new(Self {
             entries: Mutex::new(Vec::new()),
         })
@@ -99,8 +99,8 @@ fn wait_until(pred: impl Fn() -> bool, timeout: Duration) -> bool {
 fn active_group_serves_like_a_singleton() {
     let world = World::builder().capsules(4).build();
     let group = replicate(
-        &world.capsules()[..3].to_vec(),
-        &Ledger::new,
+        &world.capsules()[..3],
+        &Ledger::servant,
         GroupPolicy::Active,
     );
     let client = group.bind_via(world.capsule(3));
@@ -111,7 +111,10 @@ fn active_group_serves_like_a_singleton() {
     // Every member applied the same sequence.
     for member in group.members() {
         assert!(
-            wait_until(|| ledger_entries(member).len() == 10, Duration::from_secs(3)),
+            wait_until(
+                || ledger_entries(member).len() == 10,
+                Duration::from_secs(3)
+            ),
             "member missing entries: {:?}",
             ledger_entries(member)
         );
@@ -123,8 +126,8 @@ fn active_group_serves_like_a_singleton() {
 fn concurrent_clients_yield_identical_order_on_all_members() {
     let world = World::builder().capsules(5).build();
     let group = replicate(
-        &world.capsules()[..3].to_vec(),
-        &Ledger::new,
+        &world.capsules()[..3],
+        &Ledger::servant,
         GroupPolicy::Active,
     );
     std::thread::scope(|s| {
@@ -165,8 +168,8 @@ fn concurrent_clients_yield_identical_order_on_all_members() {
 fn hot_standby_propagates_asynchronously() {
     let world = World::builder().capsules(3).build();
     let group = replicate(
-        &world.capsules()[..2].to_vec(),
-        &Ledger::new,
+        &world.capsules()[..2],
+        &Ledger::servant,
         GroupPolicy::HotStandby,
     );
     let client = group.bind_via(world.capsule(2));
@@ -187,8 +190,8 @@ fn hot_standby_propagates_asynchronously() {
 fn failover_to_backup_when_sequencer_dies() {
     let world = World::builder().capsules(4).build();
     let group = replicate(
-        &world.capsules()[..3].to_vec(),
-        &Ledger::new,
+        &world.capsules()[..3],
+        &Ledger::servant,
         GroupPolicy::Active,
     );
     let client = group.bind_via(world.capsule(3));
@@ -200,7 +203,12 @@ fn failover_to_backup_when_sequencer_dies() {
     // The next call fails over; the backup promotes itself.
     let out = client.interrogate("append", vec![Value::Int(99)]).unwrap();
     assert_eq!(out.int(), Some(6));
-    assert!(group.members()[1].promotions.load(std::sync::atomic::Ordering::Relaxed) >= 1);
+    assert!(
+        group.members()[1]
+            .promotions
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1
+    );
     // Surviving members stay consistent.
     assert!(wait_until(
         || ledger_entries(&group.members()[2]).len() == 6,
@@ -216,8 +224,8 @@ fn failover_to_backup_when_sequencer_dies() {
 fn client_redirected_when_contacting_backup_first() {
     let world = World::builder().capsules(3).build();
     let group = replicate(
-        &world.capsules()[..2].to_vec(),
-        &Ledger::new,
+        &world.capsules()[..2],
+        &Ledger::servant,
         GroupPolicy::Active,
     );
     // Build a client whose preferred member is the backup.
@@ -247,8 +255,8 @@ fn client_redirected_when_contacting_backup_first() {
 fn membership_join_transfers_state() {
     let world = World::builder().capsules(4).build();
     let mut group = replicate(
-        &world.capsules()[..2].to_vec(),
-        &Ledger::new,
+        &world.capsules()[..2],
+        &Ledger::servant,
         GroupPolicy::Active,
     );
     let client = group.bind_via(world.capsule(3));
@@ -256,7 +264,7 @@ fn membership_join_transfers_state() {
         client.interrogate("append", vec![Value::Int(i)]).unwrap();
     }
     // Join a third member; it must arrive with the full history.
-    let newcomer = group.add_member(world.capsule(2), &Ledger::new);
+    let newcomer = group.add_member(world.capsule(2), &Ledger::servant);
     assert_eq!(ledger_entries(&newcomer), vec![0, 1, 2, 3, 4]);
     assert_eq!(group.view().version, 2);
     assert_eq!(group.view().members.len(), 3);
@@ -272,8 +280,8 @@ fn membership_join_transfers_state() {
 fn membership_leave_stops_relays() {
     let world = World::builder().capsules(4).build();
     let group = replicate(
-        &world.capsules()[..3].to_vec(),
-        &Ledger::new,
+        &world.capsules()[..3],
+        &Ledger::servant,
         GroupPolicy::Active,
     );
     let client = group.bind_via(world.capsule(3));
@@ -290,8 +298,8 @@ fn membership_leave_stops_relays() {
 fn group_of_one_degenerates_to_singleton() {
     let world = World::builder().capsules(2).build();
     let group = replicate(
-        &world.capsules()[..1].to_vec(),
-        &Ledger::new,
+        &world.capsules()[..1],
+        &Ledger::servant,
         GroupPolicy::Active,
     );
     let client = group.bind_via(world.capsule(1));
@@ -305,8 +313,8 @@ fn group_of_one_degenerates_to_singleton() {
 fn standby_failover_may_lose_unpropagated_tail_but_stays_ordered() {
     let world = World::builder().capsules(3).build();
     let group = replicate(
-        &world.capsules()[..2].to_vec(),
-        &Ledger::new,
+        &world.capsules()[..2],
+        &Ledger::servant,
         GroupPolicy::HotStandby,
     );
     let client = group.bind_via(world.capsule(2));
@@ -326,7 +334,10 @@ fn standby_failover_may_lose_unpropagated_tail_but_stays_ordered() {
     // ordered, possibly with a lost tail — never reordered.
     let without_last: Vec<i64> = entries[..entries.len() - 1].to_vec();
     let expected_prefix: Vec<i64> = (0..without_last.len() as i64).collect();
-    assert_eq!(without_last, expected_prefix, "standby reordered operations");
+    assert_eq!(
+        without_last, expected_prefix,
+        "standby reordered operations"
+    );
     assert_eq!(*entries.last().unwrap(), 999);
 }
 
@@ -345,15 +356,19 @@ fn dropped_groups_release_their_applier_threads() {
     }
     {
         let world = World::builder().capsules(3).build();
-        let _warm = replicate(&world.capsules()[..3].to_vec(), &Ledger::new, GroupPolicy::Active);
+        let _warm = replicate(
+            &world.capsules()[..3],
+            &Ledger::servant,
+            GroupPolicy::Active,
+        );
     }
     std::thread::sleep(Duration::from_millis(300));
     let before = thread_count();
     for _ in 0..10 {
         let world = World::builder().capsules(3).build();
         let group = replicate(
-            &world.capsules()[..3].to_vec(),
-            &Ledger::new,
+            &world.capsules()[..3],
+            &Ledger::servant,
             GroupPolicy::Active,
         );
         let client = group.bind_via(world.capsule(2));

@@ -23,12 +23,13 @@
 //! REX-level error always means an engineering failure (unreachable,
 //! timeout), never an application outcome.
 
-use crate::transport::{Endpoint, Envelope, NetError, Transport};
-use bytes::{BufMut, Bytes, BytesMut};
+use crate::transport::{Endpoint, NetError, Transport};
+use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use odp_telemetry::TraceContext;
 use odp_types::{InterfaceId, NodeId};
 use odp_wire::trace::get_trace;
+use odp_wire::PooledBuf;
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
@@ -126,8 +127,10 @@ pub struct RexRequest {
     pub trace: TraceContext,
 }
 
-/// Server-side request handler: returns the marshalled reply body.
-pub type Handler = Arc<dyn Fn(RexRequest) -> Bytes + Send + Sync>;
+/// Server-side request handler: returns the marshalled reply body in a
+/// pooled buffer (the REX worker frames it, sends it, and parks the body
+/// in the reply cache; eviction recycles the buffer).
+pub type Handler = Arc<dyn Fn(RexRequest) -> PooledBuf + Send + Sync>;
 
 const KIND_REQUEST: u8 = 0;
 const KIND_REPLY: u8 = 1;
@@ -140,26 +143,25 @@ fn encode_request(
     iface: InterfaceId,
     op: &str,
     body: &[u8],
-) -> Bytes {
-    let mut buf = BytesMut::with_capacity(
-        1 + 8 + TraceContext::WIRE_LEN + 8 + 2 + op.len() + body.len(),
-    );
-    buf.put_u8(kind);
-    buf.put_u64(call_id);
+) -> PooledBuf {
+    let mut buf =
+        PooledBuf::acquire(1 + 8 + TraceContext::WIRE_LEN + 8 + 2 + op.len() + body.len());
+    buf.extend_from_slice(&[kind]);
+    buf.extend_from_slice(&call_id.to_be_bytes());
     odp_wire::trace::put_trace(&mut buf, trace);
-    buf.put_u64(iface.raw());
-    buf.put_u16(op.len() as u16);
+    buf.extend_from_slice(&iface.raw().to_be_bytes());
+    buf.extend_from_slice(&(op.len() as u16).to_be_bytes());
     buf.extend_from_slice(op.as_bytes());
     buf.extend_from_slice(body);
-    buf.freeze()
+    buf
 }
 
-fn encode_reply(call_id: u64, body: &[u8]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(1 + 8 + body.len());
-    buf.put_u8(KIND_REPLY);
-    buf.put_u64(call_id);
+fn encode_reply(call_id: u64, body: &[u8]) -> PooledBuf {
+    let mut buf = PooledBuf::acquire(1 + 8 + body.len());
+    buf.extend_from_slice(&[KIND_REPLY]);
+    buf.extend_from_slice(&call_id.to_be_bytes());
     buf.extend_from_slice(body);
-    buf.freeze()
+    buf
 }
 
 enum Parsed {
@@ -222,8 +224,9 @@ fn parse(mut payload: Bytes) -> Result<Parsed, RexError> {
 const REPLY_CACHE_CAP: usize = 4096;
 
 struct ServerState {
-    /// Completed calls: reply bodies for retransmission.
-    cache: HashMap<(NodeId, u64), Bytes>,
+    /// Completed calls: reply bodies (pooled; eviction recycles) for
+    /// retransmission.
+    cache: HashMap<(NodeId, u64), PooledBuf>,
     /// FIFO of cache keys for eviction.
     order: VecDeque<(NodeId, u64)>,
     /// Calls currently executing (duplicates dropped).
@@ -367,7 +370,7 @@ impl RexEndpoint {
         to: NodeId,
         iface: InterfaceId,
         op: &str,
-        body: Bytes,
+        body: &[u8],
         qos: CallQos,
     ) -> Result<Bytes, RexError> {
         // Protocol layers (groups, transactions, …) issue REX calls from
@@ -388,7 +391,7 @@ impl RexEndpoint {
         to: NodeId,
         iface: InterfaceId,
         op: &str,
-        body: Bytes,
+        body: &[u8],
         qos: CallQos,
         trace: TraceContext,
     ) -> Result<Bytes, RexError> {
@@ -410,10 +413,12 @@ impl RexEndpoint {
             pending: &self.pending,
             call_id,
         };
-        let msg = encode_request(KIND_REQUEST, call_id, &trace, iface, op, &body);
+        // Encoded once into a pooled buffer and reused verbatim for every
+        // retransmission; the drop at return recycles it.
+        let msg = encode_request(KIND_REQUEST, call_id, &trace, iface, op, body);
         let deadline = Instant::now() + qos.deadline;
         loop {
-            match self.transport.send(Envelope::new(self.node, to, msg.clone())) {
+            match self.transport.send_frame(self.node, to, &msg) {
                 Ok(()) => {}
                 Err(NetError::UnknownNode(n) | NetError::Unreachable(n)) => {
                     return Err(RexError::Unreachable(n))
@@ -456,7 +461,7 @@ impl RexEndpoint {
         to: NodeId,
         iface: InterfaceId,
         op: &str,
-        body: Bytes,
+        body: &[u8],
     ) -> Result<(), RexError> {
         self.announce_traced(to, iface, op, body, odp_telemetry::current())
     }
@@ -472,15 +477,15 @@ impl RexEndpoint {
         to: NodeId,
         iface: InterfaceId,
         op: &str,
-        body: Bytes,
+        body: &[u8],
         trace: TraceContext,
     ) -> Result<(), RexError> {
         if !self.running.load(Ordering::SeqCst) {
             return Err(RexError::Closed);
         }
         let call_id = self.next_call.fetch_add(1, Ordering::Relaxed);
-        let msg = encode_request(KIND_ANNOUNCE, call_id, &trace, iface, op, &body);
-        match self.transport.send(Envelope::new(self.node, to, msg)) {
+        let msg = encode_request(KIND_ANNOUNCE, call_id, &trace, iface, op, body);
+        match self.transport.send_frame(self.node, to, &msg) {
             Ok(()) => Ok(()),
             Err(NetError::UnknownNode(n) | NetError::Unreachable(n)) => {
                 Err(RexError::Unreachable(n))
@@ -582,9 +587,7 @@ impl RexEndpoint {
                     self.duplicates_suppressed.fetch_add(1, Ordering::Relaxed);
                     let reply = encode_reply(job.call_id, cached);
                     drop(server);
-                    let _ = self
-                        .transport
-                        .send(Envelope::new(self.node, job.from, reply));
+                    let _ = self.transport.send_frame(self.node, job.from, &reply);
                     continue;
                 }
                 if !server.executing.insert(key) {
@@ -606,15 +609,17 @@ impl RexEndpoint {
                         trace: job.trace,
                     })
                 }
-                None => Bytes::new(),
+                None => PooledBuf::default(),
             };
             if job.announcement {
                 continue;
             }
+            let reply = encode_reply(job.call_id, &reply_body);
             {
                 let mut server = self.server.lock();
                 server.executing.remove(&key);
-                server.cache.insert(key, reply_body.clone());
+                // The body moves into the cache; eviction recycles it.
+                server.cache.insert(key, reply_body);
                 server.order.push_back(key);
                 while server.order.len() > REPLY_CACHE_CAP {
                     if let Some(old) = server.order.pop_front() {
@@ -622,10 +627,7 @@ impl RexEndpoint {
                     }
                 }
             }
-            let reply = encode_reply(job.call_id, &reply_body);
-            let _ = self
-                .transport
-                .send(Envelope::new(self.node, job.from, reply));
+            let _ = self.transport.send_frame(self.node, job.from, &reply);
         }
     }
 }
@@ -661,6 +663,8 @@ impl Drop for PendingGuard<'_> {
 mod tests {
     use super::*;
     use crate::sim::{LinkConfig, SimNet};
+    use crate::transport::Envelope;
+    use bytes::{BufMut, BytesMut};
 
     fn pair(net: &SimNet) -> (Arc<RexEndpoint>, Arc<RexEndpoint>) {
         let t: Arc<dyn Transport> = Arc::new(net.clone());
@@ -670,7 +674,7 @@ mod tests {
     }
 
     fn echo_handler() -> Handler {
-        Arc::new(|req: RexRequest| req.body)
+        Arc::new(|req: RexRequest| PooledBuf::from_slice(&req.body))
     }
 
     #[test]
@@ -683,7 +687,7 @@ mod tests {
                 NodeId(2),
                 InterfaceId(1),
                 "echo",
-                Bytes::from_static(b"hello"),
+                b"hello",
                 CallQos::default(),
             )
             .unwrap();
@@ -702,7 +706,7 @@ mod tests {
                     for j in 0..20u64 {
                         let body = Bytes::copy_from_slice(&(i * 1000 + j).to_be_bytes());
                         let reply = a
-                            .call(NodeId(2), InterfaceId(1), "echo", body.clone(), CallQos::default())
+                            .call(NodeId(2), InterfaceId(1), "echo", &body, CallQos::default())
                             .unwrap();
                         assert_eq!(reply, body);
                     }
@@ -723,7 +727,7 @@ mod tests {
                 NodeId(2),
                 InterfaceId(1),
                 "echo",
-                Bytes::new(),
+                b"",
                 CallQos::with_deadline(Duration::from_millis(80)),
             )
             .unwrap_err();
@@ -739,7 +743,7 @@ mod tests {
         assert_eq!(qos.deadline, Duration::ZERO);
         let start = Instant::now();
         let err = a
-            .call(NodeId(2), InterfaceId(1), "echo", Bytes::new(), qos)
+            .call(NodeId(2), InterfaceId(1), "echo", b"", qos)
             .unwrap_err();
         assert_eq!(err, RexError::Timeout);
         assert!(start.elapsed() < Duration::from_millis(50));
@@ -774,7 +778,7 @@ mod tests {
         let (a, b) = pair(&net);
         b.shutdown();
         let err = a
-            .call(NodeId(2), InterfaceId(1), "x", Bytes::new(), CallQos::default())
+            .call(NodeId(2), InterfaceId(1), "x", b"", CallQos::default())
             .unwrap_err();
         assert_eq!(err, RexError::Unreachable(NodeId(2)));
     }
@@ -792,7 +796,7 @@ mod tests {
         };
         for _ in 0..10 {
             let reply = a
-                .call(NodeId(2), InterfaceId(1), "echo", Bytes::from_static(b"x"), qos)
+                .call(NodeId(2), InterfaceId(1), "echo", b"x", qos)
                 .unwrap();
             assert_eq!(reply, Bytes::from_static(b"x"));
         }
@@ -808,7 +812,7 @@ mod tests {
         let h = Arc::clone(&hits);
         b.set_handler(Arc::new(move |req| {
             h.fetch_add(1, Ordering::SeqCst);
-            req.body
+            PooledBuf::from_slice(&req.body)
         }));
         // Lose every reply (but not requests): client retransmits, server
         // must answer duplicates from cache without re-executing.
@@ -818,7 +822,7 @@ mod tests {
             retry_interval: Duration::from_millis(5),
         };
         let reply = a
-            .call(NodeId(2), InterfaceId(1), "echo", Bytes::from_static(b"q"), qos)
+            .call(NodeId(2), InterfaceId(1), "echo", b"q", qos)
             .unwrap();
         assert_eq!(reply, Bytes::from_static(b"q"));
         assert_eq!(hits.load(Ordering::SeqCst), 1, "handler ran more than once");
@@ -833,10 +837,10 @@ mod tests {
         b.set_handler(Arc::new(move |req| {
             assert!(req.announcement);
             s.fetch_add(1, Ordering::SeqCst);
-            Bytes::new()
+            PooledBuf::default()
         }));
         for _ in 0..5 {
-            a.announce(NodeId(2), InterfaceId(1), "tick", Bytes::new()).unwrap();
+            a.announce(NodeId(2), InterfaceId(1), "tick", b"").unwrap();
         }
         let deadline = Instant::now() + Duration::from_secs(2);
         while seen.load(Ordering::SeqCst) < 5 && Instant::now() < deadline {
@@ -850,7 +854,7 @@ mod tests {
         let net = SimNet::perfect();
         let (a, _b) = pair(&net);
         let reply = a
-            .call(NodeId(2), InterfaceId(1), "x", Bytes::new(), CallQos::default())
+            .call(NodeId(2), InterfaceId(1), "x", b"", CallQos::default())
             .unwrap();
         assert!(reply.is_empty());
     }
@@ -867,7 +871,7 @@ mod tests {
                 NodeId(2),
                 InterfaceId(1),
                 "echo",
-                Bytes::from_static(b"tcp"),
+                b"tcp",
                 CallQos::with_deadline(Duration::from_secs(5)),
             )
             .unwrap();
@@ -884,7 +888,7 @@ mod tests {
         a.shutdown();
         a.shutdown();
         assert_eq!(
-            a.call(NodeId(2), InterfaceId(1), "x", Bytes::new(), CallQos::default())
+            a.call(NodeId(2), InterfaceId(1), "x", b"", CallQos::default())
                 .unwrap_err(),
             RexError::Closed
         );
@@ -896,20 +900,31 @@ mod tests {
         let (a, b) = pair(&net);
         b.set_handler(echo_handler());
         // Inject garbage straight onto the transport.
-        net.send(Envelope::new(NodeId(1), NodeId(2), Bytes::from_static(b"\xff\xff")))
+        net.send(Envelope::new(
+            NodeId(1),
+            NodeId(2),
+            Bytes::from_static(b"\xff\xff"),
+        ))
+        .unwrap();
+        net.send(Envelope::new(NodeId(1), NodeId(2), Bytes::new()))
             .unwrap();
-        net.send(Envelope::new(NodeId(1), NodeId(2), Bytes::new())).unwrap();
         // Endpoint still works.
         let reply = a
-            .call(NodeId(2), InterfaceId(1), "echo", Bytes::from_static(b"ok"), CallQos::default())
+            .call(NodeId(2), InterfaceId(1), "echo", b"ok", CallQos::default())
             .unwrap();
         assert_eq!(reply, Bytes::from_static(b"ok"));
     }
 
     #[test]
     fn parse_rejects_short_buffers() {
-        assert!(matches!(parse(Bytes::from_static(b"")), Err(RexError::Malformed)));
-        assert!(matches!(parse(Bytes::from_static(b"\x00\x01")), Err(RexError::Malformed)));
+        assert!(matches!(
+            parse(Bytes::from_static(b"")),
+            Err(RexError::Malformed)
+        ));
+        assert!(matches!(
+            parse(Bytes::from_static(b"\x00\x01")),
+            Err(RexError::Malformed)
+        ));
         assert!(matches!(
             parse(Bytes::from_static(b"\x09\x00\x00\x00\x00\x00\x00\x00\x00")),
             Err(RexError::Malformed)
@@ -920,7 +935,10 @@ mod tests {
         truncated.put_u8(KIND_REQUEST);
         truncated.put_u64(42);
         truncated.extend_from_slice(&[0u8; 10]);
-        assert!(matches!(parse(truncated.freeze()), Err(RexError::Malformed)));
+        assert!(matches!(
+            parse(truncated.freeze()),
+            Err(RexError::Malformed)
+        ));
     }
 
     #[test]
@@ -932,7 +950,7 @@ mod tests {
             flags: odp_telemetry::FLAG_SAMPLED,
         };
         let msg = encode_request(KIND_REQUEST, 1, &ctx, InterfaceId(3), "op", b"body");
-        match parse(msg).unwrap() {
+        match parse(Bytes::copy_from_slice(&msg)).unwrap() {
             Parsed::Request { trace, op, .. } => {
                 assert_eq!(trace, ctx);
                 assert_eq!(op, "op");
@@ -949,7 +967,7 @@ mod tests {
         let s = Arc::clone(&seen);
         b.set_handler(Arc::new(move |req: RexRequest| {
             *s.lock() = req.trace;
-            req.body
+            PooledBuf::from_slice(&req.body)
         }));
         let ctx = TraceContext {
             trace_id: 99,
@@ -961,7 +979,7 @@ mod tests {
             NodeId(2),
             InterfaceId(1),
             "echo",
-            Bytes::from_static(b"x"),
+            b"x",
             CallQos::default(),
             ctx,
         )
@@ -973,8 +991,12 @@ mod tests {
     fn malformed_frames_counted_and_recorded() {
         let net = SimNet::perfect();
         let (_a, b) = pair(&net);
-        net.send(Envelope::new(NodeId(1), NodeId(2), Bytes::from_static(b"\xff\xff")))
-            .unwrap();
+        net.send(Envelope::new(
+            NodeId(1),
+            NodeId(2),
+            Bytes::from_static(b"\xff\xff"),
+        ))
+        .unwrap();
         let deadline = Instant::now() + Duration::from_secs(2);
         while b.malformed_dropped.load(Ordering::Relaxed) == 0 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(5));

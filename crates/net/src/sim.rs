@@ -16,6 +16,8 @@ use crate::transport::{Endpoint, Envelope, NetError, Transport};
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Condvar, Mutex};
 use rand::rngs::StdRng;
+// `RngExt` supplies `random_range` on some rand versions; unused on others.
+#[allow(unused_imports)]
 use rand::{RngExt, SeedableRng};
 use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -398,12 +400,7 @@ impl SimNet {
         }
     }
 
-    fn pump(
-        inner: &Mutex<Inner>,
-        wake: &Condvar,
-        running: &AtomicBool,
-        stats: &SimNetStats,
-    ) {
+    fn pump(inner: &Mutex<Inner>, wake: &Condvar, running: &AtomicBool, stats: &SimNetStats) {
         let mut guard = inner.lock();
         loop {
             if !running.load(Ordering::SeqCst) {
@@ -580,7 +577,11 @@ mod tests {
         let net = SimNet::perfect();
         let _a = net.register(NodeId(1)).unwrap();
         let b = net.register(NodeId(2)).unwrap();
-        net.set_link(NodeId(1), NodeId(2), LinkConfig::with_latency(Duration::from_millis(30)));
+        net.set_link(
+            NodeId(1),
+            NodeId(2),
+            LinkConfig::with_latency(Duration::from_millis(30)),
+        );
         let start = Instant::now();
         net.send(env(1, 2, b"slow")).unwrap();
         b.recv_timeout(Duration::from_secs(1)).unwrap();
@@ -593,10 +594,18 @@ mod tests {
         let net = SimNet::perfect();
         let _a = net.register(NodeId(1)).unwrap();
         let b = net.register(NodeId(2)).unwrap();
-        net.set_link(NodeId(1), NodeId(2), LinkConfig::with_latency(Duration::from_millis(5)));
+        net.set_link(
+            NodeId(1),
+            NodeId(2),
+            LinkConfig::with_latency(Duration::from_millis(5)),
+        );
         for i in 0..10u8 {
-            net.send(Envelope::new(NodeId(1), NodeId(2), Bytes::copy_from_slice(&[i])))
-                .unwrap();
+            net.send(Envelope::new(
+                NodeId(1),
+                NodeId(2),
+                Bytes::copy_from_slice(&[i]),
+            ))
+            .unwrap();
         }
         for i in 0..10u8 {
             let got = b.recv_timeout(Duration::from_secs(1)).unwrap();
@@ -613,7 +622,10 @@ mod tests {
         for _ in 0..20 {
             net.send(env(1, 2, b"gone")).unwrap();
         }
-        assert_eq!(b.recv_timeout(Duration::from_millis(20)).unwrap_err(), NetError::Timeout);
+        assert_eq!(
+            b.recv_timeout(Duration::from_millis(20)).unwrap_err(),
+            NetError::Timeout
+        );
         assert_eq!(net.stats().lost.load(Ordering::Relaxed), 20);
     }
 
@@ -650,7 +662,10 @@ mod tests {
         assert!(a.recv_timeout(Duration::from_millis(20)).is_err());
         net.heal(NodeId(1), NodeId(2));
         net.send(env(1, 2, b"open")).unwrap();
-        assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap().payload, Bytes::from_static(b"open"));
+        assert_eq!(
+            b.recv_timeout(Duration::from_secs(1)).unwrap().payload,
+            Bytes::from_static(b"open")
+        );
     }
 
     #[test]

@@ -148,6 +148,19 @@ pub trait Transport: Send + Sync {
     /// [`NetError::Closed`] after shutdown.
     fn send(&self, env: Envelope) -> Result<(), NetError>;
 
+    /// Sends one message whose payload the caller still owns (typically a
+    /// pooled encode buffer). The default implementation copies the slice
+    /// into an [`Envelope`]; transports with their own framing (TCP)
+    /// override it to write straight from the borrowed slice, so the hot
+    /// path never materializes an intermediate `Bytes`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Transport::send`].
+    fn send_frame(&self, from: NodeId, to: NodeId, payload: &[u8]) -> Result<(), NetError> {
+        self.send(Envelope::new(from, to, Bytes::copy_from_slice(payload)))
+    }
+
     /// True if `node` is currently registered.
     fn is_registered(&self, node: NodeId) -> bool;
 }
@@ -161,10 +174,18 @@ mod tests {
     fn endpoint_receives_in_order_from_channel() {
         let (tx, rx) = unbounded();
         let ep = Endpoint::new(NodeId(1), rx);
-        tx.send(Envelope::new(NodeId(2), NodeId(1), Bytes::from_static(b"a")))
-            .unwrap();
-        tx.send(Envelope::new(NodeId(2), NodeId(1), Bytes::from_static(b"b")))
-            .unwrap();
+        tx.send(Envelope::new(
+            NodeId(2),
+            NodeId(1),
+            Bytes::from_static(b"a"),
+        ))
+        .unwrap();
+        tx.send(Envelope::new(
+            NodeId(2),
+            NodeId(1),
+            Bytes::from_static(b"b"),
+        ))
+        .unwrap();
         assert_eq!(ep.recv().unwrap().payload, Bytes::from_static(b"a"));
         assert_eq!(ep.recv().unwrap().payload, Bytes::from_static(b"b"));
         assert_eq!(ep.node(), NodeId(1));
@@ -186,7 +207,9 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        assert!(NetError::UnknownNode(NodeId(3)).to_string().contains("node:3"));
+        assert!(NetError::UnknownNode(NodeId(3))
+            .to_string()
+            .contains("node:3"));
         assert!(NetError::Io("boom".into()).to_string().contains("boom"));
     }
 }

@@ -11,7 +11,9 @@ use std::time::Duration;
 
 fn contract(transport: Arc<dyn Transport>, label: &str) {
     // Registration uniqueness.
-    let a = transport.register(NodeId(1)).unwrap_or_else(|e| panic!("{label}: {e}"));
+    let a = transport
+        .register(NodeId(1))
+        .unwrap_or_else(|e| panic!("{label}: {e}"));
     assert!(matches!(
         transport.register(NodeId(1)),
         Err(NetError::AlreadyRegistered(_))
@@ -21,7 +23,11 @@ fn contract(transport: Arc<dyn Transport>, label: &str) {
 
     // Point-to-point delivery with sender identity.
     transport
-        .send(Envelope::new(NodeId(1), NodeId(2), Bytes::from_static(b"m1")))
+        .send(Envelope::new(
+            NodeId(1),
+            NodeId(2),
+            Bytes::from_static(b"m1"),
+        ))
         .unwrap();
     let got = b.recv_timeout(Duration::from_secs(5)).unwrap();
     assert_eq!(got.from, NodeId(1));
@@ -32,11 +38,19 @@ fn contract(transport: Arc<dyn Transport>, label: &str) {
     // require it but group relays benefit).
     for i in 0..50u8 {
         transport
-            .send(Envelope::new(NodeId(1), NodeId(2), Bytes::copy_from_slice(&[i])))
+            .send(Envelope::new(
+                NodeId(1),
+                NodeId(2),
+                Bytes::copy_from_slice(&[i]),
+            ))
             .unwrap();
     }
     for i in 0..50u8 {
-        assert_eq!(b.recv_timeout(Duration::from_secs(5)).unwrap().payload[0], i, "{label}");
+        assert_eq!(
+            b.recv_timeout(Duration::from_secs(5)).unwrap().payload[0],
+            i,
+            "{label}"
+        );
     }
 
     // Unknown destinations fail fast.
@@ -53,7 +67,11 @@ fn contract(transport: Arc<dyn Transport>, label: &str) {
         .is_err());
     let b2 = transport.register(NodeId(2)).unwrap();
     transport
-        .send(Envelope::new(NodeId(1), NodeId(2), Bytes::from_static(b"back")))
+        .send(Envelope::new(
+            NodeId(1),
+            NodeId(2),
+            Bytes::from_static(b"back"),
+        ))
         .unwrap();
     assert_eq!(
         b2.recv_timeout(Duration::from_secs(5)).unwrap().payload,
@@ -81,7 +99,7 @@ fn rex_over(transport: Arc<dyn Transport>, label: &str) {
     server.set_handler(Arc::new(|req| {
         let mut reply = req.body.to_vec();
         reply.reverse();
-        Bytes::from(reply)
+        odp_wire::PooledBuf::from_slice(&reply)
     }));
     for payload in [&b"abc"[..], &b""[..], &[0u8; 4096][..]] {
         let reply = client
@@ -89,7 +107,7 @@ fn rex_over(transport: Arc<dyn Transport>, label: &str) {
                 NodeId(20),
                 InterfaceId(1),
                 "rev",
-                Bytes::copy_from_slice(payload),
+                payload,
                 CallQos::with_deadline(Duration::from_secs(5)),
             )
             .unwrap_or_else(|e| panic!("{label}: {e}"));
@@ -127,18 +145,18 @@ fn at_most_once_across_seeds() {
         let h = Arc::clone(&hits);
         server.set_handler(Arc::new(move |req| {
             h.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-            req.body
+            odp_wire::PooledBuf::from_slice(&req.body)
         }));
         let qos = CallQos {
             deadline: Duration::from_secs(20),
             retry_interval: Duration::from_millis(5),
         };
         for i in 0..20u64 {
-            let body = Bytes::copy_from_slice(&i.to_be_bytes());
+            let body = i.to_be_bytes();
             let reply = client
-                .call(NodeId(2), InterfaceId(1), "echo", body.clone(), qos)
+                .call(NodeId(2), InterfaceId(1), "echo", &body, qos)
                 .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
-            assert_eq!(reply, body);
+            assert_eq!(reply, Bytes::copy_from_slice(&body));
         }
         assert_eq!(
             hits.load(std::sync::atomic::Ordering::SeqCst),

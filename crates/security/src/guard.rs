@@ -9,8 +9,10 @@
 //! write no checking code.
 
 use crate::secret::{SecretStore, Token, AUTH_KEY};
-use odp_core::{terminations, CallCtx, CallRequest, ClientLayer, ClientNext, InvokeError, Outcome,
-    ServerLayer, ServerNext};
+use odp_core::{
+    terminations, CallCtx, CallRequest, ClientLayer, ClientNext, InvokeError, Outcome, ServerLayer,
+    ServerNext,
+};
 use odp_wire::Value;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -171,10 +173,7 @@ impl ClientLayer for AuthLayer {
             .store
             .mint(&self.server_principal, req.target.iface, &req.op, &req.args)
             .ok_or_else(|| {
-                InvokeError::Denied(format!(
-                    "no secret shared with `{}`",
-                    self.server_principal
-                ))
+                InvokeError::Denied(format!("no secret shared with `{}`", self.server_principal))
             })?;
         req.annotations.insert(AUTH_KEY.to_owned(), token.encode());
         next.invoke(req)

@@ -94,8 +94,7 @@ pub fn mac(
 ) -> u64 {
     // Bind the tag to the exact marshalled arguments: integrity.
     let args_bytes = odp_wire::marshal(args);
-    let mut message =
-        Vec::with_capacity(principal.len() + op.len() + 24 + args_bytes.len());
+    let mut message = Vec::with_capacity(principal.len() + op.len() + 24 + args_bytes.len());
     message.extend_from_slice(principal.as_bytes());
     message.push(0);
     message.extend_from_slice(&iface.raw().to_le_bytes());
@@ -146,13 +145,7 @@ impl SecretStore {
     ///
     /// Returns `None` if no secret is shared with `peer`.
     #[must_use]
-    pub fn mint(
-        &self,
-        peer: &str,
-        iface: InterfaceId,
-        op: &str,
-        args: &[Value],
-    ) -> Option<Token> {
+    pub fn mint(&self, peer: &str, iface: InterfaceId, op: &str, args: &[Value]) -> Option<Token> {
         let secret = self.secret_for(peer)?;
         let nonce = self.next_nonce.fetch_add(1, Ordering::Relaxed);
         let tag = mac(secret, &self.me, iface, op, args, nonce);
@@ -165,13 +158,7 @@ impl SecretStore {
 
     /// Verifies a token presented *to* this principal for an invocation.
     #[must_use]
-    pub fn verify(
-        &self,
-        token: &Token,
-        iface: InterfaceId,
-        op: &str,
-        args: &[Value],
-    ) -> bool {
+    pub fn verify(&self, token: &Token, iface: InterfaceId, op: &str, args: &[Value]) -> bool {
         let Some(secret) = self.secret_for(&token.principal) else {
             return false;
         };

@@ -2,9 +2,7 @@
 //! integrity, replay refusal, and policy enforcement, all from declarative
 //! statements.
 
-use odp_core::{
-    CallCtx, ExportConfig, FnServant, InvokeError, Outcome, Servant, TransparencyPolicy, World,
-};
+use odp_core::{ExportConfig, FnServant, InvokeError, Outcome, Servant, TransparencyPolicy, World};
 use odp_security::secret::establish;
 use odp_security::{AuthLayer, Guard, SecretStore, SecurityPolicy};
 use odp_types::signature::{InterfaceTypeBuilder, OutcomeSig};
@@ -66,9 +64,11 @@ fn rig() -> Rig {
 }
 
 fn bind_as(rig: &Rig, store: &Arc<SecretStore>) -> odp_core::ClientBinding {
-    let policy = TransparencyPolicy::default()
-        .with_layer(AuthLayer::new(Arc::clone(store), "vault"));
-    rig.world.capsule(1).bind_with(rig.vault_ref.clone(), policy)
+    let policy =
+        TransparencyPolicy::default().with_layer(AuthLayer::new(Arc::clone(store), "vault"));
+    rig.world
+        .capsule(1)
+        .bind_with(rig.vault_ref.clone(), policy)
 }
 
 #[test]
@@ -100,8 +100,13 @@ fn policy_limits_operations_per_principal() {
     // Mallory may read…
     assert!(binding.interrogate("read", vec![]).is_ok());
     // …but not write, despite valid authentication.
-    let err = binding.interrogate("write", vec![Value::Int(0)]).unwrap_err();
-    assert!(matches!(err, InvokeError::Denied(ref why) if why.contains("policy")), "{err:?}");
+    let err = binding
+        .interrogate("write", vec![Value::Int(0)])
+        .unwrap_err();
+    assert!(
+        matches!(err, InvokeError::Denied(ref why) if why.contains("policy")),
+        "{err:?}"
+    );
 }
 
 #[test]
@@ -111,7 +116,10 @@ fn unknown_principal_denied() {
     // Eve shares no secret with the vault: minting fails client-side.
     let binding = bind_as(&r, &eve);
     let err = binding.interrogate("read", vec![]).unwrap_err();
-    assert!(matches!(err, InvokeError::Denied(ref why) if why.contains("no secret")), "{err:?}");
+    assert!(
+        matches!(err, InvokeError::Denied(ref why) if why.contains("no secret")),
+        "{err:?}"
+    );
 }
 
 #[test]
@@ -129,7 +137,10 @@ fn forged_tag_denied() {
     let err = binding
         .interrogate_annotated("read", vec![], ann)
         .unwrap_err();
-    assert!(matches!(err, InvokeError::Denied(ref why) if why.contains("tag")), "{err:?}");
+    assert!(
+        matches!(err, InvokeError::Denied(ref why) if why.contains("tag")),
+        "{err:?}"
+    );
 }
 
 #[test]
@@ -149,7 +160,10 @@ fn replayed_credentials_denied() {
     let err = binding
         .interrogate_annotated("read", vec![], ann)
         .unwrap_err();
-    assert!(matches!(err, InvokeError::Denied(ref why) if why.contains("replay")), "{err:?}");
+    assert!(
+        matches!(err, InvokeError::Denied(ref why) if why.contains("replay")),
+        "{err:?}"
+    );
 }
 
 #[test]

@@ -3,7 +3,9 @@
 //! transparent activation), end to end over the simulated network.
 
 use odp_core::{CallCtx, ExportConfig, InvokeError, Outcome, Servant, World};
-use odp_storage::{recover, CheckpointPolicy, LoggingLayer, Passivator, StableRepository, WriteAheadLog};
+use odp_storage::{
+    recover, CheckpointPolicy, LoggingLayer, Passivator, StableRepository, WriteAheadLog,
+};
 use odp_types::signature::{InterfaceTypeBuilder, OutcomeSig};
 use odp_types::{InterfaceType, TypeSpec};
 use odp_wire::Value;
@@ -17,7 +19,11 @@ struct Counter {
 fn counter_type() -> InterfaceType {
     InterfaceTypeBuilder::new()
         .interrogation("read", vec![], vec![OutcomeSig::ok(vec![TypeSpec::Int])])
-        .interrogation("add", vec![TypeSpec::Int], vec![OutcomeSig::ok(vec![TypeSpec::Int])])
+        .interrogation(
+            "add",
+            vec![TypeSpec::Int],
+            vec![OutcomeSig::ok(vec![TypeSpec::Int])],
+        )
         .build()
 }
 
@@ -39,7 +45,9 @@ impl Servant for Counter {
             "read" => Outcome::ok(vec![Value::Int(self.value.load(Ordering::SeqCst))]),
             "add" => {
                 let n = args[0].as_int().unwrap_or(0);
-                Outcome::ok(vec![Value::Int(self.value.fetch_add(n, Ordering::SeqCst) + n)])
+                Outcome::ok(vec![Value::Int(
+                    self.value.fetch_add(n, Ordering::SeqCst) + n,
+                )])
             }
             _ => Outcome::fail("no such op"),
         }
@@ -68,7 +76,9 @@ fn export_logged(
         &servant,
         Arc::clone(wal),
         Arc::clone(repo),
-        CheckpointPolicy { every_n_ops: every_n },
+        CheckpointPolicy {
+            every_n_ops: every_n,
+        },
         Arc::new(|op| op == "add"),
     );
     let r = world.capsule(capsule).export_with(
@@ -105,7 +115,7 @@ fn crash_recovery_reinstates_exact_state() {
         &repo,
         &wal,
         ExportConfig::default(),
-    0,
+        0,
     )
     .unwrap();
     assert_eq!(replayed, 5);
@@ -120,7 +130,13 @@ fn crash_recovery_reinstates_exact_state() {
     let out = client.interrogate("read", vec![]).unwrap();
     assert_eq!(out.int(), Some(25), "recovered state differs");
     // And keeps working.
-    assert_eq!(client.interrogate("add", vec![Value::Int(1)]).unwrap().int(), Some(26));
+    assert_eq!(
+        client
+            .interrogate("add", vec![Value::Int(1)])
+            .unwrap()
+            .int(),
+        Some(26)
+    );
 }
 
 #[test]
@@ -141,7 +157,7 @@ fn recovery_without_checkpoint_replays_whole_log() {
         &repo,
         &wal,
         ExportConfig::default(),
-    0,
+        0,
     )
     .unwrap();
     assert_eq!(replayed, 7);

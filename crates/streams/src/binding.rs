@@ -15,7 +15,7 @@ use crate::endpoint::{Frame, Sink, StreamEndpoint};
 use crate::qos::{QosMonitor, QosReport};
 use crate::stream::FlowSpec;
 use bytes::Bytes;
-use odp_core::{Capsule, CallCtx, Outcome, Servant};
+use odp_core::{CallCtx, Capsule, Outcome, Servant};
 use odp_types::signature::{InterfaceTypeBuilder, OutcomeSig};
 use odp_types::{InterfaceType, NodeId, StreamId, TypeSpec};
 use odp_wire::{InterfaceRef, Value};
@@ -115,8 +115,15 @@ impl StreamBinding {
                     .name(format!("flow-{id}-{index}"))
                     .spawn(move || {
                         pace_flow(
-                            &producer, to, id, index as u32, &source, &running, &stopped,
-                            &rate_t, &produced_t,
+                            &producer,
+                            to,
+                            id,
+                            index as u32,
+                            &source,
+                            &running,
+                            &stopped,
+                            &rate_t,
+                            &produced_t,
                         );
                     })
                     .expect("spawn flow pacer"),

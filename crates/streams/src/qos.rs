@@ -87,11 +87,7 @@ impl QosMonitor {
         let elapsed = s.started.elapsed().as_secs_f64().max(1e-9);
         let jitter = Duration::from_micros(s.jitter_us as u64);
         let total = s.received + s.lost;
-        let loss_per_mille = if total == 0 {
-            0
-        } else {
-            (s.lost * 1000 / total) as u32
-        };
+        let loss_per_mille = (s.lost * 1000).checked_div(total).unwrap_or(0) as u32;
         QosReport {
             received: s.received,
             lost: s.lost,
@@ -105,7 +101,9 @@ impl QosMonitor {
 
 impl std::fmt::Debug for QosMonitor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("QosMonitor").field("qos", &self.qos).finish()
+        f.debug_struct("QosMonitor")
+            .field("qos", &self.qos)
+            .finish()
     }
 }
 

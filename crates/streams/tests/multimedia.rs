@@ -7,7 +7,6 @@ use odp_streams::binding::{synthetic_source, BindingTemplate, TemplateFlow};
 use odp_streams::endpoint::stream_node;
 use odp_streams::{FlowQos, FlowSpec, StreamBinding, StreamEndpoint};
 use odp_wire::Value;
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn wait_until(pred: impl Fn() -> bool, timeout: Duration) -> bool {
@@ -113,14 +112,21 @@ fn set_rate_throttles_the_flow() {
         world.capsule(0),
     );
     binding.start();
-    assert!(wait_until(|| binding.produced(0) > 30, Duration::from_secs(5)));
+    assert!(wait_until(
+        || binding.produced(0) > 30,
+        Duration::from_secs(5)
+    ));
     binding.set_rate(0, 20);
     std::thread::sleep(Duration::from_millis(100));
     let p1 = binding.produced(0);
     std::thread::sleep(Duration::from_millis(500));
     let p2 = binding.produced(0);
     // ~20 fps ⇒ about 10 frames in 500 ms; allow generous slack.
-    assert!(p2 - p1 <= 30, "rate change ignored: {} frames in 500ms", p2 - p1);
+    assert!(
+        p2 - p1 <= 30,
+        "rate change ignored: {} frames in 500ms",
+        p2 - p1
+    );
     binding.stop();
 }
 
@@ -144,7 +150,10 @@ fn qos_monitor_sees_loss_on_a_lossy_link() {
         world.capsule(0),
     );
     binding.start();
-    assert!(wait_until(|| binding.produced(0) >= 200, Duration::from_secs(10)));
+    assert!(wait_until(
+        || binding.produced(0) >= 200,
+        Duration::from_secs(10)
+    ));
     std::thread::sleep(Duration::from_millis(100));
     let report = binding.qos_report(0).unwrap();
     assert!(report.lost > 30, "{report:?}");
@@ -166,7 +175,10 @@ fn finite_sources_end_their_flow() {
         world.capsule(0),
     );
     binding.start();
-    assert!(wait_until(|| binding.produced(0) == 50, Duration::from_secs(5)));
+    assert!(wait_until(
+        || binding.produced(0) == 50,
+        Duration::from_secs(5)
+    ));
     std::thread::sleep(Duration::from_millis(50));
     assert_eq!(binding.produced(0), 50);
     let report = binding.qos_report(0).unwrap();
@@ -201,7 +213,9 @@ fn two_flow_binding_with_application_tap() {
     }
     assert_eq!(audio_seen, 40);
     assert!(wait_until(
-        || binding.qos_report(0).is_some_and(|r| r.received + r.lost >= 40),
+        || binding
+            .qos_report(0)
+            .is_some_and(|r| r.received + r.lost >= 40),
         Duration::from_secs(5)
     ));
     binding.stop();

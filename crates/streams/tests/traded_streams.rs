@@ -4,7 +4,9 @@
 //! a trader, imported by type, and driven by the importer.
 
 use odp_core::World;
-use odp_streams::binding::{control_interface_type, synthetic_source, BindingTemplate, TemplateFlow};
+use odp_streams::binding::{
+    control_interface_type, synthetic_source, BindingTemplate, TemplateFlow,
+};
 use odp_streams::{FlowQos, FlowSpec, StreamBinding, StreamEndpoint};
 use odp_trading::trader::{template, Trader};
 use odp_trading::PropertyConstraint;

@@ -154,7 +154,10 @@ impl TelemetryHub {
         let sampled = match sampling {
             0 => false,
             1 => true,
-            n => self.sample_tick.fetch_add(1, Ordering::Relaxed) % (n as u64) == 0,
+            n => self
+                .sample_tick
+                .fetch_add(1, Ordering::Relaxed)
+                .is_multiple_of(n as u64),
         };
         TraceContext {
             trace_id: self.next_trace.fetch_add(1, Ordering::Relaxed),

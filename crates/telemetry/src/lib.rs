@@ -18,6 +18,10 @@
 //!    switch, the sampling policy, bounded span/event rings, and the
 //!    merged timeline / trace-tree renderers used by the chaos harness
 //!    and the nucleus introspection interface.
+//! 4. [`WireStats`]: global relaxed counters for the zero-copy wire hot
+//!    path — encode-buffer pool hits/misses, borrowed-vs-copied decode
+//!    bytes, and transport write coalescing — so the marshalling
+//!    optimizations of §4.5 are observable (and assertable in tests).
 //!
 //! This crate sits at the bottom of the dependency graph (std +
 //! `parking_lot` only); nodes are identified by raw `u64` so it does not
@@ -29,7 +33,9 @@
 mod context;
 mod hub;
 mod metrics;
+mod wire_stats;
 
 pub use context::{current, set_current, CurrentGuard, TraceContext, FLAG_SAMPLED};
 pub use hub::{hub, EventRecord, Sampling, SpanRecord, TelemetryHub};
 pub use metrics::{LayerMetrics, MetricsRegistry, MetricsSnapshot};
+pub use wire_stats::{wire_stats, WireStats, WireStatsSnapshot};

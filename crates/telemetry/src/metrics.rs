@@ -89,7 +89,8 @@ impl LayerMetrics {
 
     /// Snapshot counters and derive p50/p95/p99 from the histogram.
     pub fn snapshot(&self, node: u64, layer: &'static str) -> MetricsSnapshot {
-        let counts: [u64; BUCKETS] = std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
+        let counts: [u64; BUCKETS] =
+            std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
         let samples: u64 = counts.iter().sum();
         MetricsSnapshot {
             node,

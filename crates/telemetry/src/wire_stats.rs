@@ -1,0 +1,151 @@
+//! Process-global wire hot-path counters: buffer-pool traffic, decode
+//! copy accounting and transport write coalescing.
+//!
+//! The zero-copy access path (odp-wire buffer pool, borrowed decode,
+//! coalesced TCP writes) is an *invisible* optimization — these counters
+//! make it observable, the same way `LayerMetrics` makes the transparency
+//! layers observable. Everything is a relaxed `AtomicU64`: recording
+//! costs one `fetch_add`, and a snapshot is a point-in-time copy suitable
+//! for delta assertions in tests ("this loop was pool-hits only").
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Global counters for the wire hot path. Obtain via [`wire_stats`].
+#[derive(Debug, Default)]
+pub struct WireStats {
+    /// Encode-buffer acquisitions served from the pool with enough
+    /// capacity (no heap allocation).
+    pool_hits: AtomicU64,
+    /// Encode-buffer acquisitions that had to allocate or grow.
+    pool_misses: AtomicU64,
+    /// Payload bytes (strings/blobs) decoded as zero-copy slices of the
+    /// arrival frame.
+    decode_borrowed_bytes: AtomicU64,
+    /// Payload bytes decoded by copying into owned storage (non-frame
+    /// decode path, or explicit `into_owned`).
+    decode_copied_bytes: AtomicU64,
+    /// Frames submitted to a coalescing transport writer.
+    tx_frames: AtomicU64,
+    /// Batches the transport writers flushed (`tx_frames / tx_batches`
+    /// is the achieved coalescing factor).
+    tx_batches: AtomicU64,
+}
+
+impl WireStats {
+    /// Record a pool acquisition served without allocating.
+    pub fn pool_hit(&self) {
+        self.pool_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a pool acquisition that allocated or grew a buffer.
+    pub fn pool_miss(&self) {
+        self.pool_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` payload bytes decoded without copying.
+    pub fn decode_borrowed(&self, n: u64) {
+        self.decode_borrowed_bytes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` payload bytes decoded by copy.
+    pub fn decode_copied(&self, n: u64) {
+        self.decode_copied_bytes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record one frame handed to a coalescing writer.
+    pub fn tx_frame(&self) {
+        self.tx_frames.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one coalesced batch written to a transport.
+    pub fn tx_batch(&self) {
+        self.tx_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of every counter.
+    #[must_use]
+    pub fn snapshot(&self) -> WireStatsSnapshot {
+        WireStatsSnapshot {
+            pool_hits: self.pool_hits.load(Ordering::Relaxed),
+            pool_misses: self.pool_misses.load(Ordering::Relaxed),
+            decode_borrowed_bytes: self.decode_borrowed_bytes.load(Ordering::Relaxed),
+            decode_copied_bytes: self.decode_copied_bytes.load(Ordering::Relaxed),
+            tx_frames: self.tx_frames.load(Ordering::Relaxed),
+            tx_batches: self.tx_batches.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time view of [`WireStats`]; subtract two to get a window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireStatsSnapshot {
+    /// Pool acquisitions served without allocating.
+    pub pool_hits: u64,
+    /// Pool acquisitions that allocated or grew.
+    pub pool_misses: u64,
+    /// Payload bytes decoded as frame slices.
+    pub decode_borrowed_bytes: u64,
+    /// Payload bytes decoded by copying.
+    pub decode_copied_bytes: u64,
+    /// Frames submitted to coalescing writers.
+    pub tx_frames: u64,
+    /// Coalesced batches flushed.
+    pub tx_batches: u64,
+}
+
+impl WireStatsSnapshot {
+    /// Counter deltas since `earlier` (saturating, in case of a
+    /// concurrent reset).
+    #[must_use]
+    pub fn since(&self, earlier: &WireStatsSnapshot) -> WireStatsSnapshot {
+        WireStatsSnapshot {
+            pool_hits: self.pool_hits.saturating_sub(earlier.pool_hits),
+            pool_misses: self.pool_misses.saturating_sub(earlier.pool_misses),
+            decode_borrowed_bytes: self
+                .decode_borrowed_bytes
+                .saturating_sub(earlier.decode_borrowed_bytes),
+            decode_copied_bytes: self
+                .decode_copied_bytes
+                .saturating_sub(earlier.decode_copied_bytes),
+            tx_frames: self.tx_frames.saturating_sub(earlier.tx_frames),
+            tx_batches: self.tx_batches.saturating_sub(earlier.tx_batches),
+        }
+    }
+}
+
+/// The process-global wire counters (one per nucleus, like [`crate::hub`]).
+pub fn wire_stats() -> &'static WireStats {
+    static STATS: OnceLock<WireStats> = OnceLock::new();
+    STATS.get_or_init(WireStats::default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_accumulate() {
+        let s = WireStats::default();
+        let before = s.snapshot();
+        s.pool_hit();
+        s.pool_hit();
+        s.pool_miss();
+        s.decode_borrowed(100);
+        s.decode_copied(7);
+        s.tx_frame();
+        s.tx_batch();
+        let d = s.snapshot().since(&before);
+        assert_eq!(d.pool_hits, 2);
+        assert_eq!(d.pool_misses, 1);
+        assert_eq!(d.decode_borrowed_bytes, 100);
+        assert_eq!(d.decode_copied_bytes, 7);
+        assert_eq!(d.tx_frames, 1);
+        assert_eq!(d.tx_batches, 1);
+    }
+
+    #[test]
+    fn global_is_shared() {
+        assert!(std::ptr::eq(wire_stats(), wire_stats()));
+    }
+}

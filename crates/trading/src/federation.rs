@@ -122,7 +122,7 @@ pub(crate) fn dispatch_import_path(trader: &Trader, args: &[Value]) -> Outcome {
         Ok(refs) => Outcome::ok(vec![Value::Seq(
             refs.into_iter().map(Value::Interface).collect(),
         )]),
-        Err(TraderError::UnknownLink(name)) => Outcome::new("unknown_link", vec![Value::Str(name)]),
+        Err(TraderError::UnknownLink(name)) => Outcome::new("unknown_link", vec![Value::str(name)]),
         Err(TraderError::HopLimit) => Outcome::new("hop_limit", vec![]),
         Err(e) => Outcome::fail(e.to_string()),
     }

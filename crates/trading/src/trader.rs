@@ -433,7 +433,7 @@ impl Servant for Trader {
                 Outcome::ok(vec![])
             }
             "list_links" => Outcome::ok(vec![Value::Seq(
-                self.links().into_iter().map(Value::Str).collect(),
+                self.links().into_iter().map(Value::str).collect(),
             )]),
             _ => Outcome::fail("unknown operation"),
         }
@@ -471,7 +471,9 @@ mod tests {
     }
 
     fn props(list: &[(&str, Value)]) -> BTreeMap<String, Value> {
-        list.iter().map(|(k, v)| ((*k).to_owned(), v.clone())).collect()
+        list.iter()
+            .map(|(k, v)| ((*k).to_owned(), v.clone()))
+            .collect()
     }
 
     #[test]
@@ -517,7 +519,10 @@ mod tests {
         assert_eq!(fast[0].service.iface, InterfaceId(2));
         let colour = trader.import(
             &iface(&["print"]),
-            &[PropertyConstraint::Equals("colour".into(), Value::Bool(true))],
+            &[PropertyConstraint::Equals(
+                "colour".into(),
+                Value::Bool(true),
+            )],
             10,
         );
         assert_eq!(colour.len(), 1);
@@ -535,7 +540,12 @@ mod tests {
             };
             trader.export_offer(service(i, &ops), props(&[]));
         }
-        for required in [iface(&["a"]), iface(&["a", "b"]), iface(&["c"]), iface(&["z"])] {
+        for required in [
+            iface(&["a"]),
+            iface(&["a", "b"]),
+            iface(&["c"]),
+            iface(&["z"]),
+        ] {
             let mut indexed: Vec<_> = trader
                 .import(&required, &[], usize::MAX)
                 .into_iter()
@@ -640,7 +650,11 @@ mod tests {
         assert_eq!(refs.len(), 1);
         let out = trader.dispatch(
             "import",
-            vec![template(iface(&["scan"])), Value::record::<[_; 0], String>([]), Value::Int(10)],
+            vec![
+                template(iface(&["scan"])),
+                Value::record::<[_; 0], String>([]),
+                Value::Int(10),
+            ],
             &ctx,
         );
         assert_eq!(out.termination, "none");

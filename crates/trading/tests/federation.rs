@@ -134,14 +134,19 @@ fn trading_via_the_adt_interface_remotely() {
     let world = World::builder().capsules(3).build();
     let trader = Arc::new(Trader::new());
     trader.attach_capsule(world.capsule(0));
-    let trader_ref = world.capsule(0).export(Arc::clone(&trader) as Arc<dyn Servant>);
+    let trader_ref = world
+        .capsule(0)
+        .export(Arc::clone(&trader) as Arc<dyn Servant>);
     let svc = service(&world, 0, &["compute"]);
     let client = world.capsule(1).bind(trader_ref);
     // Export an offer remotely.
     let out = client
         .interrogate(
             "export_offer",
-            vec![Value::Interface(svc.clone()), Value::record([("tier", Value::Int(1))])],
+            vec![
+                Value::Interface(svc.clone()),
+                Value::record([("tier", Value::Int(1))]),
+            ],
         )
         .unwrap();
     assert!(out.is_ok());

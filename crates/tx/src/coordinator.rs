@@ -120,14 +120,9 @@ impl TxnSystem {
         capsule: &Arc<Capsule>,
         node: NodeId,
     ) -> Result<ClientBinding, TxnError> {
-        let control = self
-            .controls
-            .read()
-            .get(&node)
-            .cloned()
-            .ok_or_else(|| {
-                TxnError::ParticipantUnreachable(node, "no control interface known".to_owned())
-            })?;
+        let control = self.controls.read().get(&node).cloned().ok_or_else(|| {
+            TxnError::ParticipantUnreachable(node, "no control interface known".to_owned())
+        })?;
         Ok(capsule.bind_with(control, TransparencyPolicy::default()))
     }
 }

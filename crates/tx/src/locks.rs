@@ -58,9 +58,7 @@ struct Entry {
 impl Entry {
     fn is_free_for(&self, txn: TxnId, mode: LockMode) -> bool {
         match mode {
-            LockMode::Shared => {
-                self.exclusive.is_none() || self.exclusive == Some(txn)
-            }
+            LockMode::Shared => self.exclusive.is_none() || self.exclusive == Some(txn),
             LockMode::Exclusive => {
                 let sole_sharer = self.sharers.is_empty()
                     || (self.sharers.len() == 1 && self.sharers.contains(&txn));
@@ -158,10 +156,7 @@ impl LockManager {
                 self.detector.clear_waits(txn);
                 return Err(LockError::Timeout);
             }
-            let timed_out = self
-                .changed
-                .wait_until(&mut table, deadline)
-                .timed_out();
+            let timed_out = self.changed.wait_until(&mut table, deadline).timed_out();
             self.detector.clear_waits(txn);
             if timed_out {
                 return Err(LockError::Timeout);

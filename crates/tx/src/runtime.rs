@@ -71,6 +71,13 @@ impl Access {
     }
 }
 
+/// Classifier mapping `(operation, args)` to the [`Access`] it needs.
+pub type ClassifyFn = Arc<dyn Fn(&str, &[Value]) -> Access + Send + Sync>;
+
+/// Predicate over the sequence of operations one transaction performed on
+/// an interface; `false` at prepare time vetoes the commit.
+pub type OrderingPredicate = Arc<dyn Fn(&[String]) -> bool + Send + Sync>;
+
 /// The declarative separation constraint of §5.2: "indicating which
 /// operation and argument combinations potentially interfere", plus an
 /// optional ordering predicate over the sequence of operations one
@@ -79,10 +86,10 @@ impl Access {
 #[derive(Clone)]
 pub struct SeparationConstraint {
     /// Classifies `(operation, args)` into an [`Access`].
-    pub classify: Arc<dyn Fn(&str, &[Value]) -> Access + Send + Sync>,
+    pub classify: ClassifyFn,
     /// Validated at prepare time against the transaction's operation
     /// sequence on this interface; `false` vetoes the commit.
-    pub ordering: Option<Arc<dyn Fn(&[String]) -> bool + Send + Sync>>,
+    pub ordering: Option<OrderingPredicate>,
 }
 
 impl SeparationConstraint {
@@ -115,7 +122,7 @@ impl SeparationConstraint {
 
     /// Adds an ordering predicate.
     #[must_use]
-    pub fn with_ordering(mut self, pred: Arc<dyn Fn(&[String]) -> bool + Send + Sync>) -> Self {
+    pub fn with_ordering(mut self, pred: OrderingPredicate) -> Self {
         self.ordering = Some(pred);
         self
     }
@@ -140,7 +147,7 @@ struct TxnResources {
     /// Operation log per interface, for ordering predicates.
     oplog: HashMap<InterfaceId, Vec<String>>,
     /// Ordering predicates to check at prepare.
-    ordering: HashMap<InterfaceId, Arc<dyn Fn(&[String]) -> bool + Send + Sync>>,
+    ordering: HashMap<InterfaceId, OrderingPredicate>,
     prepared: bool,
 }
 
@@ -270,7 +277,9 @@ impl ConcurrencyControl {
             }
             res.oplog.entry(ctx.iface).or_default().push(op.to_owned());
             if let Some(pred) = &self.constraint.ordering {
-                res.ordering.entry(ctx.iface).or_insert_with(|| Arc::clone(pred));
+                res.ordering
+                    .entry(ctx.iface)
+                    .or_insert_with(|| Arc::clone(pred));
             }
         }
         Ok(next.dispatch(ctx, op, args))
@@ -294,10 +303,7 @@ impl ServerLayer for ConcurrencyControl {
                     // no-op here.
                     self.runtime.conflicts.fetch_add(1, Ordering::Relaxed);
                     self.runtime.abort(txn);
-                    Outcome::engineering(
-                        terminations::ABORTED,
-                        vec![Value::Str(e.to_string())],
-                    )
+                    Outcome::engineering(terminations::ABORTED, vec![Value::str(e.to_string())])
                 }
             },
             None => {
@@ -312,10 +318,7 @@ impl ServerLayer for ConcurrencyControl {
                     Err(e) => {
                         self.runtime.conflicts.fetch_add(1, Ordering::Relaxed);
                         self.runtime.abort(txn);
-                        Outcome::engineering(
-                            terminations::ABORTED,
-                            vec![Value::Str(e.to_string())],
-                        )
+                        Outcome::engineering(terminations::ABORTED, vec![Value::str(e.to_string())])
                     }
                 }
             }
@@ -346,8 +349,16 @@ pub fn control_interface_type() -> InterfaceType {
             vec![TypeSpec::Int],
             vec![OutcomeSig::ok(vec![TypeSpec::Bool])],
         )
-        .interrogation(control_ops::COMMIT, vec![TypeSpec::Int], vec![OutcomeSig::ok(vec![])])
-        .interrogation(control_ops::ABORT, vec![TypeSpec::Int], vec![OutcomeSig::ok(vec![])])
+        .interrogation(
+            control_ops::COMMIT,
+            vec![TypeSpec::Int],
+            vec![OutcomeSig::ok(vec![])],
+        )
+        .interrogation(
+            control_ops::ABORT,
+            vec![TypeSpec::Int],
+            vec![OutcomeSig::ok(vec![])],
+        )
         .build()
 }
 

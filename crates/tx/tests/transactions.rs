@@ -1,6 +1,6 @@
 //! Integration tests: ACID transactions over distributed bank accounts.
 
-use odp_core::{CallCtx, ExportConfig, Outcome, Servant, TransparencyPolicy, World};
+use odp_core::{CallCtx, ExportConfig, Outcome, Servant, World};
 use odp_tx::{SeparationConstraint, Txn, TxnError, TxnSystem};
 use odp_types::signature::{InterfaceTypeBuilder, OutcomeSig};
 use odp_types::{InterfaceType, TypeSpec};
@@ -16,7 +16,11 @@ struct Account {
 fn account_type() -> InterfaceType {
     InterfaceTypeBuilder::new()
         .interrogation("balance", vec![], vec![OutcomeSig::ok(vec![TypeSpec::Int])])
-        .interrogation("deposit", vec![TypeSpec::Int], vec![OutcomeSig::ok(vec![TypeSpec::Int])])
+        .interrogation(
+            "deposit",
+            vec![TypeSpec::Int],
+            vec![OutcomeSig::ok(vec![TypeSpec::Int])],
+        )
         .interrogation(
             "withdraw",
             vec![TypeSpec::Int],
@@ -69,7 +73,8 @@ impl Servant for Account {
 
     fn restore(&self, snapshot: &[u8]) -> Result<(), String> {
         let arr: [u8; 8] = snapshot.try_into().map_err(|_| "bad snapshot")?;
-        self.balance.store(i64::from_be_bytes(arr), Ordering::SeqCst);
+        self.balance
+            .store(i64::from_be_bytes(arr), Ordering::SeqCst);
         Ok(())
     }
 }
@@ -206,7 +211,8 @@ fn deadlock_is_broken_not_hung() {
     let t = std::thread::spawn(move || {
         let client = b2.world.capsule(2);
         let bob = client.bind(b2.bob.clone());
-        txn1.call(&bob, "deposit", vec![Value::Int(1)]).map(|_| txn1)
+        txn1.call(&bob, "deposit", vec![Value::Int(1)])
+            .map(|_| txn1)
     });
     let r2 = txn2.call(&alice, "deposit", vec![Value::Int(1)]);
     let r1 = t.join().unwrap();
@@ -222,7 +228,10 @@ fn deadlock_is_broken_not_hung() {
     std::thread::sleep(Duration::from_millis(50));
     let total = b.alice_servant.balance.load(Ordering::SeqCst)
         + b.bob_servant.balance.load(Ordering::SeqCst);
-    assert_eq!(total, 200, "money created or destroyed by deadlock handling");
+    assert_eq!(
+        total, 200,
+        "money created or destroyed by deadlock handling"
+    );
 }
 
 #[test]
@@ -279,17 +288,22 @@ fn ordering_predicate_vetoes_commit() {
     let constraint = SeparationConstraint::readers(&["balance"]).with_ordering(Arc::new(|ops| {
         ops.iter().filter(|o| o.as_str() == "withdraw").count() <= 1
     }));
-    let r = world.capsule(0).export_with(
-        Arc::clone(&acct) as Arc<dyn Servant>,
-        ExportConfig {
-            layers: vec![rt.concurrency_layer(&(Arc::clone(&acct) as Arc<dyn Servant>), constraint)],
-            ..ExportConfig::default()
-        },
-    );
+    let r =
+        world.capsule(0).export_with(
+            Arc::clone(&acct) as Arc<dyn Servant>,
+            ExportConfig {
+                layers: vec![
+                    rt.concurrency_layer(&(Arc::clone(&acct) as Arc<dyn Servant>), constraint)
+                ],
+                ..ExportConfig::default()
+            },
+        );
     let binding = world.capsule(1).bind(r);
     let txn = system.begin(world.capsule(1));
-    txn.call(&binding, "withdraw", vec![Value::Int(10)]).unwrap();
-    txn.call(&binding, "withdraw", vec![Value::Int(10)]).unwrap();
+    txn.call(&binding, "withdraw", vec![Value::Int(10)])
+        .unwrap();
+    txn.call(&binding, "withdraw", vec![Value::Int(10)])
+        .unwrap();
     let err = txn.commit().unwrap_err();
     assert!(matches!(err, TxnError::VoteNo(_)), "{err:?}");
     // The veto aborted the transaction: state restored.
@@ -308,7 +322,9 @@ fn non_transactional_calls_serialize_via_autocommit() {
     // And they conflict correctly with real transactions.
     let txn = b.system.begin(b.world.capsule(2));
     txn.call(&alice, "withdraw", vec![Value::Int(5)]).unwrap();
-    let err = alice.interrogate("deposit", vec![Value::Int(1)]).unwrap_err();
+    let err = alice
+        .interrogate("deposit", vec![Value::Int(1)])
+        .unwrap_err();
     assert!(matches!(err, odp_core::InvokeError::Aborted(_)), "{err:?}");
     txn.commit().unwrap();
     assert_eq!(b.alice_servant.balance.load(Ordering::SeqCst), 105);

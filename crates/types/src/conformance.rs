@@ -137,13 +137,17 @@ impl std::error::Error for ConformanceError {}
 /// # Errors
 ///
 /// Returns the first [`ConformanceError`] found, in operation-name order.
-pub fn conforms(provided: &InterfaceType, required: &InterfaceType) -> Result<(), ConformanceError> {
+pub fn conforms(
+    provided: &InterfaceType,
+    required: &InterfaceType,
+) -> Result<(), ConformanceError> {
     for req_op in required.operations() {
-        let prov_op = provided
-            .operation(&req_op.name)
-            .ok_or_else(|| ConformanceError::MissingOperation {
-                operation: req_op.name.clone(),
-            })?;
+        let prov_op =
+            provided
+                .operation(&req_op.name)
+                .ok_or_else(|| ConformanceError::MissingOperation {
+                    operation: req_op.name.clone(),
+                })?;
         if prov_op.kind != req_op.kind {
             return Err(ConformanceError::KindMismatch {
                 operation: req_op.name.clone(),
@@ -247,7 +251,11 @@ mod tests {
 
     #[test]
     fn reflexive() {
-        let t = iface(&[("f", vec![TypeSpec::Int], vec![OutcomeSig::ok(vec![TypeSpec::Str])])]);
+        let t = iface(&[(
+            "f",
+            vec![TypeSpec::Int],
+            vec![OutcomeSig::ok(vec![TypeSpec::Str])],
+        )]);
         assert!(conforms(&t, &t).is_ok());
     }
 
@@ -277,7 +285,10 @@ mod tests {
         let required = iface(&[(
             "f",
             vec![],
-            vec![OutcomeSig::ok(vec![]), OutcomeSig::new("fail", vec![TypeSpec::Str])],
+            vec![
+                OutcomeSig::ok(vec![]),
+                OutcomeSig::new("fail", vec![TypeSpec::Str]),
+            ],
         )]);
         let provided = iface(&[("f", vec![], vec![OutcomeSig::ok(vec![])])]);
         assert!(conforms(&provided, &required).is_ok());
@@ -331,7 +342,9 @@ mod tests {
         let required = iface(&[(
             "get",
             vec![],
-            vec![OutcomeSig::ok(vec![TypeSpec::interface(inner_small.clone())])],
+            vec![OutcomeSig::ok(vec![TypeSpec::interface(
+                inner_small.clone(),
+            )])],
         )]);
         let provided = iface(&[(
             "get",

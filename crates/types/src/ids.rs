@@ -157,7 +157,10 @@ impl InterfaceIdAllocator {
     /// Allocates a fresh, system-wide unique interface identifier.
     pub fn allocate(&self) -> InterfaceId {
         let local = self.next.fetch_add(1, Ordering::Relaxed);
-        assert!(local < (1 << Self::LOCAL_BITS), "interface id space exhausted");
+        assert!(
+            local < (1 << Self::LOCAL_BITS),
+            "interface id space exhausted"
+        );
         InterfaceId((self.node.raw() << Self::LOCAL_BITS) | local)
     }
 

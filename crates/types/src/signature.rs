@@ -236,7 +236,11 @@ impl fmt::Debug for OperationSig {
             OperationKind::Interrogation => "op",
             OperationKind::Announcement => "ann",
         };
-        write!(f, "{kind} {}({:?}) -> {:?}", self.name, self.params, self.outcomes)
+        write!(
+            f,
+            "{kind} {}({:?}) -> {:?}",
+            self.name, self.params, self.outcomes
+        )
     }
 }
 
@@ -378,7 +382,8 @@ impl InterfaceTypeBuilder {
     /// Adds an announcement.
     #[must_use]
     pub fn announcement<S: Into<String>>(mut self, name: S, params: Vec<TypeSpec>) -> Self {
-        self.operations.push(OperationSig::announcement(name, params));
+        self.operations
+            .push(OperationSig::announcement(name, params));
         self
     }
 

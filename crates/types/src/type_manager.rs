@@ -53,7 +53,10 @@ impl fmt::Display for TypeManagerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TypeManagerError::Conflict { name } => {
-                write!(f, "type name `{name}` already registered with a different signature")
+                write!(
+                    f,
+                    "type name `{name}` already registered with a different signature"
+                )
             }
             TypeManagerError::Unknown { name } => write!(f, "unknown type name `{name}`"),
             TypeManagerError::NotConformant(e) => write!(f, "signatures do not conform: {e}"),
@@ -124,9 +127,11 @@ impl TypeManager {
     ///
     /// Returns [`TypeManagerError::Unknown`] if the name is not registered.
     pub fn lookup(&self, name: &str) -> Result<&InterfaceType, TypeManagerError> {
-        self.names.get(name).ok_or_else(|| TypeManagerError::Unknown {
-            name: name.to_owned(),
-        })
+        self.names
+            .get(name)
+            .ok_or_else(|| TypeManagerError::Unknown {
+                name: name.to_owned(),
+            })
     }
 
     /// Number of registered names.

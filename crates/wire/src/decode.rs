@@ -13,7 +13,7 @@
 
 use crate::encode::{spec_tag, tag, unzigzag};
 use crate::ifref::InterfaceRef;
-use crate::value::Value;
+use crate::value::{Value, WireStr};
 use odp_types::{
     GroupId, InterfaceId, InterfaceType, NodeId, OperationKind, OperationSig, OutcomeSig,
     ProtocolId, TypeSpec,
@@ -73,17 +73,39 @@ impl fmt::Display for DecodeError {
 impl std::error::Error for DecodeError {}
 
 /// A bounds-checked read cursor over a byte slice.
+///
+/// A cursor created with [`Cursor::new`] copies payloads out (owned
+/// decode); one created with [`Cursor::for_frame`] additionally knows
+/// the refcounted arrival frame the slice belongs to, and decodes
+/// string/bytes payloads as zero-copy slices of that frame instead.
 #[derive(Debug)]
 pub struct Cursor<'a> {
     data: &'a [u8],
     pos: usize,
+    frame: Option<&'a bytes::Bytes>,
 }
 
 impl<'a> Cursor<'a> {
     /// Creates a cursor at the start of `data`.
     #[must_use]
     pub fn new(data: &'a [u8]) -> Self {
-        Self { data, pos: 0 }
+        Self {
+            data,
+            pos: 0,
+            frame: None,
+        }
+    }
+
+    /// Creates a cursor over a refcounted arrival frame. String and
+    /// bytes payloads decode as slices sharing the frame's buffer —
+    /// no copy, no allocation.
+    #[must_use]
+    pub fn for_frame(frame: &'a bytes::Bytes) -> Self {
+        Self {
+            data: frame,
+            pos: 0,
+            frame: Some(frame),
+        }
     }
 
     /// Bytes remaining.
@@ -174,6 +196,47 @@ impl<'a> Cursor<'a> {
         String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::InvalidUtf8)
     }
 
+    /// Reads a length-prefixed UTF-8 string as a *payload* value:
+    /// zero-copy (a slice of the arrival frame) on a frame-backed
+    /// cursor, an owned copy otherwise. Either way the bytes are
+    /// counted in [`odp_telemetry::WireStats`].
+    ///
+    /// # Errors
+    /// Truncation, overflow or [`DecodeError::InvalidUtf8`].
+    pub fn string_value(&mut self) -> Result<WireStr, DecodeError> {
+        let n = self.len_prefix()?;
+        let start = self.pos;
+        let raw = self.take(n)?;
+        if let Some(frame) = self.frame {
+            let shared = frame.slice(start..start + n);
+            let s = WireStr::from_utf8_shared(shared).map_err(|_| DecodeError::InvalidUtf8)?;
+            odp_telemetry::wire_stats().decode_borrowed(n as u64);
+            Ok(s)
+        } else {
+            let s = String::from_utf8(raw.to_vec()).map_err(|_| DecodeError::InvalidUtf8)?;
+            odp_telemetry::wire_stats().decode_copied(n as u64);
+            Ok(WireStr::from(s))
+        }
+    }
+
+    /// Reads a length-prefixed blob as a *payload* value: zero-copy on
+    /// a frame-backed cursor, an owned copy otherwise.
+    ///
+    /// # Errors
+    /// Truncation or overflow.
+    pub fn bytes_value(&mut self) -> Result<bytes::Bytes, DecodeError> {
+        let n = self.len_prefix()?;
+        let start = self.pos;
+        let raw = self.take(n)?;
+        if let Some(frame) = self.frame {
+            odp_telemetry::wire_stats().decode_borrowed(n as u64);
+            Ok(frame.slice(start..start + n))
+        } else {
+            odp_telemetry::wire_stats().decode_copied(n as u64);
+            Ok(bytes::Bytes::copy_from_slice(raw))
+        }
+    }
+
     /// Asserts the input is fully consumed.
     ///
     /// # Errors
@@ -209,11 +272,8 @@ pub fn decode_value(c: &mut Cursor<'_>, depth: usize) -> Result<Value, DecodeErr
             arr.copy_from_slice(bytes);
             Ok(Value::Float(f64::from_bits(u64::from_le_bytes(arr))))
         }
-        tag::STR => Ok(Value::Str(c.string()?)),
-        tag::BYTES => {
-            let n = c.len_prefix()?;
-            Ok(Value::Bytes(bytes::Bytes::copy_from_slice(c.take(n)?)))
-        }
+        tag::STR => Ok(Value::Str(c.string_value()?)),
+        tag::BYTES => Ok(Value::Bytes(c.bytes_value()?)),
         tag::SEQ => {
             let count = c.varint()?;
             let count = usize::try_from(count).map_err(|_| DecodeError::LengthOverflow(count))?;
@@ -292,7 +352,10 @@ pub fn decode_interface_type(c: &mut Cursor<'_>) -> Result<InterfaceType, Decode
     decode_interface_type_at(c, 0)
 }
 
-fn decode_interface_type_at(c: &mut Cursor<'_>, depth: usize) -> Result<InterfaceType, DecodeError> {
+fn decode_interface_type_at(
+    c: &mut Cursor<'_>,
+    depth: usize,
+) -> Result<InterfaceType, DecodeError> {
     if depth >= MAX_DEPTH {
         return Err(DecodeError::TooDeep);
     }
@@ -448,6 +511,27 @@ mod tests {
             let mut c = Cursor::new(&buf[..cut]);
             assert!(decode_value(&mut c, 0).is_err(), "cut at {cut} decoded");
         }
+    }
+
+    #[test]
+    fn frame_backed_decode_borrows_payloads() {
+        let mut buf = BytesMut::new();
+        encode_value(&mut buf, &Value::str("shared-payload"));
+        encode_value(&mut buf, &Value::bytes(vec![9u8; 32]));
+        let frame = buf.freeze();
+        let mut c = Cursor::for_frame(&frame);
+        match decode_value(&mut c, 0).unwrap() {
+            Value::Str(s) => {
+                assert!(s.is_shared(), "frame decode must alias, not copy");
+                assert_eq!(s.as_str(), "shared-payload");
+            }
+            other => panic!("expected Str, got {other:?}"),
+        }
+        match decode_value(&mut c, 0).unwrap() {
+            Value::Bytes(b) => assert_eq!(&b[..], &[9u8; 32]),
+            other => panic!("expected Bytes, got {other:?}"),
+        }
+        c.finish().unwrap();
     }
 
     #[test]

@@ -6,10 +6,14 @@
 //! full structural signature. Self-description is what lets a receiving
 //! domain type-check a payload it has never seen a schema for — the paper's
 //! "self-describing systems are more open-ended and scale better" (§6).
+//!
+//! Encoders write through the [`EncodeBuf`] sink so the same code fills a
+//! [`bytes::BytesMut`], a plain `Vec<u8>`, or a recycled
+//! [`crate::pool::PooledBuf`] from the encode-buffer pool; [`encoded_len`]
+//! is *exact*, so a pooled buffer sized by it never reallocates mid-encode.
 
 use crate::ifref::InterfaceRef;
 use crate::value::Value;
-use bytes::{BufMut, BytesMut};
 use odp_types::{InterfaceType, OperationKind, OperationSig, OutcomeSig, TypeSpec};
 
 /// Value tags. `u8` on the wire.
@@ -39,21 +43,58 @@ pub(crate) mod spec_tag {
     pub const ANY: u8 = 0x09;
 }
 
+/// Byte sink the encoder writes into.
+///
+/// Deliberately minimal (append-only, infallible) so it can be satisfied
+/// without `unsafe` by growable buffers of any provenance: fresh
+/// `BytesMut`s, plain `Vec<u8>`s, and pooled buffers alike.
+pub trait EncodeBuf {
+    /// Append one byte.
+    fn push_u8(&mut self, b: u8);
+    /// Append a slice.
+    fn push_slice(&mut self, s: &[u8]);
+}
+
+impl EncodeBuf for bytes::BytesMut {
+    fn push_u8(&mut self, b: u8) {
+        self.extend_from_slice(&[b]);
+    }
+    fn push_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+}
+
+impl EncodeBuf for Vec<u8> {
+    fn push_u8(&mut self, b: u8) {
+        self.push(b);
+    }
+    fn push_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+}
+
 /// Appends an unsigned LEB128 varint.
-pub fn put_varint(buf: &mut BytesMut, mut v: u64) {
+pub fn put_varint<B: EncodeBuf + ?Sized>(buf: &mut B, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
         if v == 0 {
-            buf.put_u8(byte);
+            buf.push_u8(byte);
             return;
         }
-        buf.put_u8(byte | 0x80);
+        buf.push_u8(byte | 0x80);
     }
 }
 
+/// Exact encoded size of an unsigned LEB128 varint.
+#[must_use]
+pub fn varint_len(v: u64) -> usize {
+    // 7 payload bits per byte; zero still takes one byte.
+    (64 - v.leading_zeros() as usize).div_ceil(7).max(1)
+}
+
 /// Appends a zigzag-encoded signed varint.
-pub fn put_signed(buf: &mut BytesMut, v: i64) {
+pub fn put_signed<B: EncodeBuf + ?Sized>(buf: &mut B, v: i64) {
     put_varint(buf, zigzag(v));
 }
 
@@ -69,45 +110,80 @@ pub fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
-fn put_str(buf: &mut BytesMut, s: &str) {
+/// Writes a length-prefixed string (no tag byte): the raw form used for
+/// record field names and signature identifiers.
+pub fn put_str<B: EncodeBuf + ?Sized>(buf: &mut B, s: &str) {
     put_varint(buf, s.len() as u64);
-    buf.extend_from_slice(s.as_bytes());
+    buf.push_slice(s.as_bytes());
+}
+
+/// Exact encoded size of [`put_str`]`(s)`.
+#[must_use]
+pub fn str_len(s: &str) -> usize {
+    varint_len(s.len() as u64) + s.len()
+}
+
+/// Writes a record header (tag byte + field count). The caller must follow
+/// with exactly `count` [`put_str`]`(name)` + [`encode_value`]`(value)`
+/// pairs; this lets hot paths stream a borrowed map straight into the sink
+/// without materializing a `Value::Record`.
+pub fn put_record_header<B: EncodeBuf + ?Sized>(buf: &mut B, count: usize) {
+    buf.push_u8(tag::RECORD);
+    put_varint(buf, count as u64);
+}
+
+/// Exact encoded size of [`put_record_header`]`(count)`.
+#[must_use]
+pub fn record_header_len(count: usize) -> usize {
+    1 + varint_len(count as u64)
+}
+
+/// Encodes a standalone string as a tagged `Str` value — the same bytes
+/// [`encode_value`] would emit for `Value::str(s)`, without constructing
+/// the intermediate [`Value`]. Hot encoders (outcome terminations, record
+/// builders) use this to avoid cloning strings they only borrow.
+pub fn encode_str_value<B: EncodeBuf + ?Sized>(buf: &mut B, s: &str) {
+    buf.push_u8(tag::STR);
+    put_str(buf, s);
+}
+
+/// Exact encoded size of [`encode_str_value`]`(s)`.
+#[must_use]
+pub fn str_value_len(s: &str) -> usize {
+    1 + str_len(s)
 }
 
 /// Encodes one [`Value`] (tag + body) into `buf`.
-pub fn encode_value(buf: &mut BytesMut, value: &Value) {
+pub fn encode_value<B: EncodeBuf + ?Sized>(buf: &mut B, value: &Value) {
     match value {
-        Value::Unit => buf.put_u8(tag::UNIT),
+        Value::Unit => buf.push_u8(tag::UNIT),
         Value::Bool(b) => {
-            buf.put_u8(tag::BOOL);
-            buf.put_u8(u8::from(*b));
+            buf.push_u8(tag::BOOL);
+            buf.push_u8(u8::from(*b));
         }
         Value::Int(i) => {
-            buf.put_u8(tag::INT);
+            buf.push_u8(tag::INT);
             put_signed(buf, *i);
         }
         Value::Float(x) => {
-            buf.put_u8(tag::FLOAT);
-            buf.put_u64_le(x.to_bits());
+            buf.push_u8(tag::FLOAT);
+            buf.push_slice(&x.to_bits().to_le_bytes());
         }
-        Value::Str(s) => {
-            buf.put_u8(tag::STR);
-            put_str(buf, s);
-        }
+        Value::Str(s) => encode_str_value(buf, s.as_str()),
         Value::Bytes(b) => {
-            buf.put_u8(tag::BYTES);
+            buf.push_u8(tag::BYTES);
             put_varint(buf, b.len() as u64);
-            buf.extend_from_slice(b);
+            buf.push_slice(b);
         }
         Value::Seq(items) => {
-            buf.put_u8(tag::SEQ);
+            buf.push_u8(tag::SEQ);
             put_varint(buf, items.len() as u64);
             for item in items {
                 encode_value(buf, item);
             }
         }
         Value::Record(fields) => {
-            buf.put_u8(tag::RECORD);
+            buf.push_u8(tag::RECORD);
             put_varint(buf, fields.len() as u64);
             for (name, v) in fields {
                 put_str(buf, name);
@@ -115,14 +191,14 @@ pub fn encode_value(buf: &mut BytesMut, value: &Value) {
             }
         }
         Value::Interface(r) => {
-            buf.put_u8(tag::IFREF);
+            buf.push_u8(tag::IFREF);
             encode_interface_ref(buf, r);
         }
     }
 }
 
 /// Encodes an [`InterfaceRef`] body (no tag).
-pub fn encode_interface_ref(buf: &mut BytesMut, r: &InterfaceRef) {
+pub fn encode_interface_ref<B: EncodeBuf + ?Sized>(buf: &mut B, r: &InterfaceRef) {
     put_varint(buf, r.iface.raw());
     put_varint(buf, r.home.raw());
     put_varint(buf, r.epoch);
@@ -132,23 +208,39 @@ pub fn encode_interface_ref(buf: &mut BytesMut, r: &InterfaceRef) {
     }
     match r.relocator {
         Some(n) => {
-            buf.put_u8(1);
+            buf.push_u8(1);
             put_varint(buf, n.raw());
         }
-        None => buf.put_u8(0),
+        None => buf.push_u8(0),
     }
     match r.group {
         Some(g) => {
-            buf.put_u8(1);
+            buf.push_u8(1);
             put_varint(buf, g.raw());
         }
-        None => buf.put_u8(0),
+        None => buf.push_u8(0),
     }
     encode_interface_type(buf, &r.ty);
 }
 
+/// Exact encoded size of [`encode_interface_ref`]`(r)`.
+#[must_use]
+pub fn interface_ref_len(r: &InterfaceRef) -> usize {
+    varint_len(r.iface.raw())
+        + varint_len(r.home.raw())
+        + varint_len(r.epoch)
+        + varint_len(r.protocols.len() as u64)
+        + r.protocols
+            .iter()
+            .map(|p| varint_len(p.raw()))
+            .sum::<usize>()
+        + r.relocator.map_or(1, |n| 1 + varint_len(n.raw()))
+        + r.group.map_or(1, |g| 1 + varint_len(g.raw()))
+        + interface_type_len(&r.ty)
+}
+
 /// Encodes an [`InterfaceType`] (operation list).
-pub fn encode_interface_type(buf: &mut BytesMut, ty: &InterfaceType) {
+pub fn encode_interface_type<B: EncodeBuf + ?Sized>(buf: &mut B, ty: &InterfaceType) {
     let ops = ty.operations();
     put_varint(buf, ops.len() as u64);
     for op in ops {
@@ -156,9 +248,16 @@ pub fn encode_interface_type(buf: &mut BytesMut, ty: &InterfaceType) {
     }
 }
 
-fn encode_operation(buf: &mut BytesMut, op: &OperationSig) {
+/// Exact encoded size of [`encode_interface_type`]`(ty)`.
+#[must_use]
+pub fn interface_type_len(ty: &InterfaceType) -> usize {
+    let ops = ty.operations();
+    varint_len(ops.len() as u64) + ops.iter().map(operation_len).sum::<usize>()
+}
+
+fn encode_operation<B: EncodeBuf + ?Sized>(buf: &mut B, op: &OperationSig) {
     put_str(buf, &op.name);
-    buf.put_u8(match op.kind {
+    buf.push_u8(match op.kind {
         OperationKind::Interrogation => 0,
         OperationKind::Announcement => 1,
     });
@@ -172,7 +271,16 @@ fn encode_operation(buf: &mut BytesMut, op: &OperationSig) {
     }
 }
 
-fn encode_outcome(buf: &mut BytesMut, o: &OutcomeSig) {
+fn operation_len(op: &OperationSig) -> usize {
+    str_len(&op.name)
+        + 1
+        + varint_len(op.params.len() as u64)
+        + op.params.iter().map(type_spec_len).sum::<usize>()
+        + varint_len(op.outcomes.len() as u64)
+        + op.outcomes.iter().map(outcome_len).sum::<usize>()
+}
+
+fn encode_outcome<B: EncodeBuf + ?Sized>(buf: &mut B, o: &OutcomeSig) {
     put_str(buf, &o.name);
     put_varint(buf, o.results.len() as u64);
     for r in &o.results {
@@ -180,21 +288,27 @@ fn encode_outcome(buf: &mut BytesMut, o: &OutcomeSig) {
     }
 }
 
+fn outcome_len(o: &OutcomeSig) -> usize {
+    str_len(&o.name)
+        + varint_len(o.results.len() as u64)
+        + o.results.iter().map(type_spec_len).sum::<usize>()
+}
+
 /// Encodes a [`TypeSpec`] (tag + body).
-pub fn encode_type_spec(buf: &mut BytesMut, spec: &TypeSpec) {
+pub fn encode_type_spec<B: EncodeBuf + ?Sized>(buf: &mut B, spec: &TypeSpec) {
     match spec {
-        TypeSpec::Unit => buf.put_u8(spec_tag::UNIT),
-        TypeSpec::Bool => buf.put_u8(spec_tag::BOOL),
-        TypeSpec::Int => buf.put_u8(spec_tag::INT),
-        TypeSpec::Float => buf.put_u8(spec_tag::FLOAT),
-        TypeSpec::Str => buf.put_u8(spec_tag::STR),
-        TypeSpec::Bytes => buf.put_u8(spec_tag::BYTES),
+        TypeSpec::Unit => buf.push_u8(spec_tag::UNIT),
+        TypeSpec::Bool => buf.push_u8(spec_tag::BOOL),
+        TypeSpec::Int => buf.push_u8(spec_tag::INT),
+        TypeSpec::Float => buf.push_u8(spec_tag::FLOAT),
+        TypeSpec::Str => buf.push_u8(spec_tag::STR),
+        TypeSpec::Bytes => buf.push_u8(spec_tag::BYTES),
         TypeSpec::Seq(elem) => {
-            buf.put_u8(spec_tag::SEQ);
+            buf.push_u8(spec_tag::SEQ);
             encode_type_spec(buf, elem);
         }
         TypeSpec::Record(fields) => {
-            buf.put_u8(spec_tag::RECORD);
+            buf.push_u8(spec_tag::RECORD);
             put_varint(buf, fields.len() as u64);
             for (n, t) in fields {
                 put_str(buf, n);
@@ -202,40 +316,66 @@ pub fn encode_type_spec(buf: &mut BytesMut, spec: &TypeSpec) {
             }
         }
         TypeSpec::Interface(ty) => {
-            buf.put_u8(spec_tag::INTERFACE);
+            buf.push_u8(spec_tag::INTERFACE);
             encode_interface_type(buf, ty);
         }
-        TypeSpec::Any => buf.put_u8(spec_tag::ANY),
+        TypeSpec::Any => buf.push_u8(spec_tag::ANY),
     }
 }
 
-/// Upper bound on the encoded size of a value (used for buffer
-/// pre-allocation; exact for everything except varints, which it
-/// over-estimates at their 10-byte maximum).
+/// Exact encoded size of [`encode_type_spec`]`(spec)`.
+#[must_use]
+pub fn type_spec_len(spec: &TypeSpec) -> usize {
+    match spec {
+        TypeSpec::Unit
+        | TypeSpec::Bool
+        | TypeSpec::Int
+        | TypeSpec::Float
+        | TypeSpec::Str
+        | TypeSpec::Bytes
+        | TypeSpec::Any => 1,
+        TypeSpec::Seq(elem) => 1 + type_spec_len(elem),
+        TypeSpec::Record(fields) => {
+            1 + varint_len(fields.len() as u64)
+                + fields
+                    .iter()
+                    .map(|(n, t)| str_len(n) + type_spec_len(t))
+                    .sum::<usize>()
+        }
+        TypeSpec::Interface(ty) => 1 + interface_type_len(ty),
+    }
+}
+
+/// Exact encoded size of a value (tag + body) — what [`encode_value`]
+/// will write, byte for byte. The encode-buffer pool sizes acquisitions
+/// with this, so a pooled encode never reallocates mid-write.
 #[must_use]
 pub fn encoded_len(value: &Value) -> usize {
     match value {
         Value::Unit => 1,
         Value::Bool(_) => 2,
-        Value::Int(_) => 11,
+        Value::Int(i) => 1 + varint_len(zigzag(*i)),
         Value::Float(_) => 9,
-        Value::Str(s) => 11 + s.len(),
-        Value::Bytes(b) => 11 + b.len(),
-        Value::Seq(items) => 11 + items.iter().map(encoded_len).sum::<usize>(),
-        Value::Record(fields) => {
-            11 + fields
-                .iter()
-                .map(|(n, v)| 10 + n.len() + encoded_len(v))
-                .sum::<usize>()
+        Value::Str(s) => str_value_len(s.as_str()),
+        Value::Bytes(b) => 1 + varint_len(b.len() as u64) + b.len(),
+        Value::Seq(items) => {
+            1 + varint_len(items.len() as u64) + items.iter().map(encoded_len).sum::<usize>()
         }
-        // Signatures dominate; estimate conservatively.
-        Value::Interface(r) => 64 + 32 * r.ty.operations().len(),
+        Value::Record(fields) => {
+            1 + varint_len(fields.len() as u64)
+                + fields
+                    .iter()
+                    .map(|(n, v)| str_len(n) + encoded_len(v))
+                    .sum::<usize>()
+        }
+        Value::Interface(r) => 1 + interface_ref_len(r),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::BytesMut;
 
     #[test]
     fn varint_boundaries() {
@@ -246,6 +386,7 @@ mod tests {
                 assert_eq!(buf.len(), 1);
             }
             assert!(buf.len() <= 10);
+            assert_eq!(buf.len(), varint_len(v), "varint_len({v})");
         }
     }
 
@@ -261,26 +402,63 @@ mod tests {
     }
 
     #[test]
-    fn encoded_len_is_an_upper_bound() {
+    fn encoded_len_is_exact() {
+        use crate::ifref::InterfaceRef;
+        use odp_types::{InterfaceId, NodeId};
+        let iref = InterfaceRef::new(
+            InterfaceId(700_000),
+            NodeId(3),
+            InterfaceType::new(vec![OperationSig {
+                name: "observe".into(),
+                kind: OperationKind::Interrogation,
+                params: vec![TypeSpec::Int, TypeSpec::seq(TypeSpec::Str)],
+                outcomes: vec![OutcomeSig::new("ok", vec![TypeSpec::Any])],
+            }]),
+        );
         let values = [
             Value::Unit,
             Value::Bool(true),
+            Value::Int(0),
             Value::Int(i64::MIN),
+            Value::Int(i64::MAX),
             Value::Float(std::f64::consts::PI),
+            Value::str(""),
             Value::str("hello world"),
             Value::bytes(vec![0u8; 100]),
             Value::from(vec![1i64, 2, 3]),
             Value::record([("a", Value::Int(1)), ("b", Value::str("x"))]),
+            Value::Interface(iref),
         ];
         for v in values {
             let mut buf = BytesMut::new();
             encode_value(&mut buf, &v);
-            assert!(
-                buf.len() <= encoded_len(&v),
-                "{v:?}: {} > {}",
+            assert_eq!(
+                buf.len(),
+                encoded_len(&v),
+                "{v:?}: encoded {} != predicted {}",
                 buf.len(),
                 encoded_len(&v)
             );
         }
+    }
+
+    #[test]
+    fn str_value_matches_encode_value() {
+        let mut via_value = BytesMut::new();
+        encode_value(&mut via_value, &Value::str("paper"));
+        let mut direct = BytesMut::new();
+        encode_str_value(&mut direct, "paper");
+        assert_eq!(&via_value[..], &direct[..]);
+        assert_eq!(direct.len(), str_value_len("paper"));
+    }
+
+    #[test]
+    fn vec_sink_matches_bytesmut_sink() {
+        let v = Value::record([("xs", Value::from(vec![1i64, 2]))]);
+        let mut a = BytesMut::new();
+        encode_value(&mut a, &v);
+        let mut b: Vec<u8> = Vec::new();
+        encode_value(&mut b, &v);
+        assert_eq!(&a[..], &b[..]);
     }
 }

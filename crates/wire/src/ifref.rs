@@ -115,7 +115,11 @@ impl InterfaceRef {
 
 impl fmt::Debug for InterfaceRef {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "InterfaceRef({} @ {} e{}", self.iface, self.home, self.epoch)?;
+        write!(
+            f,
+            "InterfaceRef({} @ {} e{}",
+            self.iface, self.home, self.epoch
+        )?;
         if let Some(g) = self.group {
             write!(f, " {g}")?;
         }

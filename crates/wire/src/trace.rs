@@ -9,12 +9,13 @@
 
 pub use odp_telemetry::TraceContext;
 
-use bytes::{Buf, Bytes, BytesMut};
+use crate::encode::EncodeBuf;
+use bytes::{Buf, Bytes};
 
 /// Append the fixed-layout trace context to an envelope under
-/// construction.
-pub fn put_trace(buf: &mut BytesMut, trace: &TraceContext) {
-    buf.extend_from_slice(&trace.to_bytes());
+/// construction (any [`EncodeBuf`] sink, including pooled buffers).
+pub fn put_trace<B: EncodeBuf + ?Sized>(buf: &mut B, trace: &TraceContext) {
+    buf.push_slice(&trace.to_bytes());
 }
 
 /// Consume and decode a trace context from the front of `buf`.
@@ -32,6 +33,7 @@ pub fn get_trace(buf: &mut Bytes) -> Option<TraceContext> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::BytesMut;
 
     #[test]
     fn roundtrip_through_envelope() {

@@ -136,13 +136,14 @@ fn check_at(value: &Value, spec: &TypeSpec, path: String) -> Result<(), TypeChec
             }
             Ok(())
         }
-        (TypeSpec::Interface(required), Value::Interface(r)) => conforms(&r.ty, required)
-            .map_err(|e| TypeCheckError::Mismatch {
+        (TypeSpec::Interface(required), Value::Interface(r)) => {
+            conforms(&r.ty, required).map_err(|e| TypeCheckError::Mismatch {
                 position: None,
                 path,
                 expected: format!("{required:?}"),
                 actual: format!("non-conformant reference: {e}"),
-            }),
+            })
+        }
         _ => Err(mismatch(&path, spec, value)),
     }
 }

@@ -13,6 +13,177 @@ use crate::ifref::InterfaceRef;
 use odp_types::{InterfaceType, TypeSpec};
 use std::fmt;
 
+/// A UTF-8 string that is either owned or a zero-copy slice of an
+/// arrival frame.
+///
+/// The borrowed decode path (§4.5: marshalled access must be cheap)
+/// produces `Shared` strings that alias the frame's refcounted buffer
+/// instead of copying; locally constructed values are `Owned`. The two
+/// representations are indistinguishable by content: equality, ordering
+/// and hashing all go through [`WireStr::as_str`], so an owned and a
+/// shared string with the same text are the same value.
+///
+/// Shared contents are validated as UTF-8 **at construction**
+/// ([`WireStr::from_utf8_shared`]) — the only constructor from raw
+/// bytes — which keeps every accessor infallible without `unsafe`.
+#[derive(Clone)]
+pub struct WireStr(StrRepr);
+
+#[derive(Clone)]
+enum StrRepr {
+    Owned(String),
+    Shared(bytes::Bytes),
+}
+
+impl WireStr {
+    /// Wrap refcounted frame bytes, validating UTF-8 once.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bytes back if they are not valid UTF-8.
+    pub fn from_utf8_shared(bytes: bytes::Bytes) -> Result<WireStr, bytes::Bytes> {
+        if std::str::from_utf8(&bytes).is_err() {
+            return Err(bytes);
+        }
+        Ok(WireStr(StrRepr::Shared(bytes)))
+    }
+
+    /// View as `&str`.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        match &self.0 {
+            StrRepr::Owned(s) => s,
+            // Validated at construction; an empty fallback keeps the
+            // accessor total without `unsafe` re-validation tricks.
+            StrRepr::Shared(b) => std::str::from_utf8(b).unwrap_or(""),
+        }
+    }
+
+    /// Convert into an owned `String`, copying only if shared.
+    #[must_use]
+    pub fn into_string(self) -> String {
+        match self.0 {
+            StrRepr::Owned(s) => s,
+            StrRepr::Shared(b) => {
+                odp_telemetry::wire_stats().decode_copied(b.len() as u64);
+                self_to_string(&b)
+            }
+        }
+    }
+
+    /// True when this string aliases an arrival frame rather than owning
+    /// its storage.
+    #[must_use]
+    pub fn is_shared(&self) -> bool {
+        matches!(self.0, StrRepr::Shared(_))
+    }
+
+    /// Length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.as_str().len()
+    }
+
+    /// True for the empty string.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.as_str().is_empty()
+    }
+}
+
+fn self_to_string(b: &bytes::Bytes) -> String {
+    String::from_utf8_lossy(b).into_owned()
+}
+
+impl Default for WireStr {
+    fn default() -> Self {
+        WireStr(StrRepr::Owned(String::new()))
+    }
+}
+
+impl std::ops::Deref for WireStr {
+    type Target = str;
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for WireStr {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl From<String> for WireStr {
+    fn from(s: String) -> Self {
+        WireStr(StrRepr::Owned(s))
+    }
+}
+
+impl From<&str> for WireStr {
+    fn from(s: &str) -> Self {
+        WireStr(StrRepr::Owned(s.to_owned()))
+    }
+}
+
+impl From<WireStr> for String {
+    fn from(s: WireStr) -> Self {
+        s.into_string()
+    }
+}
+
+impl PartialEq for WireStr {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+impl Eq for WireStr {}
+
+impl PartialEq<str> for WireStr {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+impl PartialEq<&str> for WireStr {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+impl PartialEq<String> for WireStr {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl PartialOrd for WireStr {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for WireStr {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl std::hash::Hash for WireStr {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_str().hash(state);
+    }
+}
+
+impl fmt::Debug for WireStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+impl fmt::Display for WireStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// A runtime value: one argument or result position of an invocation.
 #[derive(Clone, PartialEq)]
 pub enum Value {
@@ -26,7 +197,7 @@ pub enum Value {
     /// used as map keys after canonicalization.
     Float(f64),
     /// UTF-8 string.
-    Str(String),
+    Str(WireStr),
     /// Opaque bytes.
     Bytes(bytes::Bytes),
     /// Homogeneous-by-convention sequence (heterogeneity is representable
@@ -54,8 +225,29 @@ impl Value {
 
     /// Builds a string value.
     #[must_use]
-    pub fn str<S: Into<String>>(s: S) -> Self {
+    pub fn str<S: Into<WireStr>>(s: S) -> Self {
         Value::Str(s.into())
+    }
+
+    /// Recursively convert any frame-borrowed payloads (strings decoded
+    /// zero-copy from an arrival frame) into owned storage, releasing the
+    /// frame's refcounted buffer. Servants that *retain* decoded values
+    /// past the invocation should call this; values consumed within the
+    /// invocation can stay borrowed for free.
+    #[must_use]
+    pub fn into_owned(self) -> Value {
+        match self {
+            Value::Str(s) if s.is_shared() => Value::Str(WireStr::from(s.into_string())),
+            Value::Bytes(b) => Value::Bytes(b),
+            Value::Seq(items) => Value::Seq(items.into_iter().map(Value::into_owned).collect()),
+            Value::Record(fields) => Value::Record(
+                fields
+                    .into_iter()
+                    .map(|(n, v)| (n, v.into_owned()))
+                    .collect(),
+            ),
+            other => other,
+        }
     }
 
     /// Builds a bytes value from any byte source.
@@ -162,7 +354,7 @@ impl Value {
     #[must_use]
     pub fn as_str(&self) -> Option<&str> {
         match self {
-            Value::Str(s) => Some(s),
+            Value::Str(s) => Some(s.as_str()),
             _ => None,
         }
     }
@@ -223,7 +415,7 @@ impl std::hash::Hash for Value {
             Value::Bool(b) => b.hash(state),
             Value::Int(i) => i.hash(state),
             Value::Float(f) => f.to_bits().hash(state),
-            Value::Str(s) => s.hash(state),
+            Value::Str(s) => s.as_str().hash(state),
             Value::Bytes(b) => b.hash(state),
             Value::Seq(items) => items.hash(state),
             Value::Record(fields) => fields.hash(state),
@@ -281,12 +473,12 @@ impl From<f64> for Value {
 }
 impl From<&str> for Value {
     fn from(s: &str) -> Self {
-        Value::Str(s.to_owned())
+        Value::Str(WireStr::from(s))
     }
 }
 impl From<String> for Value {
     fn from(s: String) -> Self {
-        Value::Str(s)
+        Value::Str(WireStr::from(s))
     }
 }
 impl From<bytes::Bytes> for Value {
@@ -321,10 +513,7 @@ mod tests {
             Value::from(vec![1i64, 2]).type_spec(),
             TypeSpec::seq(TypeSpec::Int)
         );
-        assert_eq!(
-            Value::Seq(vec![]).type_spec(),
-            TypeSpec::seq(TypeSpec::Any)
-        );
+        assert_eq!(Value::Seq(vec![]).type_spec(), TypeSpec::seq(TypeSpec::Any));
         let rec = Value::record([("x", Value::Int(1)), ("s", Value::str("hi"))]);
         assert_eq!(
             rec.type_spec(),
@@ -344,7 +533,10 @@ mod tests {
     fn collect_and_map_refs() {
         let mut v = Value::record([
             ("a", Value::Interface(some_ref())),
-            ("b", Value::Seq(vec![Value::Interface(some_ref()), Value::Int(3)])),
+            (
+                "b",
+                Value::Seq(vec![Value::Interface(some_ref()), Value::Int(3)]),
+            ),
         ]);
         let mut refs = Vec::new();
         v.collect_refs(&mut refs);
@@ -373,6 +565,33 @@ mod tests {
         let v = Value::record([("n", Value::Int(3))]);
         assert_eq!(format!("{v:?}"), "{\"n\": 3}");
         assert_eq!(format!("{:?}", Value::bytes(vec![1u8, 2, 3])), "bytes[3]");
+    }
+
+    #[test]
+    fn wire_str_shared_and_owned_are_the_same_value() {
+        let shared = WireStr::from_utf8_shared(bytes::Bytes::from_static(b"hello")).unwrap();
+        let owned = WireStr::from("hello");
+        assert!(shared.is_shared());
+        assert!(!owned.is_shared());
+        assert_eq!(shared, owned);
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Value::Str(shared.clone()));
+        assert!(set.contains(&Value::Str(owned)), "hash must follow content");
+        assert_eq!(shared.into_string(), "hello");
+        assert!(WireStr::from_utf8_shared(bytes::Bytes::from_static(&[0xff, 0xfe])).is_err());
+    }
+
+    #[test]
+    fn into_owned_disowns_borrowed_strings() {
+        let shared = WireStr::from_utf8_shared(bytes::Bytes::from_static(b"payload")).unwrap();
+        let v = Value::record([("s", Value::Str(shared))]);
+        let owned = v.clone().into_owned();
+        assert_eq!(owned, v, "ownership conversion must not change the value");
+        match owned.field("s") {
+            Some(Value::Str(s)) => assert!(!s.is_shared()),
+            other => panic!("expected Str, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Counter-level proof of the zero-copy hot path.
+//!
+//! One test function on purpose: [`odp_telemetry::WireStats`] is a
+//! process-global, and parallel test threads would race on its deltas.
+//! Each section snapshots the counters, performs its workload, and
+//! asserts on the delta alone.
+
+use odp_telemetry::wire_stats;
+use odp_wire::{PooledBuf, Value};
+
+fn payload() -> Vec<Value> {
+    vec![
+        Value::str("a-string-payload-well-past-inline"),
+        Value::bytes(vec![0x5Au8; 512]),
+        Value::record([("k", Value::Int(7)), ("tag", Value::str("zero-copy"))]),
+    ]
+}
+
+#[test]
+fn pool_and_borrow_counters_tell_the_zero_copy_story() {
+    let values = payload();
+
+    // --- 1. Steady-state pooled encode is hits-only. -------------------
+    // Warm the thread-local pool first: the very first acquisitions are
+    // legitimate misses.
+    for _ in 0..4 {
+        drop(odp_wire::marshal_pooled(&values));
+    }
+    let before = wire_stats().snapshot();
+    for _ in 0..256 {
+        drop(odp_wire::marshal_pooled(&values));
+    }
+    let d = wire_stats().snapshot().since(&before);
+    assert_eq!(
+        d.pool_misses, 0,
+        "steady-state encode must never miss the pool"
+    );
+    assert_eq!(
+        d.pool_hits, 256,
+        "every steady-state acquire must be a recycled hit"
+    );
+
+    // --- 2. Frame-backed decode borrows, byte-for-byte. -----------------
+    let frame = odp_wire::marshal(&values);
+    let before = wire_stats().snapshot();
+    let decoded = odp_wire::unmarshal_frame(&frame).unwrap();
+    let d = wire_stats().snapshot().since(&before);
+    // Every string/blob *payload* byte is borrowed: the 33-byte string,
+    // the 512-byte blob and the 9-byte record string; record field names
+    // are structural, not payloads.
+    assert_eq!(d.decode_borrowed_bytes, 33 + 512 + 9);
+    assert_eq!(
+        d.decode_copied_bytes, 0,
+        "frame-backed decode must not copy payloads"
+    );
+
+    // The borrowed values hold refcounted slices of the frame, not copies.
+    match &decoded[1] {
+        Value::Bytes(b) => assert_eq!(&b[..], &[0x5Au8; 512][..]),
+        other => panic!("expected bytes, got {other:?}"),
+    }
+
+    // --- 3. Disowning pays the copy exactly once, on demand. ------------
+    let before = wire_stats().snapshot();
+    let owned: Vec<Value> = decoded.into_iter().map(Value::into_owned).collect();
+    let d = wire_stats().snapshot().since(&before);
+    assert_eq!(
+        d.decode_copied_bytes,
+        33 + 9,
+        "into_owned copies each retained string payload exactly once"
+    );
+    assert_eq!(owned, values);
+
+    // --- 4. Slice-backed decode (no frame) copies — the legacy path. ----
+    let before = wire_stats().snapshot();
+    let _ = odp_wire::unmarshal(&frame).unwrap();
+    let d = wire_stats().snapshot().since(&before);
+    assert_eq!(d.decode_borrowed_bytes, 0);
+    assert_eq!(d.decode_copied_bytes, 33 + 512 + 9);
+
+    // --- 5. `payload_len` sizing means a pooled round trip never grows. -
+    let buf = odp_wire::marshal_pooled(&values);
+    assert_eq!(buf.len(), odp_wire::payload_len(&values));
+    assert!(buf.capacity() >= buf.len());
+
+    // --- 6. from_slice copies into pooled capacity and recycles it. -----
+    for _ in 0..2 {
+        drop(PooledBuf::from_slice(&frame));
+    }
+    let before = wire_stats().snapshot();
+    for _ in 0..64 {
+        drop(PooledBuf::from_slice(&frame));
+    }
+    let d = wire_stats().snapshot().since(&before);
+    assert_eq!(d.pool_misses, 0, "from_slice at steady state must recycle");
+}

@@ -23,7 +23,11 @@ struct Account {
 fn account_type() -> InterfaceType {
     InterfaceTypeBuilder::new()
         .interrogation("balance", vec![], vec![OutcomeSig::ok(vec![TypeSpec::Int])])
-        .interrogation("deposit", vec![TypeSpec::Int], vec![OutcomeSig::ok(vec![TypeSpec::Int])])
+        .interrogation(
+            "deposit",
+            vec![TypeSpec::Int],
+            vec![OutcomeSig::ok(vec![TypeSpec::Int])],
+        )
         .interrogation(
             "withdraw",
             vec![TypeSpec::Int],
@@ -45,7 +49,9 @@ impl Servant for Account {
             "balance" => Outcome::ok(vec![Value::Int(self.balance.load(Ordering::SeqCst))]),
             "deposit" => {
                 let n = args[0].as_int().unwrap_or(0);
-                Outcome::ok(vec![Value::Int(self.balance.fetch_add(n, Ordering::SeqCst) + n)])
+                Outcome::ok(vec![Value::Int(
+                    self.balance.fetch_add(n, Ordering::SeqCst) + n,
+                )])
             }
             "withdraw" => {
                 let n = args[0].as_int().unwrap_or(0);
@@ -53,7 +59,9 @@ impl Servant for Account {
                 if current < n {
                     Outcome::new("insufficient", vec![Value::Int(current)])
                 } else {
-                    Outcome::ok(vec![Value::Int(self.balance.fetch_sub(n, Ordering::SeqCst) - n)])
+                    Outcome::ok(vec![Value::Int(
+                        self.balance.fetch_sub(n, Ordering::SeqCst) - n,
+                    )])
                 }
             }
             _ => Outcome::fail("no such op"),
@@ -66,7 +74,8 @@ impl Servant for Account {
 
     fn restore(&self, snapshot: &[u8]) -> Result<(), String> {
         let arr: [u8; 8] = snapshot.try_into().map_err(|_| "bad snapshot")?;
-        self.balance.store(i64::from_be_bytes(arr), Ordering::SeqCst);
+        self.balance
+            .store(i64::from_be_bytes(arr), Ordering::SeqCst);
         Ok(())
     }
 }
@@ -99,7 +108,12 @@ fn main() {
         refs.push(r);
     }
 
-    let total = || -> i64 { accounts.iter().map(|a| a.balance.load(Ordering::SeqCst)).sum() };
+    let total = || -> i64 {
+        accounts
+            .iter()
+            .map(|a| a.balance.load(Ordering::SeqCst))
+            .sum()
+    };
     println!("opening balances: 4 × 1000 = {}", total());
 
     // One committed transfer, narrated.
@@ -124,7 +138,10 @@ fn main() {
         accounts[0].balance.load(Ordering::SeqCst)
     );
     txn.abort();
-    println!("…aborted and rolled back (alice={})", accounts[0].balance.load(Ordering::SeqCst));
+    println!(
+        "…aborted and rolled back (alice={})",
+        accounts[0].balance.load(Ordering::SeqCst)
+    );
 
     // Concurrent random transfers: conflicts and deadlocks are broken by
     // the detector; committed money is conserved.

@@ -90,7 +90,7 @@ fn main() {
 
     // --- Phase 1: replication transparency ------------------------------
     println!("=== replication: 3-member active group ===");
-    let group = replicate(&world.capsules()[..3].to_vec(), &new_ledger, GroupPolicy::Active);
+    let group = replicate(&world.capsules()[..3], &new_ledger, GroupPolicy::Active);
     let client = group.bind_via(world.capsule(4));
     for i in 1..=5 {
         let out = client
@@ -114,8 +114,12 @@ fn main() {
     std::thread::sleep(Duration::from_millis(200));
     println!(
         "surviving replicas agree: member1={} member2={} entries",
-        group.members()[1].applied.load(std::sync::atomic::Ordering::Relaxed),
-        group.members()[2].applied.load(std::sync::atomic::Ordering::Relaxed),
+        group.members()[1]
+            .applied
+            .load(std::sync::atomic::Ordering::Relaxed),
+        group.members()[2]
+            .applied
+            .load(std::sync::atomic::Ordering::Relaxed),
     );
 
     // --- Phase 2: failure transparency via checkpoint + log -------------
@@ -158,7 +162,7 @@ fn main() {
         &repo,
         &wal,
         ExportConfig::default(),
-    0,
+        0,
     )
     .unwrap();
     world
@@ -170,7 +174,12 @@ fn main() {
         new_ref.home, new_ref.epoch
     );
     let out = solo_client.interrogate("len", vec![]).unwrap();
-    println!("ledger length after recovery: {} (expected 10)", out.int().unwrap());
-    let out = solo_client.interrogate("entry", vec![Value::Int(9)]).unwrap();
+    println!(
+        "ledger length after recovery: {} (expected 10)",
+        out.int().unwrap()
+    );
+    let out = solo_client
+        .interrogate("entry", vec![Value::Int(9)])
+        .unwrap();
     println!("last entry: {:?}", out.result().unwrap().as_str().unwrap());
 }

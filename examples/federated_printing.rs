@@ -144,7 +144,10 @@ fn main() {
     let printer = world.capsule(3).bind_with(found.clone(), policy);
 
     let out = printer.interrogate("status", vec![]).unwrap();
-    println!("printer status: {}", out.result().unwrap().as_str().unwrap());
+    println!(
+        "printer status: {}",
+        out.result().unwrap().as_str().unwrap()
+    );
     for doc in ["q3-report.ps", "invoice-0042.ps", "odp-challenge.ps"] {
         let out = printer.interrogate("print", vec![Value::str(doc)]).unwrap();
         println!("printed {doc} as job {}", out.int().unwrap());
@@ -155,15 +158,21 @@ fn main() {
         found.clone(),
         TransparencyPolicy::default().with_layer(BoundaryLayer::new(Arc::clone(&map), GLOBEX)),
     );
-    let err = bare.interrogate("print", vec![Value::str("sneaky.ps")]).unwrap_err();
+    let err = bare
+        .interrogate("print", vec![Value::str("sneaky.ps")])
+        .unwrap_err();
     println!("unauthenticated print refused: {err}");
 
     // The boundary accounted every admitted crossing.
     println!("\nacme gateway ledger:");
     for (domain, iface, line) in gw_for_report.accounting.report() {
-        println!("  from {domain} to {iface}: {} interactions, {} bytes", line.interactions, line.bytes);
+        println!(
+            "  from {domain} to {iface}: {} interactions, {} bytes",
+            line.interactions, line.bytes
+        );
     }
-    println!("guard: {} admitted, {} denied",
+    println!(
+        "guard: {} admitted, {} denied",
         guard.admitted.load(Ordering::Relaxed),
         guard.denied.load(Ordering::Relaxed)
     );

@@ -72,7 +72,8 @@ impl Servant for Account {
 
     fn restore(&self, snapshot: &[u8]) -> Result<(), String> {
         let arr: [u8; 8] = snapshot.try_into().map_err(|_| "bad snapshot")?;
-        self.balance.store(i64::from_be_bytes(arr), Ordering::SeqCst);
+        self.balance
+            .store(i64::from_be_bytes(arr), Ordering::SeqCst);
         Ok(())
     }
 }
@@ -98,12 +99,17 @@ fn main() {
     let out = client.interrogate("deposit", vec![Value::Int(50)]).unwrap();
     println!("deposit 50   -> balance {}", out.int().unwrap());
 
-    let out = client.interrogate("withdraw", vec![Value::Int(30)]).unwrap();
+    let out = client
+        .interrogate("withdraw", vec![Value::Int(30)])
+        .unwrap();
     println!("withdraw 30  -> balance {}", out.int().unwrap());
 
     // Overdraw: an application termination, not an error.
-    let out = client.interrogate("withdraw", vec![Value::Int(10_000)]).unwrap();
-    println!("withdraw 10k -> termination `{}` (balance {})",
+    let out = client
+        .interrogate("withdraw", vec![Value::Int(10_000)])
+        .unwrap();
+    println!(
+        "withdraw 10k -> termination `{}` (balance {})",
         out.termination,
         out.int().unwrap()
     );
@@ -114,15 +120,29 @@ fn main() {
         .capsule(0)
         .migrate_to(reference.iface, world.capsule(1))
         .unwrap();
-    println!("account migrated: {} -> {}", world.capsule(0).node(), world.capsule(1).node());
+    println!(
+        "account migrated: {} -> {}",
+        world.capsule(0).node(),
+        world.capsule(1).node()
+    );
 
     let out = client.interrogate("balance", vec![]).unwrap();
-    println!("balance      -> {} (transparently, post-migration)", out.int().unwrap());
-    println!("client now bound to {} (epoch {})", client.target().home, client.target().epoch);
+    println!(
+        "balance      -> {} (transparently, post-migration)",
+        out.int().unwrap()
+    );
+    println!(
+        "client now bound to {} (epoch {})",
+        client.target().home,
+        client.target().epoch
+    );
 
     // Even if the old home crashes entirely, the relocation service
     // recovers the location.
     world.capsule(0).crash();
     let out = client.interrogate("deposit", vec![Value::Int(1)]).unwrap();
-    println!("after old home crashed: deposit 1 -> balance {}", out.int().unwrap());
+    println!(
+        "after old home crashed: deposit 1 -> balance {}",
+        out.int().unwrap()
+    );
 }

@@ -35,7 +35,9 @@ fn tally() -> Arc<dyn Servant> {
         }
         fn dispatch(&self, _op: &str, args: Vec<Value>, _ctx: &CallCtx) -> Outcome {
             let add = args.first().and_then(Value::as_int).unwrap_or(0);
-            Outcome::ok(vec![Value::Int(self.0.fetch_add(add, Ordering::SeqCst) + add)])
+            Outcome::ok(vec![Value::Int(
+                self.0.fetch_add(add, Ordering::SeqCst) + add,
+            )])
         }
         fn snapshot(&self) -> Option<Vec<u8>> {
             Some(self.0.load(Ordering::SeqCst).to_be_bytes().to_vec())
@@ -54,7 +56,7 @@ fn main() {
     hub().set_sampling(Sampling::All);
 
     let world = World::builder().capsules(4).build();
-    let group = replicate(&world.capsules()[..3].to_vec(), &tally, GroupPolicy::Active);
+    let group = replicate(&world.capsules()[..3], &tally, GroupPolicy::Active);
     let client = group.bind_via(world.capsule(3));
 
     let out = client.interrogate("tally", vec![Value::Int(42)]).unwrap();
@@ -65,8 +67,7 @@ fn main() {
     let root = hub()
         .spans()
         .into_iter()
-        .filter(|s| s.layer == "client" && s.parent_span == 0)
-        .next_back()
+        .rfind(|s| s.layer == "client" && s.parent_span == 0)
         .expect("the interrogation was sampled");
     let tel_ref = world
         .capsule(3)

@@ -103,7 +103,7 @@ fn main() {
         }
         while let Some(group) = sync.release() {
             groups += 1;
-            if groups % 50 == 0 {
+            if groups.is_multiple_of(50) {
                 println!(
                     "  presented group {groups}: video ts={}µs audio ts={}µs (skew {}µs)",
                     group[0].timestamp_us,
@@ -118,7 +118,9 @@ fn main() {
     // Read the QoS verdicts through the control interface.
     println!("\nQoS reports (consumer-side measurement vs declared contract):");
     for (i, name) in ["video", "audio"].iter().enumerate() {
-        let out = control.interrogate("stats", vec![Value::Int(i as i64)]).unwrap();
+        let out = control
+            .interrogate("stats", vec![Value::Int(i as i64)])
+            .unwrap();
         let r = out.result().unwrap();
         println!(
             "  {name:5} received={} lost={} jitter={}µs within_qos={}",

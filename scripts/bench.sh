@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# PR 5 bench harness: exercise the wire/transport Criterion benches and
+# emit a machine-readable before/after snapshot of the hot-path cases.
+#
+# Two stages:
+#   1. Run the Criterion benches touched by the zero-copy hot path
+#      (e01 access ladder, e02 marshalling, e03 invocation styles,
+#      e14 scale, e16 telemetry) so every measured workload is
+#      exercised end to end.
+#   2. Run the `perf_snapshot` bin (plain Instant harness, median ns/op,
+#      flat JSON — see its doc comment for why the bench trajectory does
+#      not parse Criterion output) and join it against the frozen
+#      pre-PR baseline into `{case: {before_ns, after_ns, change_pct}}`.
+#
+# The baseline (`scripts/bench_baseline_pr5.json`) was captured with the
+# same perf_snapshot harness on the same container at the last commit
+# before the zero-copy path landed; it is checked in because that code
+# no longer exists to re-measure. Cases new in this PR (e.g. the
+# `round_trip_copying` comparison path) have `before_ns: null`.
+#
+# Usage: scripts/bench.sh [out.json]      (default: BENCH_PR5.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR5.json}"
+baseline="scripts/bench_baseline_pr5.json"
+
+for bench in e01_access_ladder e02_marshalling e03_invocation_styles e14_scale e16_telemetry; do
+    echo "== cargo bench: $bench =="
+    cargo bench -q -p odp-bench --bench "$bench"
+done
+
+echo "== perf_snapshot (release) =="
+cargo build --release -q -p odp-bench --bin perf_snapshot
+after="$(mktemp /tmp/odp-bench-after.XXXXXX.json)"
+trap 'rm -f "$after"' EXIT
+./target/release/perf_snapshot 2>/dev/null > "$after"
+
+python3 - "$baseline" "$after" "$out" <<'PY'
+import json, sys
+
+baseline_path, after_path, out_path = sys.argv[1:4]
+before = json.load(open(baseline_path))
+after = json.load(open(after_path))
+
+merged = {}
+for case in sorted(set(before) | set(after)):
+    b, a = before.get(case), after.get(case)
+    entry = {"before_ns": b, "after_ns": a}
+    if b and a:
+        entry["change_pct"] = round(100.0 * (a - b) / b, 1)
+    merged[case] = entry
+
+json.dump(merged, open(out_path, "w"), indent=2)
+open(out_path, "a").write("\n")
+
+tracked = [c for c in merged if c.startswith("e02/round_trip/")]
+worst = max(merged[c].get("change_pct", 0.0) for c in tracked)
+print(f"bench: wrote {out_path} ({len(merged)} cases)")
+print(f"bench: e02/round_trip worst change {worst:+.1f}% (target <= -25%)")
+if worst > -25.0:
+    sys.exit(f"bench: REGRESSION — e02/round_trip improvement below 25%")
+PY

@@ -1,9 +1,15 @@
 #!/usr/bin/env bash
-# The tier-1 gate, plus the telemetry propagation suite.
+# The tier-1 gate, plus lint hygiene and the telemetry propagation suite.
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== fmt (check) =="
+cargo fmt --check
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== build (release) =="
 cargo build --release

@@ -51,7 +51,10 @@ fn soak_every_profile_holds_invariants() {
             "{profile:?} seed {seed}: {}",
             report.invariants
         );
-        assert!(report.probe_ok, "{profile:?} seed {seed}: survivor unreachable");
+        assert!(
+            report.probe_ok,
+            "{profile:?} seed {seed}: survivor unreachable"
+        );
         assert!(
             !report.committed.is_empty(),
             "{profile:?} seed {seed}: no call ever committed — harness not exercising anything"
@@ -61,7 +64,10 @@ fn soak_every_profile_holds_invariants() {
                 assert!(report.restarts >= 1, "{profile:?}: no restart performed");
             }
             ChaosProfile::ForcedRelocation => {
-                assert!(report.relocations >= 1, "{profile:?}: no relocation performed");
+                assert!(
+                    report.relocations >= 1,
+                    "{profile:?}: no relocation performed"
+                );
             }
             _ => {}
         }

@@ -46,7 +46,9 @@ impl Servant for Inventory {
                 if current < n {
                     Outcome::new("out_of_stock", vec![Value::Int(current)])
                 } else {
-                    Outcome::ok(vec![Value::Int(self.stock.fetch_sub(n, Ordering::SeqCst) - n)])
+                    Outcome::ok(vec![Value::Int(
+                        self.stock.fetch_sub(n, Ordering::SeqCst) - n,
+                    )])
                 }
             }
             _ => Outcome::fail("no such op"),
@@ -100,7 +102,9 @@ fn traded_guarded_transactional_service() {
     let trader = Arc::new(Trader::new());
     trader.attach_capsule(world.capsule(1));
     trader.export_offer(r, [("region".to_owned(), Value::str("eu"))].into());
-    let trader_ref = world.capsule(1).export(Arc::clone(&trader) as Arc<dyn Servant>);
+    let trader_ref = world
+        .capsule(1)
+        .export(Arc::clone(&trader) as Arc<dyn Servant>);
 
     // The client discovers the service by type, then invokes under a
     // transaction with authentication.
@@ -157,7 +161,11 @@ fn replicated_ledger_with_recovery_of_a_member() {
         impl Servant for L {
             fn interface_type(&self) -> InterfaceType {
                 InterfaceTypeBuilder::new()
-                    .interrogation("push", vec![TypeSpec::Int], vec![OutcomeSig::ok(vec![TypeSpec::Int])])
+                    .interrogation(
+                        "push",
+                        vec![TypeSpec::Int],
+                        vec![OutcomeSig::ok(vec![TypeSpec::Int])],
+                    )
                     .interrogation("sum", vec![], vec![OutcomeSig::ok(vec![TypeSpec::Int])])
                     .build()
             }
@@ -174,7 +182,10 @@ fn replicated_ledger_with_recovery_of_a_member() {
             }
             fn snapshot(&self) -> Option<Vec<u8>> {
                 let v = self.0.lock();
-                Some(odp::wire::marshal(&[Value::Seq(v.iter().map(|i| Value::Int(*i)).collect())]).to_vec())
+                Some(
+                    odp::wire::marshal(&[Value::Seq(v.iter().map(|i| Value::Int(*i)).collect())])
+                        .to_vec(),
+                )
             }
             fn restore(&self, snapshot: &[u8]) -> Result<(), String> {
                 let values = odp::wire::unmarshal(snapshot).map_err(|e| e.to_string())?;
@@ -189,11 +200,7 @@ fn replicated_ledger_with_recovery_of_a_member() {
         }
         Arc::new(L(Mutex::new(Vec::new())))
     };
-    let mut group = replicate(
-        &world.capsules()[..3].to_vec(),
-        &ledger_factory,
-        GroupPolicy::Active,
-    );
+    let mut group = replicate(&world.capsules()[..3], &ledger_factory, GroupPolicy::Active);
     let client = group.bind_via(world.capsule(4));
     for i in 1..=6 {
         client.interrogate("push", vec![Value::Int(i)]).unwrap();
@@ -246,7 +253,16 @@ fn logged_service_survives_two_successive_crashes() {
     world.capsule(0).crash();
     let servant2_wal = Arc::clone(&wal);
     let servant2_repo = Arc::clone(&repo);
-    let (ref2, _) = recover(world.capsule(1), r.iface, &factory, &repo, &wal, ExportConfig::default(), 0).unwrap();
+    let (ref2, _) = recover(
+        world.capsule(1),
+        r.iface,
+        &factory,
+        &repo,
+        &wal,
+        ExportConfig::default(),
+        0,
+    )
+    .unwrap();
     // Re-wrap with logging so the second epoch is also protected.
     let servant2 = world.capsule(1).servant_of(r.iface).unwrap();
     let layer2 = LoggingLayer::new(
@@ -265,15 +281,30 @@ fn logged_service_survives_two_successive_crashes() {
             ..ExportConfig::default()
         },
     );
-    world.capsule(1).register_location(r.iface, ref2.home, ref2.epoch).unwrap();
+    world
+        .capsule(1)
+        .register_location(r.iface, ref2.home, ref2.epoch)
+        .unwrap();
     assert_eq!(client.interrogate("stock", vec![]).unwrap().int(), Some(90));
     for _ in 0..3 {
         client.interrogate("reserve", vec![Value::Int(1)]).unwrap();
     }
     // Second crash + recovery on capsule 2.
     world.capsule(1).crash();
-    let (ref3, _) = recover(world.capsule(2), r.iface, &factory, &repo, &wal, ExportConfig::default(), ref2.epoch).unwrap();
-    world.capsule(2).register_location(r.iface, ref3.home, ref3.epoch).unwrap();
+    let (ref3, _) = recover(
+        world.capsule(2),
+        r.iface,
+        &factory,
+        &repo,
+        &wal,
+        ExportConfig::default(),
+        ref2.epoch,
+    )
+    .unwrap();
+    world
+        .capsule(2)
+        .register_location(r.iface, ref3.home, ref3.epoch)
+        .unwrap();
     assert!(ref3.epoch > ref2.epoch);
     assert_eq!(client.interrogate("stock", vec![]).unwrap().int(), Some(87));
 }
@@ -301,7 +332,10 @@ fn announcement_fan_out_monitoring() {
     for i in 1..4 {
         let binding = world.capsule(i).bind(monitor_ref.clone());
         binding
-            .announce("report", vec![Value::str(format!("cap{i}")), Value::Int(i as i64 * 10)])
+            .announce(
+                "report",
+                vec![Value::str(format!("cap{i}")), Value::Int(i as i64 * 10)],
+            )
             .unwrap();
     }
     let deadline = std::time::Instant::now() + Duration::from_secs(2);

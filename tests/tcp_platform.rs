@@ -3,8 +3,8 @@
 //! `TcpNetwork` (no `World` convenience) and the core transparencies are
 //! exercised over loopback sockets.
 
-use odp::prelude::*;
 use odp::core::relocator::RelocationServant;
+use odp::prelude::*;
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 
@@ -14,7 +14,11 @@ impl Servant for Counter {
     fn interface_type(&self) -> InterfaceType {
         InterfaceTypeBuilder::new()
             .interrogation("read", vec![], vec![OutcomeSig::ok(vec![TypeSpec::Int])])
-            .interrogation("add", vec![TypeSpec::Int], vec![OutcomeSig::ok(vec![TypeSpec::Int])])
+            .interrogation(
+                "add",
+                vec![TypeSpec::Int],
+                vec![OutcomeSig::ok(vec![TypeSpec::Int])],
+            )
             .build()
     }
 
@@ -22,7 +26,8 @@ impl Servant for Counter {
         match op {
             "read" => Outcome::ok(vec![Value::Int(self.0.load(Ordering::SeqCst))]),
             "add" => Outcome::ok(vec![Value::Int(
-                self.0.fetch_add(args[0].as_int().unwrap_or(0), Ordering::SeqCst)
+                self.0
+                    .fetch_add(args[0].as_int().unwrap_or(0), Ordering::SeqCst)
                     + args[0].as_int().unwrap_or(0),
             )]),
             _ => Outcome::fail("no such op"),

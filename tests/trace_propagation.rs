@@ -40,7 +40,9 @@ fn adder(op: &'static str) -> Arc<dyn Servant> {
         fn dispatch(&self, op: &str, args: Vec<Value>, _ctx: &CallCtx) -> Outcome {
             if op == self.0 {
                 let add = args.first().and_then(Value::as_int).unwrap_or(0);
-                Outcome::ok(vec![Value::Int(self.1.fetch_add(add, Ordering::SeqCst) + add)])
+                Outcome::ok(vec![Value::Int(
+                    self.1.fetch_add(add, Ordering::SeqCst) + add,
+                )])
             } else {
                 Outcome::fail("no such op")
             }
@@ -106,12 +108,17 @@ fn one_call_through_retry_and_relocation_is_one_connected_tree() {
     let mut seen = BTreeSet::new();
 
     // Plain call: stub -> retry -> location -> access -> dispatch.
-    client.interrogate("tp_reloc_add", vec![Value::Int(1)]).unwrap();
+    client
+        .interrogate("tp_reloc_add", vec![Value::Int(1)])
+        .unwrap();
     let roots = new_roots("tp_reloc_add", &seen);
     assert_eq!(roots.len(), 1, "exactly one root per interrogation");
     let layers = assert_connected(roots[0].trace_id);
     for expected in ["client", "failure:retry", "location", "access", "dispatch"] {
-        assert!(layers.contains(expected), "missing {expected} in {layers:?}");
+        assert!(
+            layers.contains(expected),
+            "missing {expected} in {layers:?}"
+        );
     }
     seen.insert(roots[0].trace_id);
 
@@ -123,7 +130,10 @@ fn one_call_through_retry_and_relocation_is_one_connected_tree() {
         .migrate_to(r.iface, world.capsule(2))
         .unwrap();
     assert_eq!(
-        client.interrogate("tp_reloc_add", vec![Value::Int(1)]).unwrap().int(),
+        client
+            .interrogate("tp_reloc_add", vec![Value::Int(1)])
+            .unwrap()
+            .int(),
         Some(2)
     );
     let roots = new_roots("tp_reloc_add", &seen);
@@ -132,9 +142,10 @@ fn one_call_through_retry_and_relocation_is_one_connected_tree() {
     let layers = assert_connected(moved_trace);
     assert!(layers.contains("dispatch"), "chase still reaches dispatch");
     assert!(
-        hub().events().iter().any(|e| {
-            e.kind == "location.retarget" && e.trace_id == moved_trace
-        }),
+        hub()
+            .events()
+            .iter()
+            .any(|e| { e.kind == "location.retarget" && e.trace_id == moved_trace }),
         "the retarget must be on the moved call's trace"
     );
     seen.insert(moved_trace);
@@ -159,7 +170,9 @@ fn one_call_through_retry_and_relocation_is_one_connected_tree() {
             })),
     );
     assert!(
-        hurried.interrogate("tp_reloc_add", vec![Value::Int(1)]).is_err(),
+        hurried
+            .interrogate("tp_reloc_add", vec![Value::Int(1)])
+            .is_err(),
         "partitioned call with a 100ms budget must fail"
     );
     let roots = new_roots("tp_reloc_add", &seen);
@@ -167,9 +180,10 @@ fn one_call_through_retry_and_relocation_is_one_connected_tree() {
     let failed_trace = roots[0].trace_id;
     assert_connected(failed_trace);
     assert!(
-        hub().events().iter().any(|e| {
-            e.kind == "retry.attempt" && e.trace_id == failed_trace
-        }),
+        hub()
+            .events()
+            .iter()
+            .any(|e| { e.kind == "retry.attempt" && e.trace_id == failed_trace }),
         "the retry under partition must be an event on the call's trace"
     );
     seen.insert(failed_trace);
@@ -178,7 +192,10 @@ fn one_call_through_retry_and_relocation_is_one_connected_tree() {
     // and its tree reaches the relocated servant's dispatch.
     world.net().heal(a, b);
     assert_eq!(
-        client.interrogate("tp_reloc_add", vec![Value::Int(1)]).unwrap().int(),
+        client
+            .interrogate("tp_reloc_add", vec![Value::Int(1)])
+            .unwrap()
+            .int(),
         Some(3)
     );
     let roots = new_roots("tp_reloc_add", &seen);
@@ -192,7 +209,7 @@ fn group_fan_out_and_failover_stay_on_one_tree() {
     enable_tracing();
     let world = World::builder().capsules(4).build();
     let factory = || adder("tp_fan_add");
-    let group = replicate(&world.capsules()[..3].to_vec(), &factory, GroupPolicy::Active);
+    let group = replicate(&world.capsules()[..3], &factory, GroupPolicy::Active);
     let client = group.bind_via(world.capsule(3));
     let mut seen = BTreeSet::new();
 
@@ -200,7 +217,9 @@ fn group_fan_out_and_failover_stay_on_one_tree() {
     // sequencer's dispatch span must parent the relay calls, whose own
     // dispatch spans land on the other two nodes — one tree, three
     // dispatches.
-    client.interrogate("tp_fan_add", vec![Value::Int(5)]).unwrap();
+    client
+        .interrogate("tp_fan_add", vec![Value::Int(5)])
+        .unwrap();
     let roots = new_roots("tp_fan_add", &seen);
     assert_eq!(roots.len(), 1);
     let fan_trace = roots[0].trace_id;
@@ -221,15 +240,18 @@ fn group_fan_out_and_failover_stay_on_one_tree() {
     // Crash the sequencer: the group layer fails over mid-call, and the
     // failover is an event on the same trace as the surviving attempt.
     world.capsule(0).crash();
-    client.interrogate("tp_fan_add", vec![Value::Int(7)]).unwrap();
+    client
+        .interrogate("tp_fan_add", vec![Value::Int(7)])
+        .unwrap();
     let roots = new_roots("tp_fan_add", &seen);
     assert_eq!(roots.len(), 1);
     let failover_trace = roots[0].trace_id;
     assert_connected(failover_trace);
     assert!(
-        hub().events().iter().any(|e| {
-            e.kind == "group.failover" && e.trace_id == failover_trace
-        }),
+        hub()
+            .events()
+            .iter()
+            .any(|e| { e.kind == "group.failover" && e.trace_id == failover_trace }),
         "failover must be recorded on the failing call's trace"
     );
 }

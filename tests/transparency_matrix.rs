@@ -14,14 +14,19 @@ fn counter_servant() -> Arc<dyn Servant> {
         fn interface_type(&self) -> InterfaceType {
             InterfaceTypeBuilder::new()
                 .interrogation("read", vec![], vec![OutcomeSig::ok(vec![TypeSpec::Int])])
-                .interrogation("add", vec![TypeSpec::Int], vec![OutcomeSig::ok(vec![TypeSpec::Int])])
+                .interrogation(
+                    "add",
+                    vec![TypeSpec::Int],
+                    vec![OutcomeSig::ok(vec![TypeSpec::Int])],
+                )
                 .build()
         }
         fn dispatch(&self, op: &str, args: Vec<Value>, _ctx: &CallCtx) -> Outcome {
             match op {
                 "read" => Outcome::ok(vec![Value::Int(self.0.load(Ordering::SeqCst))]),
                 "add" => Outcome::ok(vec![Value::Int(
-                    self.0.fetch_add(args[0].as_int().unwrap_or(0), Ordering::SeqCst)
+                    self.0
+                        .fetch_add(args[0].as_int().unwrap_or(0), Ordering::SeqCst)
                         + args[0].as_int().unwrap_or(0),
                 )]),
                 _ => Outcome::fail("no such op"),
@@ -50,9 +55,22 @@ fn access_local_and_remote_are_indistinguishable_to_the_program() {
     // differs (fast path vs marshalling + REX).
     for r in [local_ref, remote_ref] {
         let binding = world.capsule(0).bind(r);
-        assert_eq!(binding.interrogate("add", vec![Value::Int(7)]).unwrap().int(), Some(7));
+        assert_eq!(
+            binding
+                .interrogate("add", vec![Value::Int(7)])
+                .unwrap()
+                .int(),
+            Some(7)
+        );
     }
-    assert!(world.capsule(0).stats.local_fast_path.load(Ordering::Relaxed) >= 1);
+    assert!(
+        world
+            .capsule(0)
+            .stats
+            .local_fast_path
+            .load(Ordering::Relaxed)
+            >= 1
+    );
 }
 
 #[test]
@@ -69,10 +87,17 @@ fn access_constant_state_values_cross_by_copy_mutable_by_reference() {
         .build();
     let handed = inner.clone();
     let svc = FnServant::new(ty, move |_op, _args, _ctx| {
-        Outcome::ok(vec![Value::str("metadata"), Value::Interface(handed.clone())])
+        Outcome::ok(vec![
+            Value::str("metadata"),
+            Value::Interface(handed.clone()),
+        ])
     });
     let r = world.capsule(0).export(Arc::new(svc));
-    let out = world.capsule(1).bind(r).interrogate("bundle", vec![]).unwrap();
+    let out = world
+        .capsule(1)
+        .bind(r)
+        .interrogate("bundle", vec![])
+        .unwrap();
     // The string arrived as a copy…
     assert_eq!(out.results[0].as_str(), Some("metadata"));
     // …the counter arrived as a usable reference to shared state.
@@ -94,7 +119,10 @@ fn location_selected_follows_moves_deselected_does_not() {
         .capsule(1)
         .bind_with(r.clone(), TransparencyPolicy::minimal());
     with.interrogate("add", vec![Value::Int(1)]).unwrap();
-    world.capsule(0).migrate_to(r.iface, world.capsule(1)).unwrap();
+    world
+        .capsule(0)
+        .migrate_to(r.iface, world.capsule(1))
+        .unwrap();
     // Selected: transparent.
     assert_eq!(with.interrogate("read", vec![]).unwrap().int(), Some(1));
     // Deselected: the application sees the raw distribution event.
@@ -196,7 +224,7 @@ fn replication_group_is_invoked_exactly_like_a_singleton() {
     let world = World::builder().capsules(4).build();
     let singleton_ref = world.capsule(0).export(counter_servant());
     let group = replicate(
-        &world.capsules()[1..3].to_vec(),
+        &world.capsules()[1..3],
         &counter_servant,
         GroupPolicy::Active,
     );
@@ -204,7 +232,13 @@ fn replication_group_is_invoked_exactly_like_a_singleton() {
     let s = world.capsule(3).bind(singleton_ref);
     let g = group.bind_via(world.capsule(3));
     for binding in [&s, &g] {
-        assert_eq!(binding.interrogate("add", vec![Value::Int(2)]).unwrap().int(), Some(2));
+        assert_eq!(
+            binding
+                .interrogate("add", vec![Value::Int(2)])
+                .unwrap()
+                .int(),
+            Some(2)
+        );
         assert_eq!(binding.interrogate("read", vec![]).unwrap().int(), Some(2));
     }
 }
@@ -240,15 +274,23 @@ fn federation_boundary_invisible_when_selected_absent_when_not() {
     map.assign(world.capsule(0).node(), DomainId(1));
     map.assign(world.capsule(1).node(), DomainId(1));
     map.assign(world.capsule(2).node(), DomainId(2));
-    Gateway::new(Arc::clone(&map), DomainId(1), world.capsule(1), AdmissionPolicy::allow_all())
-        .install();
+    Gateway::new(
+        Arc::clone(&map),
+        DomainId(1),
+        world.capsule(1),
+        AdmissionPolicy::allow_all(),
+    )
+    .install();
     let r = world.capsule(0).export(counter_servant());
     // Selected: the call silently crosses through the gateway.
     let with = world.capsule(2).bind_with(
         r.clone(),
         TransparencyPolicy::default().with_layer(BoundaryLayer::new(Arc::clone(&map), DomainId(2))),
     );
-    assert!(with.interrogate("add", vec![Value::Int(1)]).unwrap().is_ok());
+    assert!(with
+        .interrogate("add", vec![Value::Int(1)])
+        .unwrap()
+        .is_ok());
     // Without the layer, the client bypasses the boundary entirely (in a
     // real deployment the network itself would refuse; the policy point is
     // that interception is a *selected* mechanism, not ambient magic).
