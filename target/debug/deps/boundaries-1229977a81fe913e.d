@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/boundaries-1229977a81fe913e.d: crates/federation/tests/boundaries.rs
+
+/root/repo/target/debug/deps/boundaries-1229977a81fe913e: crates/federation/tests/boundaries.rs
+
+crates/federation/tests/boundaries.rs:

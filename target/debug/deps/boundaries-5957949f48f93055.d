@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/boundaries-5957949f48f93055.d: crates/federation/tests/boundaries.rs Cargo.toml
+
+/root/repo/target/debug/deps/libboundaries-5957949f48f93055.rmeta: crates/federation/tests/boundaries.rs Cargo.toml
+
+crates/federation/tests/boundaries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-5b31798f44ae5ebf.d: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-5b31798f44ae5ebf.rmeta: /tmp/stubs/bytes/src/lib.rs
+
+/tmp/stubs/bytes/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-9539ec4a8cda8469.d: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-9539ec4a8cda8469.rlib: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-9539ec4a8cda8469.rmeta: /tmp/stubs/bytes/src/lib.rs
+
+/tmp/stubs/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_soak-5e55a7488f431e8b.d: crates/odp/../../tests/chaos_soak.rs
+
+/root/repo/target/debug/deps/chaos_soak-5e55a7488f431e8b: crates/odp/../../tests/chaos_soak.rs
+
+crates/odp/../../tests/chaos_soak.rs:

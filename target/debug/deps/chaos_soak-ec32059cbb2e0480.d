@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos_soak-ec32059cbb2e0480.d: crates/odp/../../tests/chaos_soak.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos_soak-ec32059cbb2e0480.rmeta: crates/odp/../../tests/chaos_soak.rs Cargo.toml
+
+crates/odp/../../tests/chaos_soak.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

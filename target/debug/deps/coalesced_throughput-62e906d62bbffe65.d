@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coalesced_throughput-62e906d62bbffe65.d: crates/net/tests/coalesced_throughput.rs
+
+/root/repo/target/debug/deps/coalesced_throughput-62e906d62bbffe65: crates/net/tests/coalesced_throughput.rs
+
+crates/net/tests/coalesced_throughput.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coalesced_throughput-ecf1f9456a0feb19.d: crates/net/tests/coalesced_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoalesced_throughput-ecf1f9456a0feb19.rmeta: crates/net/tests/coalesced_throughput.rs Cargo.toml
+
+crates/net/tests/coalesced_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

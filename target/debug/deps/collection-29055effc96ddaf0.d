@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/collection-29055effc96ddaf0.d: crates/gc/tests/collection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcollection-29055effc96ddaf0.rmeta: crates/gc/tests/collection.rs Cargo.toml
+
+crates/gc/tests/collection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/collection-4e4096e758b4ea4b.d: crates/gc/tests/collection.rs
+
+/root/repo/target/debug/deps/collection-4e4096e758b4ea4b: crates/gc/tests/collection.rs
+
+crates/gc/tests/collection.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-04602788ce906513.d: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-04602788ce906513.rlib: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-04602788ce906513.rmeta: /tmp/stubs/criterion/src/lib.rs
+
+/tmp/stubs/criterion/src/lib.rs:

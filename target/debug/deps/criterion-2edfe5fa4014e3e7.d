@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-2edfe5fa4014e3e7.d: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-2edfe5fa4014e3e7.rmeta: /tmp/stubs/criterion/src/lib.rs
+
+/tmp/stubs/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-22ac929c5a09f7b9.d: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-22ac929c5a09f7b9.rmeta: /tmp/stubs/crossbeam/src/lib.rs
+
+/tmp/stubs/crossbeam/src/lib.rs:

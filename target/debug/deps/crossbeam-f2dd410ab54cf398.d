@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-f2dd410ab54cf398.d: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-f2dd410ab54cf398.rlib: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-f2dd410ab54cf398.rmeta: /tmp/stubs/crossbeam/src/lib.rs
+
+/tmp/stubs/crossbeam/src/lib.rs:

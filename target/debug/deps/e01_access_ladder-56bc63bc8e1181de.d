@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e01_access_ladder-56bc63bc8e1181de.d: crates/bench/benches/e01_access_ladder.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe01_access_ladder-56bc63bc8e1181de.rmeta: crates/bench/benches/e01_access_ladder.rs Cargo.toml
+
+crates/bench/benches/e01_access_ladder.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e02_marshalling-b23de45808deb01e.d: crates/bench/benches/e02_marshalling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe02_marshalling-b23de45808deb01e.rmeta: crates/bench/benches/e02_marshalling.rs Cargo.toml
+
+crates/bench/benches/e02_marshalling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e03_invocation_styles-f4bff81e63dbd1a4.d: crates/bench/benches/e03_invocation_styles.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe03_invocation_styles-f4bff81e63dbd1a4.rmeta: crates/bench/benches/e03_invocation_styles.rs Cargo.toml
+
+crates/bench/benches/e03_invocation_styles.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e04_replication-b2a60dec39010322.d: crates/bench/benches/e04_replication.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe04_replication-b2a60dec39010322.rmeta: crates/bench/benches/e04_replication.rs Cargo.toml
+
+crates/bench/benches/e04_replication.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

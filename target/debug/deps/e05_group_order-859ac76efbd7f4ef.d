@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e05_group_order-859ac76efbd7f4ef.d: crates/bench/benches/e05_group_order.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe05_group_order-859ac76efbd7f4ef.rmeta: crates/bench/benches/e05_group_order.rs Cargo.toml
+
+crates/bench/benches/e05_group_order.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

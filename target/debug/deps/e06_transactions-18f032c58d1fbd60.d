@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e06_transactions-18f032c58d1fbd60.d: crates/bench/benches/e06_transactions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe06_transactions-18f032c58d1fbd60.rmeta: crates/bench/benches/e06_transactions.rs Cargo.toml
+
+crates/bench/benches/e06_transactions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e07_trading-f191a4defe1af4e5.d: crates/bench/benches/e07_trading.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe07_trading-f191a4defe1af4e5.rmeta: crates/bench/benches/e07_trading.rs Cargo.toml
+
+crates/bench/benches/e07_trading.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

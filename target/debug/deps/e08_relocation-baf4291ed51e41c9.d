@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e08_relocation-baf4291ed51e41c9.d: crates/bench/benches/e08_relocation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe08_relocation-baf4291ed51e41c9.rmeta: crates/bench/benches/e08_relocation.rs Cargo.toml
+
+crates/bench/benches/e08_relocation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

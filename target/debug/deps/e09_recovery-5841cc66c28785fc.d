@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e09_recovery-5841cc66c28785fc.d: crates/bench/benches/e09_recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe09_recovery-5841cc66c28785fc.rmeta: crates/bench/benches/e09_recovery.rs Cargo.toml
+
+crates/bench/benches/e09_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

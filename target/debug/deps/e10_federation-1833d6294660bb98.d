@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e10_federation-1833d6294660bb98.d: crates/bench/benches/e10_federation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe10_federation-1833d6294660bb98.rmeta: crates/bench/benches/e10_federation.rs Cargo.toml
+
+crates/bench/benches/e10_federation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

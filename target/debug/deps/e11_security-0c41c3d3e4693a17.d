@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e11_security-0c41c3d3e4693a17.d: crates/bench/benches/e11_security.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe11_security-0c41c3d3e4693a17.rmeta: crates/bench/benches/e11_security.rs Cargo.toml
+
+crates/bench/benches/e11_security.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e12_streams-c3a2daed77781e65.d: crates/bench/benches/e12_streams.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe12_streams-c3a2daed77781e65.rmeta: crates/bench/benches/e12_streams.rs Cargo.toml
+
+crates/bench/benches/e12_streams.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

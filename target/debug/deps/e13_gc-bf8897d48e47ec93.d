@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e13_gc-bf8897d48e47ec93.d: crates/bench/benches/e13_gc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe13_gc-bf8897d48e47ec93.rmeta: crates/bench/benches/e13_gc.rs Cargo.toml
+
+crates/bench/benches/e13_gc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e14_scale-54859dd8555889aa.d: crates/bench/benches/e14_scale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe14_scale-54859dd8555889aa.rmeta: crates/bench/benches/e14_scale.rs Cargo.toml
+
+crates/bench/benches/e14_scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e15_chaos-70e2c198e9ff8af5.d: crates/bench/benches/e15_chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe15_chaos-70e2c198e9ff8af5.rmeta: crates/bench/benches/e15_chaos.rs Cargo.toml
+
+crates/bench/benches/e15_chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

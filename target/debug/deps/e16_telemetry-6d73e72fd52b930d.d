@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e16_telemetry-6d73e72fd52b930d.d: crates/bench/benches/e16_telemetry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe16_telemetry-6d73e72fd52b930d.rmeta: crates/bench/benches/e16_telemetry.rs Cargo.toml
+
+crates/bench/benches/e16_telemetry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

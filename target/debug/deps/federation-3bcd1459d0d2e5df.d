@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/federation-3bcd1459d0d2e5df.d: crates/trading/tests/federation.rs
+
+/root/repo/target/debug/deps/federation-3bcd1459d0d2e5df: crates/trading/tests/federation.rs
+
+crates/trading/tests/federation.rs:

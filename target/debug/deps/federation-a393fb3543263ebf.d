@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/federation-a393fb3543263ebf.d: crates/trading/tests/federation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfederation-a393fb3543263ebf.rmeta: crates/trading/tests/federation.rs Cargo.toml
+
+crates/trading/tests/federation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

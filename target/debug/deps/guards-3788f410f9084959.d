@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/guards-3788f410f9084959.d: crates/security/tests/guards.rs Cargo.toml
+
+/root/repo/target/debug/deps/libguards-3788f410f9084959.rmeta: crates/security/tests/guards.rs Cargo.toml
+
+crates/security/tests/guards.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

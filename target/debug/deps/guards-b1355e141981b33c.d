@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/guards-b1355e141981b33c.d: crates/security/tests/guards.rs
+
+/root/repo/target/debug/deps/guards-b1355e141981b33c: crates/security/tests/guards.rs
+
+crates/security/tests/guards.rs:

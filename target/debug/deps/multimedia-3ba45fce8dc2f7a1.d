@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multimedia-3ba45fce8dc2f7a1.d: crates/streams/tests/multimedia.rs
+
+/root/repo/target/debug/deps/multimedia-3ba45fce8dc2f7a1: crates/streams/tests/multimedia.rs
+
+crates/streams/tests/multimedia.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multimedia-76796cd657c2197a.d: crates/streams/tests/multimedia.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmultimedia-76796cd657c2197a.rmeta: crates/streams/tests/multimedia.rs Cargo.toml
+
+crates/streams/tests/multimedia.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/n_version-6496d08b9f77085e.d: crates/groups/tests/n_version.rs Cargo.toml
+
+/root/repo/target/debug/deps/libn_version-6496d08b9f77085e.rmeta: crates/groups/tests/n_version.rs Cargo.toml
+
+crates/groups/tests/n_version.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

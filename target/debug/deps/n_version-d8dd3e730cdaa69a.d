@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/n_version-d8dd3e730cdaa69a.d: crates/groups/tests/n_version.rs
+
+/root/repo/target/debug/deps/n_version-d8dd3e730cdaa69a: crates/groups/tests/n_version.rs
+
+crates/groups/tests/n_version.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/odp-7ac83a07b90a6061.d: crates/odp/src/lib.rs
+
+/root/repo/target/debug/deps/odp-7ac83a07b90a6061: crates/odp/src/lib.rs
+
+crates/odp/src/lib.rs:

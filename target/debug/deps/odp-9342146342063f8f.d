@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/odp-9342146342063f8f.d: crates/odp/src/lib.rs
+
+/root/repo/target/debug/deps/libodp-9342146342063f8f.rlib: crates/odp/src/lib.rs
+
+/root/repo/target/debug/deps/libodp-9342146342063f8f.rmeta: crates/odp/src/lib.rs
+
+crates/odp/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/odp-d959a662c55f29e0.d: crates/odp/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libodp-d959a662c55f29e0.rmeta: crates/odp/src/lib.rs Cargo.toml
+
+crates/odp/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

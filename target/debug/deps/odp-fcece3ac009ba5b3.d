@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/odp-fcece3ac009ba5b3.d: crates/odp/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libodp-fcece3ac009ba5b3.rmeta: crates/odp/src/lib.rs Cargo.toml
+
+crates/odp/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

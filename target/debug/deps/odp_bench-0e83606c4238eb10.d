@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/odp_bench-0e83606c4238eb10.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libodp_bench-0e83606c4238eb10.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/odp_bench-8fe4bb5a497ac654.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libodp_bench-8fe4bb5a497ac654.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libodp_bench-8fe4bb5a497ac654.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/odp_bench-a4d0c7b229235a56.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/odp_bench-a4d0c7b229235a56: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

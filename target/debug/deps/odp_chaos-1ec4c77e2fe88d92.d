@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/odp_chaos-1ec4c77e2fe88d92.d: crates/chaos/src/lib.rs crates/chaos/src/invariants.rs crates/chaos/src/runner.rs crates/chaos/src/schedule.rs crates/chaos/src/workload.rs
+
+/root/repo/target/debug/deps/libodp_chaos-1ec4c77e2fe88d92.rlib: crates/chaos/src/lib.rs crates/chaos/src/invariants.rs crates/chaos/src/runner.rs crates/chaos/src/schedule.rs crates/chaos/src/workload.rs
+
+/root/repo/target/debug/deps/libodp_chaos-1ec4c77e2fe88d92.rmeta: crates/chaos/src/lib.rs crates/chaos/src/invariants.rs crates/chaos/src/runner.rs crates/chaos/src/schedule.rs crates/chaos/src/workload.rs
+
+crates/chaos/src/lib.rs:
+crates/chaos/src/invariants.rs:
+crates/chaos/src/runner.rs:
+crates/chaos/src/schedule.rs:
+crates/chaos/src/workload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/odp_chaos-7a71c738ffe2c875.d: crates/chaos/src/lib.rs crates/chaos/src/invariants.rs crates/chaos/src/runner.rs crates/chaos/src/schedule.rs crates/chaos/src/workload.rs
+
+/root/repo/target/debug/deps/odp_chaos-7a71c738ffe2c875: crates/chaos/src/lib.rs crates/chaos/src/invariants.rs crates/chaos/src/runner.rs crates/chaos/src/schedule.rs crates/chaos/src/workload.rs
+
+crates/chaos/src/lib.rs:
+crates/chaos/src/invariants.rs:
+crates/chaos/src/runner.rs:
+crates/chaos/src/schedule.rs:
+crates/chaos/src/workload.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/odp_chaos-c55d084ca5e23f87.d: crates/chaos/src/lib.rs crates/chaos/src/invariants.rs crates/chaos/src/runner.rs crates/chaos/src/schedule.rs crates/chaos/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libodp_chaos-c55d084ca5e23f87.rmeta: crates/chaos/src/lib.rs crates/chaos/src/invariants.rs crates/chaos/src/runner.rs crates/chaos/src/schedule.rs crates/chaos/src/workload.rs Cargo.toml
+
+crates/chaos/src/lib.rs:
+crates/chaos/src/invariants.rs:
+crates/chaos/src/runner.rs:
+crates/chaos/src/schedule.rs:
+crates/chaos/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/odp_core-5a00150577e5dd7b.d: crates/core/src/lib.rs crates/core/src/capsule.rs crates/core/src/invocation.rs crates/core/src/management.rs crates/core/src/node_manager.rs crates/core/src/object.rs crates/core/src/relocator.rs crates/core/src/transparency.rs crates/core/src/world.rs
+
+/root/repo/target/debug/deps/odp_core-5a00150577e5dd7b: crates/core/src/lib.rs crates/core/src/capsule.rs crates/core/src/invocation.rs crates/core/src/management.rs crates/core/src/node_manager.rs crates/core/src/object.rs crates/core/src/relocator.rs crates/core/src/transparency.rs crates/core/src/world.rs
+
+crates/core/src/lib.rs:
+crates/core/src/capsule.rs:
+crates/core/src/invocation.rs:
+crates/core/src/management.rs:
+crates/core/src/node_manager.rs:
+crates/core/src/object.rs:
+crates/core/src/relocator.rs:
+crates/core/src/transparency.rs:
+crates/core/src/world.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/odp_core-816285d56e21def0.d: crates/core/src/lib.rs crates/core/src/capsule.rs crates/core/src/invocation.rs crates/core/src/management.rs crates/core/src/node_manager.rs crates/core/src/object.rs crates/core/src/relocator.rs crates/core/src/transparency.rs crates/core/src/world.rs
+
+/root/repo/target/debug/deps/libodp_core-816285d56e21def0.rlib: crates/core/src/lib.rs crates/core/src/capsule.rs crates/core/src/invocation.rs crates/core/src/management.rs crates/core/src/node_manager.rs crates/core/src/object.rs crates/core/src/relocator.rs crates/core/src/transparency.rs crates/core/src/world.rs
+
+/root/repo/target/debug/deps/libodp_core-816285d56e21def0.rmeta: crates/core/src/lib.rs crates/core/src/capsule.rs crates/core/src/invocation.rs crates/core/src/management.rs crates/core/src/node_manager.rs crates/core/src/object.rs crates/core/src/relocator.rs crates/core/src/transparency.rs crates/core/src/world.rs
+
+crates/core/src/lib.rs:
+crates/core/src/capsule.rs:
+crates/core/src/invocation.rs:
+crates/core/src/management.rs:
+crates/core/src/node_manager.rs:
+crates/core/src/object.rs:
+crates/core/src/relocator.rs:
+crates/core/src/transparency.rs:
+crates/core/src/world.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/odp_core-bf8986c4c491e774.d: crates/core/src/lib.rs crates/core/src/capsule.rs crates/core/src/invocation.rs crates/core/src/management.rs crates/core/src/node_manager.rs crates/core/src/object.rs crates/core/src/relocator.rs crates/core/src/transparency.rs crates/core/src/world.rs Cargo.toml
+
+/root/repo/target/debug/deps/libodp_core-bf8986c4c491e774.rmeta: crates/core/src/lib.rs crates/core/src/capsule.rs crates/core/src/invocation.rs crates/core/src/management.rs crates/core/src/node_manager.rs crates/core/src/object.rs crates/core/src/relocator.rs crates/core/src/transparency.rs crates/core/src/world.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/capsule.rs:
+crates/core/src/invocation.rs:
+crates/core/src/management.rs:
+crates/core/src/node_manager.rs:
+crates/core/src/object.rs:
+crates/core/src/relocator.rs:
+crates/core/src/transparency.rs:
+crates/core/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

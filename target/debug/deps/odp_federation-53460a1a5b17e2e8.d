@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/odp_federation-53460a1a5b17e2e8.d: crates/federation/src/lib.rs crates/federation/src/accounting.rs crates/federation/src/domain.rs crates/federation/src/interceptor.rs crates/federation/src/proxy.rs crates/federation/src/translate.rs
+
+/root/repo/target/debug/deps/libodp_federation-53460a1a5b17e2e8.rlib: crates/federation/src/lib.rs crates/federation/src/accounting.rs crates/federation/src/domain.rs crates/federation/src/interceptor.rs crates/federation/src/proxy.rs crates/federation/src/translate.rs
+
+/root/repo/target/debug/deps/libodp_federation-53460a1a5b17e2e8.rmeta: crates/federation/src/lib.rs crates/federation/src/accounting.rs crates/federation/src/domain.rs crates/federation/src/interceptor.rs crates/federation/src/proxy.rs crates/federation/src/translate.rs
+
+crates/federation/src/lib.rs:
+crates/federation/src/accounting.rs:
+crates/federation/src/domain.rs:
+crates/federation/src/interceptor.rs:
+crates/federation/src/proxy.rs:
+crates/federation/src/translate.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/odp_federation-6ffff3b52c8812cc.d: crates/federation/src/lib.rs crates/federation/src/accounting.rs crates/federation/src/domain.rs crates/federation/src/interceptor.rs crates/federation/src/proxy.rs crates/federation/src/translate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libodp_federation-6ffff3b52c8812cc.rmeta: crates/federation/src/lib.rs crates/federation/src/accounting.rs crates/federation/src/domain.rs crates/federation/src/interceptor.rs crates/federation/src/proxy.rs crates/federation/src/translate.rs Cargo.toml
+
+crates/federation/src/lib.rs:
+crates/federation/src/accounting.rs:
+crates/federation/src/domain.rs:
+crates/federation/src/interceptor.rs:
+crates/federation/src/proxy.rs:
+crates/federation/src/translate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

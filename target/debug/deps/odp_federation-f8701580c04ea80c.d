@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/odp_federation-f8701580c04ea80c.d: crates/federation/src/lib.rs crates/federation/src/accounting.rs crates/federation/src/domain.rs crates/federation/src/interceptor.rs crates/federation/src/proxy.rs crates/federation/src/translate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libodp_federation-f8701580c04ea80c.rmeta: crates/federation/src/lib.rs crates/federation/src/accounting.rs crates/federation/src/domain.rs crates/federation/src/interceptor.rs crates/federation/src/proxy.rs crates/federation/src/translate.rs Cargo.toml
+
+crates/federation/src/lib.rs:
+crates/federation/src/accounting.rs:
+crates/federation/src/domain.rs:
+crates/federation/src/interceptor.rs:
+crates/federation/src/proxy.rs:
+crates/federation/src/translate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/odp_gc-7c55ee421aabdab1.d: crates/gc/src/lib.rs crates/gc/src/collector.rs crates/gc/src/idle.rs crates/gc/src/lease.rs crates/gc/src/registry.rs
+
+/root/repo/target/debug/deps/libodp_gc-7c55ee421aabdab1.rlib: crates/gc/src/lib.rs crates/gc/src/collector.rs crates/gc/src/idle.rs crates/gc/src/lease.rs crates/gc/src/registry.rs
+
+/root/repo/target/debug/deps/libodp_gc-7c55ee421aabdab1.rmeta: crates/gc/src/lib.rs crates/gc/src/collector.rs crates/gc/src/idle.rs crates/gc/src/lease.rs crates/gc/src/registry.rs
+
+crates/gc/src/lib.rs:
+crates/gc/src/collector.rs:
+crates/gc/src/idle.rs:
+crates/gc/src/lease.rs:
+crates/gc/src/registry.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/odp_gc-aec3da2f95fc56e8.d: crates/gc/src/lib.rs crates/gc/src/collector.rs crates/gc/src/idle.rs crates/gc/src/lease.rs crates/gc/src/registry.rs
+
+/root/repo/target/debug/deps/odp_gc-aec3da2f95fc56e8: crates/gc/src/lib.rs crates/gc/src/collector.rs crates/gc/src/idle.rs crates/gc/src/lease.rs crates/gc/src/registry.rs
+
+crates/gc/src/lib.rs:
+crates/gc/src/collector.rs:
+crates/gc/src/idle.rs:
+crates/gc/src/lease.rs:
+crates/gc/src/registry.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/odp_gc-ecf74de951a04a1c.d: crates/gc/src/lib.rs crates/gc/src/collector.rs crates/gc/src/idle.rs crates/gc/src/lease.rs crates/gc/src/registry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libodp_gc-ecf74de951a04a1c.rmeta: crates/gc/src/lib.rs crates/gc/src/collector.rs crates/gc/src/idle.rs crates/gc/src/lease.rs crates/gc/src/registry.rs Cargo.toml
+
+crates/gc/src/lib.rs:
+crates/gc/src/collector.rs:
+crates/gc/src/idle.rs:
+crates/gc/src/lease.rs:
+crates/gc/src/registry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/odp_groups-019901a82e779f9b.d: crates/groups/src/lib.rs crates/groups/src/client.rs crates/groups/src/member.rs crates/groups/src/replicate.rs crates/groups/src/view.rs crates/groups/src/voting.rs
+
+/root/repo/target/debug/deps/odp_groups-019901a82e779f9b: crates/groups/src/lib.rs crates/groups/src/client.rs crates/groups/src/member.rs crates/groups/src/replicate.rs crates/groups/src/view.rs crates/groups/src/voting.rs
+
+crates/groups/src/lib.rs:
+crates/groups/src/client.rs:
+crates/groups/src/member.rs:
+crates/groups/src/replicate.rs:
+crates/groups/src/view.rs:
+crates/groups/src/voting.rs:

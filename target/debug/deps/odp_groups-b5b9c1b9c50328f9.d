@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/odp_groups-b5b9c1b9c50328f9.d: crates/groups/src/lib.rs crates/groups/src/client.rs crates/groups/src/member.rs crates/groups/src/replicate.rs crates/groups/src/view.rs crates/groups/src/voting.rs Cargo.toml
+
+/root/repo/target/debug/deps/libodp_groups-b5b9c1b9c50328f9.rmeta: crates/groups/src/lib.rs crates/groups/src/client.rs crates/groups/src/member.rs crates/groups/src/replicate.rs crates/groups/src/view.rs crates/groups/src/voting.rs Cargo.toml
+
+crates/groups/src/lib.rs:
+crates/groups/src/client.rs:
+crates/groups/src/member.rs:
+crates/groups/src/replicate.rs:
+crates/groups/src/view.rs:
+crates/groups/src/voting.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/odp_groups-e2ad5791dc466d20.d: crates/groups/src/lib.rs crates/groups/src/client.rs crates/groups/src/member.rs crates/groups/src/replicate.rs crates/groups/src/view.rs crates/groups/src/voting.rs
+
+/root/repo/target/debug/deps/libodp_groups-e2ad5791dc466d20.rlib: crates/groups/src/lib.rs crates/groups/src/client.rs crates/groups/src/member.rs crates/groups/src/replicate.rs crates/groups/src/view.rs crates/groups/src/voting.rs
+
+/root/repo/target/debug/deps/libodp_groups-e2ad5791dc466d20.rmeta: crates/groups/src/lib.rs crates/groups/src/client.rs crates/groups/src/member.rs crates/groups/src/replicate.rs crates/groups/src/view.rs crates/groups/src/voting.rs
+
+crates/groups/src/lib.rs:
+crates/groups/src/client.rs:
+crates/groups/src/member.rs:
+crates/groups/src/replicate.rs:
+crates/groups/src/view.rs:
+crates/groups/src/voting.rs:

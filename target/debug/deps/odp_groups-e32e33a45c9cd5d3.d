@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/odp_groups-e32e33a45c9cd5d3.d: crates/groups/src/lib.rs crates/groups/src/client.rs crates/groups/src/member.rs crates/groups/src/replicate.rs crates/groups/src/view.rs crates/groups/src/voting.rs Cargo.toml
+
+/root/repo/target/debug/deps/libodp_groups-e32e33a45c9cd5d3.rmeta: crates/groups/src/lib.rs crates/groups/src/client.rs crates/groups/src/member.rs crates/groups/src/replicate.rs crates/groups/src/view.rs crates/groups/src/voting.rs Cargo.toml
+
+crates/groups/src/lib.rs:
+crates/groups/src/client.rs:
+crates/groups/src/member.rs:
+crates/groups/src/replicate.rs:
+crates/groups/src/view.rs:
+crates/groups/src/voting.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

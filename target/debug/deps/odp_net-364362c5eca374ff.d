@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/odp_net-364362c5eca374ff.d: crates/net/src/lib.rs crates/net/src/rex.rs crates/net/src/sim.rs crates/net/src/tcp.rs crates/net/src/transport.rs
+
+/root/repo/target/debug/deps/libodp_net-364362c5eca374ff.rlib: crates/net/src/lib.rs crates/net/src/rex.rs crates/net/src/sim.rs crates/net/src/tcp.rs crates/net/src/transport.rs
+
+/root/repo/target/debug/deps/libodp_net-364362c5eca374ff.rmeta: crates/net/src/lib.rs crates/net/src/rex.rs crates/net/src/sim.rs crates/net/src/tcp.rs crates/net/src/transport.rs
+
+crates/net/src/lib.rs:
+crates/net/src/rex.rs:
+crates/net/src/sim.rs:
+crates/net/src/tcp.rs:
+crates/net/src/transport.rs:

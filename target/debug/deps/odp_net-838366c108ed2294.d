@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/odp_net-838366c108ed2294.d: crates/net/src/lib.rs crates/net/src/rex.rs crates/net/src/sim.rs crates/net/src/tcp.rs crates/net/src/transport.rs
+
+/root/repo/target/debug/deps/odp_net-838366c108ed2294: crates/net/src/lib.rs crates/net/src/rex.rs crates/net/src/sim.rs crates/net/src/tcp.rs crates/net/src/transport.rs
+
+crates/net/src/lib.rs:
+crates/net/src/rex.rs:
+crates/net/src/sim.rs:
+crates/net/src/tcp.rs:
+crates/net/src/transport.rs:

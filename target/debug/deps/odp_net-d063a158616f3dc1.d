@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/odp_net-d063a158616f3dc1.d: crates/net/src/lib.rs crates/net/src/rex.rs crates/net/src/sim.rs crates/net/src/tcp.rs crates/net/src/transport.rs Cargo.toml
+
+/root/repo/target/debug/deps/libodp_net-d063a158616f3dc1.rmeta: crates/net/src/lib.rs crates/net/src/rex.rs crates/net/src/sim.rs crates/net/src/tcp.rs crates/net/src/transport.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/rex.rs:
+crates/net/src/sim.rs:
+crates/net/src/tcp.rs:
+crates/net/src/transport.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/odp_security-259bf361f3d6a10d.d: crates/security/src/lib.rs crates/security/src/guard.rs crates/security/src/secret.rs crates/security/src/siphash.rs Cargo.toml
+
+/root/repo/target/debug/deps/libodp_security-259bf361f3d6a10d.rmeta: crates/security/src/lib.rs crates/security/src/guard.rs crates/security/src/secret.rs crates/security/src/siphash.rs Cargo.toml
+
+crates/security/src/lib.rs:
+crates/security/src/guard.rs:
+crates/security/src/secret.rs:
+crates/security/src/siphash.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

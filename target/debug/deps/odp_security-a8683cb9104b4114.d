@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/odp_security-a8683cb9104b4114.d: crates/security/src/lib.rs crates/security/src/guard.rs crates/security/src/secret.rs crates/security/src/siphash.rs
+
+/root/repo/target/debug/deps/libodp_security-a8683cb9104b4114.rlib: crates/security/src/lib.rs crates/security/src/guard.rs crates/security/src/secret.rs crates/security/src/siphash.rs
+
+/root/repo/target/debug/deps/libodp_security-a8683cb9104b4114.rmeta: crates/security/src/lib.rs crates/security/src/guard.rs crates/security/src/secret.rs crates/security/src/siphash.rs
+
+crates/security/src/lib.rs:
+crates/security/src/guard.rs:
+crates/security/src/secret.rs:
+crates/security/src/siphash.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/odp_security-c16425f7b0ed83a3.d: crates/security/src/lib.rs crates/security/src/guard.rs crates/security/src/secret.rs crates/security/src/siphash.rs
+
+/root/repo/target/debug/deps/odp_security-c16425f7b0ed83a3: crates/security/src/lib.rs crates/security/src/guard.rs crates/security/src/secret.rs crates/security/src/siphash.rs
+
+crates/security/src/lib.rs:
+crates/security/src/guard.rs:
+crates/security/src/secret.rs:
+crates/security/src/siphash.rs:

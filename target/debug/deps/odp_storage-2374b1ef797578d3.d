@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/odp_storage-2374b1ef797578d3.d: crates/storage/src/lib.rs crates/storage/src/checkpoint.rs crates/storage/src/passivate.rs crates/storage/src/recovery.rs crates/storage/src/repository.rs crates/storage/src/wal.rs
+
+/root/repo/target/debug/deps/odp_storage-2374b1ef797578d3: crates/storage/src/lib.rs crates/storage/src/checkpoint.rs crates/storage/src/passivate.rs crates/storage/src/recovery.rs crates/storage/src/repository.rs crates/storage/src/wal.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/checkpoint.rs:
+crates/storage/src/passivate.rs:
+crates/storage/src/recovery.rs:
+crates/storage/src/repository.rs:
+crates/storage/src/wal.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/odp_storage-6b58f061e8d8d951.d: crates/storage/src/lib.rs crates/storage/src/checkpoint.rs crates/storage/src/passivate.rs crates/storage/src/recovery.rs crates/storage/src/repository.rs crates/storage/src/wal.rs
+
+/root/repo/target/debug/deps/libodp_storage-6b58f061e8d8d951.rlib: crates/storage/src/lib.rs crates/storage/src/checkpoint.rs crates/storage/src/passivate.rs crates/storage/src/recovery.rs crates/storage/src/repository.rs crates/storage/src/wal.rs
+
+/root/repo/target/debug/deps/libodp_storage-6b58f061e8d8d951.rmeta: crates/storage/src/lib.rs crates/storage/src/checkpoint.rs crates/storage/src/passivate.rs crates/storage/src/recovery.rs crates/storage/src/repository.rs crates/storage/src/wal.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/checkpoint.rs:
+crates/storage/src/passivate.rs:
+crates/storage/src/recovery.rs:
+crates/storage/src/repository.rs:
+crates/storage/src/wal.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/odp_streams-77b80633614fc394.d: crates/streams/src/lib.rs crates/streams/src/binding.rs crates/streams/src/endpoint.rs crates/streams/src/qos.rs crates/streams/src/stream.rs crates/streams/src/sync.rs
+
+/root/repo/target/debug/deps/libodp_streams-77b80633614fc394.rlib: crates/streams/src/lib.rs crates/streams/src/binding.rs crates/streams/src/endpoint.rs crates/streams/src/qos.rs crates/streams/src/stream.rs crates/streams/src/sync.rs
+
+/root/repo/target/debug/deps/libodp_streams-77b80633614fc394.rmeta: crates/streams/src/lib.rs crates/streams/src/binding.rs crates/streams/src/endpoint.rs crates/streams/src/qos.rs crates/streams/src/stream.rs crates/streams/src/sync.rs
+
+crates/streams/src/lib.rs:
+crates/streams/src/binding.rs:
+crates/streams/src/endpoint.rs:
+crates/streams/src/qos.rs:
+crates/streams/src/stream.rs:
+crates/streams/src/sync.rs:

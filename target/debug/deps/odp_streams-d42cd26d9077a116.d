@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/odp_streams-d42cd26d9077a116.d: crates/streams/src/lib.rs crates/streams/src/binding.rs crates/streams/src/endpoint.rs crates/streams/src/qos.rs crates/streams/src/stream.rs crates/streams/src/sync.rs
+
+/root/repo/target/debug/deps/odp_streams-d42cd26d9077a116: crates/streams/src/lib.rs crates/streams/src/binding.rs crates/streams/src/endpoint.rs crates/streams/src/qos.rs crates/streams/src/stream.rs crates/streams/src/sync.rs
+
+crates/streams/src/lib.rs:
+crates/streams/src/binding.rs:
+crates/streams/src/endpoint.rs:
+crates/streams/src/qos.rs:
+crates/streams/src/stream.rs:
+crates/streams/src/sync.rs:

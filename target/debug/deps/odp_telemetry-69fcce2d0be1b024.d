@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/odp_telemetry-69fcce2d0be1b024.d: crates/telemetry/src/lib.rs crates/telemetry/src/context.rs crates/telemetry/src/hub.rs crates/telemetry/src/metrics.rs crates/telemetry/src/wire_stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libodp_telemetry-69fcce2d0be1b024.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/context.rs crates/telemetry/src/hub.rs crates/telemetry/src/metrics.rs crates/telemetry/src/wire_stats.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/context.rs:
+crates/telemetry/src/hub.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/wire_stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

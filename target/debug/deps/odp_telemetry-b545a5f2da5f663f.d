@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/odp_telemetry-b545a5f2da5f663f.d: crates/telemetry/src/lib.rs crates/telemetry/src/context.rs crates/telemetry/src/hub.rs crates/telemetry/src/metrics.rs crates/telemetry/src/wire_stats.rs
+
+/root/repo/target/debug/deps/libodp_telemetry-b545a5f2da5f663f.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/context.rs crates/telemetry/src/hub.rs crates/telemetry/src/metrics.rs crates/telemetry/src/wire_stats.rs
+
+/root/repo/target/debug/deps/libodp_telemetry-b545a5f2da5f663f.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/context.rs crates/telemetry/src/hub.rs crates/telemetry/src/metrics.rs crates/telemetry/src/wire_stats.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/context.rs:
+crates/telemetry/src/hub.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/wire_stats.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/odp_telemetry-faab80c99234c4c2.d: crates/telemetry/src/lib.rs crates/telemetry/src/context.rs crates/telemetry/src/hub.rs crates/telemetry/src/metrics.rs crates/telemetry/src/wire_stats.rs
+
+/root/repo/target/debug/deps/odp_telemetry-faab80c99234c4c2: crates/telemetry/src/lib.rs crates/telemetry/src/context.rs crates/telemetry/src/hub.rs crates/telemetry/src/metrics.rs crates/telemetry/src/wire_stats.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/context.rs:
+crates/telemetry/src/hub.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/wire_stats.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/odp_trading-16affbafbe9d2ac3.d: crates/trading/src/lib.rs crates/trading/src/context_name.rs crates/trading/src/federation.rs crates/trading/src/offer.rs crates/trading/src/trader.rs
+
+/root/repo/target/debug/deps/libodp_trading-16affbafbe9d2ac3.rlib: crates/trading/src/lib.rs crates/trading/src/context_name.rs crates/trading/src/federation.rs crates/trading/src/offer.rs crates/trading/src/trader.rs
+
+/root/repo/target/debug/deps/libodp_trading-16affbafbe9d2ac3.rmeta: crates/trading/src/lib.rs crates/trading/src/context_name.rs crates/trading/src/federation.rs crates/trading/src/offer.rs crates/trading/src/trader.rs
+
+crates/trading/src/lib.rs:
+crates/trading/src/context_name.rs:
+crates/trading/src/federation.rs:
+crates/trading/src/offer.rs:
+crates/trading/src/trader.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/odp_trading-648ba360bd016380.d: crates/trading/src/lib.rs crates/trading/src/context_name.rs crates/trading/src/federation.rs crates/trading/src/offer.rs crates/trading/src/trader.rs Cargo.toml
+
+/root/repo/target/debug/deps/libodp_trading-648ba360bd016380.rmeta: crates/trading/src/lib.rs crates/trading/src/context_name.rs crates/trading/src/federation.rs crates/trading/src/offer.rs crates/trading/src/trader.rs Cargo.toml
+
+crates/trading/src/lib.rs:
+crates/trading/src/context_name.rs:
+crates/trading/src/federation.rs:
+crates/trading/src/offer.rs:
+crates/trading/src/trader.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/odp_tx-55a48a584176df15.d: crates/tx/src/lib.rs crates/tx/src/coordinator.rs crates/tx/src/deadlock.rs crates/tx/src/locks.rs crates/tx/src/runtime.rs
+
+/root/repo/target/debug/deps/libodp_tx-55a48a584176df15.rlib: crates/tx/src/lib.rs crates/tx/src/coordinator.rs crates/tx/src/deadlock.rs crates/tx/src/locks.rs crates/tx/src/runtime.rs
+
+/root/repo/target/debug/deps/libodp_tx-55a48a584176df15.rmeta: crates/tx/src/lib.rs crates/tx/src/coordinator.rs crates/tx/src/deadlock.rs crates/tx/src/locks.rs crates/tx/src/runtime.rs
+
+crates/tx/src/lib.rs:
+crates/tx/src/coordinator.rs:
+crates/tx/src/deadlock.rs:
+crates/tx/src/locks.rs:
+crates/tx/src/runtime.rs:

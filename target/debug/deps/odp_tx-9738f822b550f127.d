@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/odp_tx-9738f822b550f127.d: crates/tx/src/lib.rs crates/tx/src/coordinator.rs crates/tx/src/deadlock.rs crates/tx/src/locks.rs crates/tx/src/runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libodp_tx-9738f822b550f127.rmeta: crates/tx/src/lib.rs crates/tx/src/coordinator.rs crates/tx/src/deadlock.rs crates/tx/src/locks.rs crates/tx/src/runtime.rs Cargo.toml
+
+crates/tx/src/lib.rs:
+crates/tx/src/coordinator.rs:
+crates/tx/src/deadlock.rs:
+crates/tx/src/locks.rs:
+crates/tx/src/runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

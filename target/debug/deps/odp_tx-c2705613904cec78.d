@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/odp_tx-c2705613904cec78.d: crates/tx/src/lib.rs crates/tx/src/coordinator.rs crates/tx/src/deadlock.rs crates/tx/src/locks.rs crates/tx/src/runtime.rs
+
+/root/repo/target/debug/deps/odp_tx-c2705613904cec78: crates/tx/src/lib.rs crates/tx/src/coordinator.rs crates/tx/src/deadlock.rs crates/tx/src/locks.rs crates/tx/src/runtime.rs
+
+crates/tx/src/lib.rs:
+crates/tx/src/coordinator.rs:
+crates/tx/src/deadlock.rs:
+crates/tx/src/locks.rs:
+crates/tx/src/runtime.rs:

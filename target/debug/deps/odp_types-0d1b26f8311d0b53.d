@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/odp_types-0d1b26f8311d0b53.d: crates/types/src/lib.rs crates/types/src/conformance.rs crates/types/src/ids.rs crates/types/src/signature.rs crates/types/src/type_manager.rs Cargo.toml
+
+/root/repo/target/debug/deps/libodp_types-0d1b26f8311d0b53.rmeta: crates/types/src/lib.rs crates/types/src/conformance.rs crates/types/src/ids.rs crates/types/src/signature.rs crates/types/src/type_manager.rs Cargo.toml
+
+crates/types/src/lib.rs:
+crates/types/src/conformance.rs:
+crates/types/src/ids.rs:
+crates/types/src/signature.rs:
+crates/types/src/type_manager.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/odp_types-64278426c3a09c5e.d: crates/types/src/lib.rs crates/types/src/conformance.rs crates/types/src/ids.rs crates/types/src/signature.rs crates/types/src/type_manager.rs
+
+/root/repo/target/debug/deps/libodp_types-64278426c3a09c5e.rlib: crates/types/src/lib.rs crates/types/src/conformance.rs crates/types/src/ids.rs crates/types/src/signature.rs crates/types/src/type_manager.rs
+
+/root/repo/target/debug/deps/libodp_types-64278426c3a09c5e.rmeta: crates/types/src/lib.rs crates/types/src/conformance.rs crates/types/src/ids.rs crates/types/src/signature.rs crates/types/src/type_manager.rs
+
+crates/types/src/lib.rs:
+crates/types/src/conformance.rs:
+crates/types/src/ids.rs:
+crates/types/src/signature.rs:
+crates/types/src/type_manager.rs:

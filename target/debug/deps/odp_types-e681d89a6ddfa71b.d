@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/odp_types-e681d89a6ddfa71b.d: crates/types/src/lib.rs crates/types/src/conformance.rs crates/types/src/ids.rs crates/types/src/signature.rs crates/types/src/type_manager.rs
+
+/root/repo/target/debug/deps/odp_types-e681d89a6ddfa71b: crates/types/src/lib.rs crates/types/src/conformance.rs crates/types/src/ids.rs crates/types/src/signature.rs crates/types/src/type_manager.rs
+
+crates/types/src/lib.rs:
+crates/types/src/conformance.rs:
+crates/types/src/ids.rs:
+crates/types/src/signature.rs:
+crates/types/src/type_manager.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/odp_wire-11b0c82fc65ce611.d: crates/wire/src/lib.rs crates/wire/src/decode.rs crates/wire/src/encode.rs crates/wire/src/ifref.rs crates/wire/src/pool.rs crates/wire/src/trace.rs crates/wire/src/typecheck.rs crates/wire/src/value.rs
+
+/root/repo/target/debug/deps/odp_wire-11b0c82fc65ce611: crates/wire/src/lib.rs crates/wire/src/decode.rs crates/wire/src/encode.rs crates/wire/src/ifref.rs crates/wire/src/pool.rs crates/wire/src/trace.rs crates/wire/src/typecheck.rs crates/wire/src/value.rs
+
+crates/wire/src/lib.rs:
+crates/wire/src/decode.rs:
+crates/wire/src/encode.rs:
+crates/wire/src/ifref.rs:
+crates/wire/src/pool.rs:
+crates/wire/src/trace.rs:
+crates/wire/src/typecheck.rs:
+crates/wire/src/value.rs:

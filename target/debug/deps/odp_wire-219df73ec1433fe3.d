@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/odp_wire-219df73ec1433fe3.d: crates/wire/src/lib.rs crates/wire/src/decode.rs crates/wire/src/encode.rs crates/wire/src/ifref.rs crates/wire/src/pool.rs crates/wire/src/trace.rs crates/wire/src/typecheck.rs crates/wire/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libodp_wire-219df73ec1433fe3.rmeta: crates/wire/src/lib.rs crates/wire/src/decode.rs crates/wire/src/encode.rs crates/wire/src/ifref.rs crates/wire/src/pool.rs crates/wire/src/trace.rs crates/wire/src/typecheck.rs crates/wire/src/value.rs Cargo.toml
+
+crates/wire/src/lib.rs:
+crates/wire/src/decode.rs:
+crates/wire/src/encode.rs:
+crates/wire/src/ifref.rs:
+crates/wire/src/pool.rs:
+crates/wire/src/trace.rs:
+crates/wire/src/typecheck.rs:
+crates/wire/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

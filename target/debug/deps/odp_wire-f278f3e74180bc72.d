@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/odp_wire-f278f3e74180bc72.d: crates/wire/src/lib.rs crates/wire/src/decode.rs crates/wire/src/encode.rs crates/wire/src/ifref.rs crates/wire/src/pool.rs crates/wire/src/trace.rs crates/wire/src/typecheck.rs crates/wire/src/value.rs
+
+/root/repo/target/debug/deps/libodp_wire-f278f3e74180bc72.rlib: crates/wire/src/lib.rs crates/wire/src/decode.rs crates/wire/src/encode.rs crates/wire/src/ifref.rs crates/wire/src/pool.rs crates/wire/src/trace.rs crates/wire/src/typecheck.rs crates/wire/src/value.rs
+
+/root/repo/target/debug/deps/libodp_wire-f278f3e74180bc72.rmeta: crates/wire/src/lib.rs crates/wire/src/decode.rs crates/wire/src/encode.rs crates/wire/src/ifref.rs crates/wire/src/pool.rs crates/wire/src/trace.rs crates/wire/src/typecheck.rs crates/wire/src/value.rs
+
+crates/wire/src/lib.rs:
+crates/wire/src/decode.rs:
+crates/wire/src/encode.rs:
+crates/wire/src/ifref.rs:
+crates/wire/src/pool.rs:
+crates/wire/src/trace.rs:
+crates/wire/src/typecheck.rs:
+crates/wire/src/value.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-8bdc29fd0536af0b.d: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-8bdc29fd0536af0b.rlib: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-8bdc29fd0536af0b.rmeta: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/stubs/parking_lot/src/lib.rs:

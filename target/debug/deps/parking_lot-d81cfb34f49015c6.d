@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-d81cfb34f49015c6.d: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-d81cfb34f49015c6.rmeta: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/stubs/parking_lot/src/lib.rs:

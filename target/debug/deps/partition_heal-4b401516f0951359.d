@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/partition_heal-4b401516f0951359.d: crates/groups/tests/partition_heal.rs
+
+/root/repo/target/debug/deps/partition_heal-4b401516f0951359: crates/groups/tests/partition_heal.rs
+
+crates/groups/tests/partition_heal.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/partition_heal-80fdc45532f8a499.d: crates/groups/tests/partition_heal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpartition_heal-80fdc45532f8a499.rmeta: crates/groups/tests/partition_heal.rs Cargo.toml
+
+crates/groups/tests/partition_heal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perf_snapshot-4ea295829ab99cba.d: crates/bench/src/bin/perf_snapshot.rs
+
+/root/repo/target/debug/deps/perf_snapshot-4ea295829ab99cba: crates/bench/src/bin/perf_snapshot.rs
+
+crates/bench/src/bin/perf_snapshot.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/perf_snapshot-a564d07d1e9bbbb8.d: crates/bench/src/bin/perf_snapshot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperf_snapshot-a564d07d1e9bbbb8.rmeta: crates/bench/src/bin/perf_snapshot.rs Cargo.toml
+
+crates/bench/src/bin/perf_snapshot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perf_snapshot-d87d462ee0de5bc8.d: crates/bench/src/bin/perf_snapshot.rs
+
+/root/repo/target/debug/deps/perf_snapshot-d87d462ee0de5bc8: crates/bench/src/bin/perf_snapshot.rs
+
+crates/bench/src/bin/perf_snapshot.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/perf_snapshot-e68fb05b86bfdfde.d: crates/bench/src/bin/perf_snapshot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperf_snapshot-e68fb05b86bfdfde.rmeta: crates/bench/src/bin/perf_snapshot.rs Cargo.toml
+
+crates/bench/src/bin/perf_snapshot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

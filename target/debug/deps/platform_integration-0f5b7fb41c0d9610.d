@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/platform_integration-0f5b7fb41c0d9610.d: crates/odp/../../tests/platform_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplatform_integration-0f5b7fb41c0d9610.rmeta: crates/odp/../../tests/platform_integration.rs Cargo.toml
+
+crates/odp/../../tests/platform_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/platform_integration-3283994740ad60ae.d: crates/odp/../../tests/platform_integration.rs
+
+/root/repo/target/debug/deps/platform_integration-3283994740ad60ae: crates/odp/../../tests/platform_integration.rs
+
+crates/odp/../../tests/platform_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/platform_properties-587fa90e124356ab.d: crates/odp/../../tests/platform_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplatform_properties-587fa90e124356ab.rmeta: crates/odp/../../tests/platform_properties.rs Cargo.toml
+
+crates/odp/../../tests/platform_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/platform_properties-fcc364334b04b5e3.d: crates/odp/../../tests/platform_properties.rs
+
+/root/repo/target/debug/deps/platform_properties-fcc364334b04b5e3: crates/odp/../../tests/platform_properties.rs
+
+crates/odp/../../tests/platform_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-4a629b09380e982d.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-4a629b09380e982d.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-7ce25c39a47f9f80.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-7ce25c39a47f9f80.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-7ce25c39a47f9f80.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

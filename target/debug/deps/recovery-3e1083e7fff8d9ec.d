@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/recovery-3e1083e7fff8d9ec.d: crates/storage/tests/recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecovery-3e1083e7fff8d9ec.rmeta: crates/storage/tests/recovery.rs Cargo.toml
+
+crates/storage/tests/recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

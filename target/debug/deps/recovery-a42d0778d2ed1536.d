@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recovery-a42d0778d2ed1536.d: crates/storage/tests/recovery.rs
+
+/root/repo/target/debug/deps/recovery-a42d0778d2ed1536: crates/storage/tests/recovery.rs
+
+crates/storage/tests/recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/replication-58f9f111a6e5e542.d: crates/groups/tests/replication.rs
+
+/root/repo/target/debug/deps/replication-58f9f111a6e5e542: crates/groups/tests/replication.rs
+
+crates/groups/tests/replication.rs:

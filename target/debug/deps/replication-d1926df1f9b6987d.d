@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/replication-d1926df1f9b6987d.d: crates/groups/tests/replication.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreplication-d1926df1f9b6987d.rmeta: crates/groups/tests/replication.rs Cargo.toml
+
+crates/groups/tests/replication.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

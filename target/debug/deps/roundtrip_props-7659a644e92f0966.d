@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roundtrip_props-7659a644e92f0966.d: crates/wire/tests/roundtrip_props.rs
+
+/root/repo/target/debug/deps/roundtrip_props-7659a644e92f0966: crates/wire/tests/roundtrip_props.rs
+
+crates/wire/tests/roundtrip_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/roundtrip_props-8434639e7c230d87.d: crates/wire/tests/roundtrip_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libroundtrip_props-8434639e7c230d87.rmeta: crates/wire/tests/roundtrip_props.rs Cargo.toml
+
+crates/wire/tests/roundtrip_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

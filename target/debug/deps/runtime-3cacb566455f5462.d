@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime-3cacb566455f5462.d: crates/core/tests/runtime.rs
+
+/root/repo/target/debug/deps/runtime-3cacb566455f5462: crates/core/tests/runtime.rs
+
+crates/core/tests/runtime.rs:

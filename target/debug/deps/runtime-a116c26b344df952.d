@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime-a116c26b344df952.d: crates/core/tests/runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruntime-a116c26b344df952.rmeta: crates/core/tests/runtime.rs Cargo.toml
+
+crates/core/tests/runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

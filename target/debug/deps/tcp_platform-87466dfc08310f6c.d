@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tcp_platform-87466dfc08310f6c.d: crates/odp/../../tests/tcp_platform.rs
+
+/root/repo/target/debug/deps/tcp_platform-87466dfc08310f6c: crates/odp/../../tests/tcp_platform.rs
+
+crates/odp/../../tests/tcp_platform.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tcp_platform-a939d9ff00853f4c.d: crates/odp/../../tests/tcp_platform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtcp_platform-a939d9ff00853f4c.rmeta: crates/odp/../../tests/tcp_platform.rs Cargo.toml
+
+crates/odp/../../tests/tcp_platform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_propagation-24c7af9165406589.d: crates/odp/../../tests/trace_propagation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_propagation-24c7af9165406589.rmeta: crates/odp/../../tests/trace_propagation.rs Cargo.toml
+
+crates/odp/../../tests/trace_propagation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

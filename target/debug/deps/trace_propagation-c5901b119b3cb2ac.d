@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_propagation-c5901b119b3cb2ac.d: crates/odp/../../tests/trace_propagation.rs
+
+/root/repo/target/debug/deps/trace_propagation-c5901b119b3cb2ac: crates/odp/../../tests/trace_propagation.rs
+
+crates/odp/../../tests/trace_propagation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/traded_streams-5e20f0eb882a2170.d: crates/streams/tests/traded_streams.rs
+
+/root/repo/target/debug/deps/traded_streams-5e20f0eb882a2170: crates/streams/tests/traded_streams.rs
+
+crates/streams/tests/traded_streams.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/traded_streams-88ca1a7c7dcefccf.d: crates/streams/tests/traded_streams.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtraded_streams-88ca1a7c7dcefccf.rmeta: crates/streams/tests/traded_streams.rs Cargo.toml
+
+crates/streams/tests/traded_streams.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

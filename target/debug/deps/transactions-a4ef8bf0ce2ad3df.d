@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/transactions-a4ef8bf0ce2ad3df.d: crates/tx/tests/transactions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtransactions-a4ef8bf0ce2ad3df.rmeta: crates/tx/tests/transactions.rs Cargo.toml
+
+crates/tx/tests/transactions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transactions-c801212c78b224ff.d: crates/tx/tests/transactions.rs
+
+/root/repo/target/debug/deps/transactions-c801212c78b224ff: crates/tx/tests/transactions.rs
+
+crates/tx/tests/transactions.rs:

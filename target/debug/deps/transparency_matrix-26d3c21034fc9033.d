@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transparency_matrix-26d3c21034fc9033.d: crates/odp/../../tests/transparency_matrix.rs
+
+/root/repo/target/debug/deps/transparency_matrix-26d3c21034fc9033: crates/odp/../../tests/transparency_matrix.rs
+
+crates/odp/../../tests/transparency_matrix.rs:

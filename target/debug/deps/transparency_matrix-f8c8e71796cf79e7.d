@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/transparency_matrix-f8c8e71796cf79e7.d: crates/odp/../../tests/transparency_matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtransparency_matrix-f8c8e71796cf79e7.rmeta: crates/odp/../../tests/transparency_matrix.rs Cargo.toml
+
+crates/odp/../../tests/transparency_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

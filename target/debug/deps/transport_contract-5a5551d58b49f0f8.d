@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/transport_contract-5a5551d58b49f0f8.d: crates/net/tests/transport_contract.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtransport_contract-5a5551d58b49f0f8.rmeta: crates/net/tests/transport_contract.rs Cargo.toml
+
+crates/net/tests/transport_contract.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

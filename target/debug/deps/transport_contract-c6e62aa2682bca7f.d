@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transport_contract-c6e62aa2682bca7f.d: crates/net/tests/transport_contract.rs
+
+/root/repo/target/debug/deps/transport_contract-c6e62aa2682bca7f: crates/net/tests/transport_contract.rs
+
+crates/net/tests/transport_contract.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zero_copy-f57a58b4637bd198.d: crates/wire/tests/zero_copy.rs
+
+/root/repo/target/debug/deps/zero_copy-f57a58b4637bd198: crates/wire/tests/zero_copy.rs
+
+crates/wire/tests/zero_copy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zero_copy-f8691a8d0620840b.d: crates/wire/tests/zero_copy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzero_copy-f8691a8d0620840b.rmeta: crates/wire/tests/zero_copy.rs Cargo.toml
+
+crates/wire/tests/zero_copy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zero_copy_fastpath-6a67b16b320cd590.d: crates/odp/../../tests/zero_copy_fastpath.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzero_copy_fastpath-6a67b16b320cd590.rmeta: crates/odp/../../tests/zero_copy_fastpath.rs Cargo.toml
+
+crates/odp/../../tests/zero_copy_fastpath.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zero_copy_fastpath-7cc5d666831e6d35.d: crates/odp/../../tests/zero_copy_fastpath.rs
+
+/root/repo/target/debug/deps/zero_copy_fastpath-7cc5d666831e6d35: crates/odp/../../tests/zero_copy_fastpath.rs
+
+crates/odp/../../tests/zero_copy_fastpath.rs:

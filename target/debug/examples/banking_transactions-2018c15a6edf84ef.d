@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/banking_transactions-2018c15a6edf84ef.d: crates/odp/../../examples/banking_transactions.rs
+
+/root/repo/target/debug/examples/banking_transactions-2018c15a6edf84ef: crates/odp/../../examples/banking_transactions.rs
+
+crates/odp/../../examples/banking_transactions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/banking_transactions-e8dee568032d420f.d: crates/odp/../../examples/banking_transactions.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbanking_transactions-e8dee568032d420f.rmeta: crates/odp/../../examples/banking_transactions.rs Cargo.toml
+
+crates/odp/../../examples/banking_transactions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

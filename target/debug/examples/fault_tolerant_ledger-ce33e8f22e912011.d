@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_tolerant_ledger-ce33e8f22e912011.d: crates/odp/../../examples/fault_tolerant_ledger.rs
+
+/root/repo/target/debug/examples/fault_tolerant_ledger-ce33e8f22e912011: crates/odp/../../examples/fault_tolerant_ledger.rs
+
+crates/odp/../../examples/fault_tolerant_ledger.rs:

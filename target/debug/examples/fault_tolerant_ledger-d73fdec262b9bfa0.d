@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fault_tolerant_ledger-d73fdec262b9bfa0.d: crates/odp/../../examples/fault_tolerant_ledger.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfault_tolerant_ledger-d73fdec262b9bfa0.rmeta: crates/odp/../../examples/fault_tolerant_ledger.rs Cargo.toml
+
+crates/odp/../../examples/fault_tolerant_ledger.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

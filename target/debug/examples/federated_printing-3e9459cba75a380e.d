@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/federated_printing-3e9459cba75a380e.d: crates/odp/../../examples/federated_printing.rs
+
+/root/repo/target/debug/examples/federated_printing-3e9459cba75a380e: crates/odp/../../examples/federated_printing.rs
+
+crates/odp/../../examples/federated_printing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/federated_printing-9daa4f8fe3e0108c.d: crates/odp/../../examples/federated_printing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfederated_printing-9daa4f8fe3e0108c.rmeta: crates/odp/../../examples/federated_printing.rs Cargo.toml
+
+crates/odp/../../examples/federated_printing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

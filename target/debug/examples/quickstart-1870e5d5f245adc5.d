@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-1870e5d5f245adc5.d: crates/odp/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-1870e5d5f245adc5.rmeta: crates/odp/../../examples/quickstart.rs Cargo.toml
+
+crates/odp/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

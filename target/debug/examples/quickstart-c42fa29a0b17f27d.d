@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c42fa29a0b17f27d.d: crates/odp/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c42fa29a0b17f27d: crates/odp/../../examples/quickstart.rs
+
+crates/odp/../../examples/quickstart.rs:

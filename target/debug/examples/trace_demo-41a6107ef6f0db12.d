@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/trace_demo-41a6107ef6f0db12.d: crates/odp/../../examples/trace_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrace_demo-41a6107ef6f0db12.rmeta: crates/odp/../../examples/trace_demo.rs Cargo.toml
+
+crates/odp/../../examples/trace_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

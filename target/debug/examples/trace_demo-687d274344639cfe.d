@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_demo-687d274344639cfe.d: crates/odp/../../examples/trace_demo.rs
+
+/root/repo/target/debug/examples/trace_demo-687d274344639cfe: crates/odp/../../examples/trace_demo.rs
+
+crates/odp/../../examples/trace_demo.rs:

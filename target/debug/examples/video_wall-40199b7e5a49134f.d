@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/video_wall-40199b7e5a49134f.d: crates/odp/../../examples/video_wall.rs
+
+/root/repo/target/debug/examples/video_wall-40199b7e5a49134f: crates/odp/../../examples/video_wall.rs
+
+crates/odp/../../examples/video_wall.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/video_wall-f9c56cfdd9f7a5e5.d: crates/odp/../../examples/video_wall.rs Cargo.toml
+
+/root/repo/target/debug/examples/libvideo_wall-f9c56cfdd9f7a5e5.rmeta: crates/odp/../../examples/video_wall.rs Cargo.toml
+
+crates/odp/../../examples/video_wall.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

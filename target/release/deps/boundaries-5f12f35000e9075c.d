@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/boundaries-5f12f35000e9075c.d: crates/federation/tests/boundaries.rs
+
+/root/repo/target/release/deps/boundaries-5f12f35000e9075c: crates/federation/tests/boundaries.rs
+
+crates/federation/tests/boundaries.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-09b67ce496b6ef1b.d: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-09b67ce496b6ef1b.rlib: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-09b67ce496b6ef1b.rmeta: /tmp/stubs/bytes/src/lib.rs
+
+/tmp/stubs/bytes/src/lib.rs:

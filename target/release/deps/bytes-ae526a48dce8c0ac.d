@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-ae526a48dce8c0ac.d: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-ae526a48dce8c0ac.rlib: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-ae526a48dce8c0ac.rmeta: /tmp/stubs/bytes/src/lib.rs
+
+/tmp/stubs/bytes/src/lib.rs:

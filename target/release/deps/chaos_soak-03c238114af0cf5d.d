@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos_soak-03c238114af0cf5d.d: crates/odp/../../tests/chaos_soak.rs
+
+/root/repo/target/release/deps/chaos_soak-03c238114af0cf5d: crates/odp/../../tests/chaos_soak.rs
+
+crates/odp/../../tests/chaos_soak.rs:

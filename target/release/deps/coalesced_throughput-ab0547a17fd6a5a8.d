@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/coalesced_throughput-ab0547a17fd6a5a8.d: crates/net/tests/coalesced_throughput.rs
+
+/root/repo/target/release/deps/coalesced_throughput-ab0547a17fd6a5a8: crates/net/tests/coalesced_throughput.rs
+
+crates/net/tests/coalesced_throughput.rs:

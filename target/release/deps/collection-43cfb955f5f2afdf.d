@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/collection-43cfb955f5f2afdf.d: crates/gc/tests/collection.rs
+
+/root/repo/target/release/deps/collection-43cfb955f5f2afdf: crates/gc/tests/collection.rs
+
+crates/gc/tests/collection.rs:

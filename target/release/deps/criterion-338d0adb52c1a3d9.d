@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-338d0adb52c1a3d9.d: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-338d0adb52c1a3d9.rlib: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-338d0adb52c1a3d9.rmeta: /tmp/stubs/criterion/src/lib.rs
+
+/tmp/stubs/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-492ee5ba84f69b91.d: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-492ee5ba84f69b91.rlib: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-492ee5ba84f69b91.rmeta: /tmp/stubs/criterion/src/lib.rs
+
+/tmp/stubs/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-6e578b0ed4112106.d: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-6e578b0ed4112106.rlib: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-6e578b0ed4112106.rmeta: /tmp/stubs/crossbeam/src/lib.rs
+
+/tmp/stubs/crossbeam/src/lib.rs:

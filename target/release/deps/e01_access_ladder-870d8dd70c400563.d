@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e01_access_ladder-870d8dd70c400563.d: crates/bench/benches/e01_access_ladder.rs
+
+/root/repo/target/release/deps/e01_access_ladder-870d8dd70c400563: crates/bench/benches/e01_access_ladder.rs
+
+crates/bench/benches/e01_access_ladder.rs:

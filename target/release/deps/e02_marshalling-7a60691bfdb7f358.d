@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e02_marshalling-7a60691bfdb7f358.d: crates/bench/benches/e02_marshalling.rs
+
+/root/repo/target/release/deps/e02_marshalling-7a60691bfdb7f358: crates/bench/benches/e02_marshalling.rs
+
+crates/bench/benches/e02_marshalling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e03_invocation_styles-3f5d48c2e7953000.d: crates/bench/benches/e03_invocation_styles.rs
+
+/root/repo/target/release/deps/e03_invocation_styles-3f5d48c2e7953000: crates/bench/benches/e03_invocation_styles.rs
+
+crates/bench/benches/e03_invocation_styles.rs:

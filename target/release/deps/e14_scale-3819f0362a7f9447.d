@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e14_scale-3819f0362a7f9447.d: crates/bench/benches/e14_scale.rs
+
+/root/repo/target/release/deps/e14_scale-3819f0362a7f9447: crates/bench/benches/e14_scale.rs
+
+crates/bench/benches/e14_scale.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e16_telemetry-e0853844985c5a11.d: crates/bench/benches/e16_telemetry.rs
+
+/root/repo/target/release/deps/e16_telemetry-e0853844985c5a11: crates/bench/benches/e16_telemetry.rs
+
+crates/bench/benches/e16_telemetry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/federation-f117885b90cfcb90.d: crates/trading/tests/federation.rs
+
+/root/repo/target/release/deps/federation-f117885b90cfcb90: crates/trading/tests/federation.rs
+
+crates/trading/tests/federation.rs:

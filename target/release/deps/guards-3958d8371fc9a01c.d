@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/guards-3958d8371fc9a01c.d: crates/security/tests/guards.rs
+
+/root/repo/target/release/deps/guards-3958d8371fc9a01c: crates/security/tests/guards.rs
+
+crates/security/tests/guards.rs:

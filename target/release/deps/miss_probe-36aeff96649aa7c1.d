@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/miss_probe-36aeff96649aa7c1.d: crates/bench/src/bin/miss_probe.rs
+
+/root/repo/target/release/deps/miss_probe-36aeff96649aa7c1: crates/bench/src/bin/miss_probe.rs
+
+crates/bench/src/bin/miss_probe.rs:

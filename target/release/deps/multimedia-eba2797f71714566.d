@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/multimedia-eba2797f71714566.d: crates/streams/tests/multimedia.rs
+
+/root/repo/target/release/deps/multimedia-eba2797f71714566: crates/streams/tests/multimedia.rs
+
+crates/streams/tests/multimedia.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/n_version-ad200a11c132c73b.d: crates/groups/tests/n_version.rs
+
+/root/repo/target/release/deps/n_version-ad200a11c132c73b: crates/groups/tests/n_version.rs
+
+crates/groups/tests/n_version.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/odp-3b763058d610d801.d: crates/odp/src/lib.rs
+
+/root/repo/target/release/deps/odp-3b763058d610d801: crates/odp/src/lib.rs
+
+crates/odp/src/lib.rs:

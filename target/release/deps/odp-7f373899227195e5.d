@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/odp-7f373899227195e5.d: crates/odp/src/lib.rs
+
+/root/repo/target/release/deps/libodp-7f373899227195e5.rlib: crates/odp/src/lib.rs
+
+/root/repo/target/release/deps/libodp-7f373899227195e5.rmeta: crates/odp/src/lib.rs
+
+crates/odp/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/odp-7fbeba19f4714c2d.d: crates/odp/src/lib.rs
+
+/root/repo/target/release/deps/libodp-7fbeba19f4714c2d.rlib: crates/odp/src/lib.rs
+
+/root/repo/target/release/deps/libodp-7fbeba19f4714c2d.rmeta: crates/odp/src/lib.rs
+
+crates/odp/src/lib.rs:

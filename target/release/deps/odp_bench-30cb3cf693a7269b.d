@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/odp_bench-30cb3cf693a7269b.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libodp_bench-30cb3cf693a7269b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libodp_bench-30cb3cf693a7269b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

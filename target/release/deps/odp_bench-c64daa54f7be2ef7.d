@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/odp_bench-c64daa54f7be2ef7.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libodp_bench-c64daa54f7be2ef7.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libodp_bench-c64daa54f7be2ef7.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

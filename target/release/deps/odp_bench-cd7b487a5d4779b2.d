@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/odp_bench-cd7b487a5d4779b2.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/odp_bench-cd7b487a5d4779b2: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

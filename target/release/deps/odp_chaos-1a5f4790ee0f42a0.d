@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/odp_chaos-1a5f4790ee0f42a0.d: crates/chaos/src/lib.rs crates/chaos/src/invariants.rs crates/chaos/src/runner.rs crates/chaos/src/schedule.rs crates/chaos/src/workload.rs
+
+/root/repo/target/release/deps/odp_chaos-1a5f4790ee0f42a0: crates/chaos/src/lib.rs crates/chaos/src/invariants.rs crates/chaos/src/runner.rs crates/chaos/src/schedule.rs crates/chaos/src/workload.rs
+
+crates/chaos/src/lib.rs:
+crates/chaos/src/invariants.rs:
+crates/chaos/src/runner.rs:
+crates/chaos/src/schedule.rs:
+crates/chaos/src/workload.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/odp_chaos-87ad58262b389aef.d: crates/chaos/src/lib.rs crates/chaos/src/invariants.rs crates/chaos/src/runner.rs crates/chaos/src/schedule.rs crates/chaos/src/workload.rs
+
+/root/repo/target/release/deps/libodp_chaos-87ad58262b389aef.rlib: crates/chaos/src/lib.rs crates/chaos/src/invariants.rs crates/chaos/src/runner.rs crates/chaos/src/schedule.rs crates/chaos/src/workload.rs
+
+/root/repo/target/release/deps/libodp_chaos-87ad58262b389aef.rmeta: crates/chaos/src/lib.rs crates/chaos/src/invariants.rs crates/chaos/src/runner.rs crates/chaos/src/schedule.rs crates/chaos/src/workload.rs
+
+crates/chaos/src/lib.rs:
+crates/chaos/src/invariants.rs:
+crates/chaos/src/runner.rs:
+crates/chaos/src/schedule.rs:
+crates/chaos/src/workload.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/odp_core-62ec4c3f731a05eb.d: crates/core/src/lib.rs crates/core/src/capsule.rs crates/core/src/invocation.rs crates/core/src/management.rs crates/core/src/node_manager.rs crates/core/src/object.rs crates/core/src/relocator.rs crates/core/src/transparency.rs crates/core/src/world.rs
+
+/root/repo/target/release/deps/odp_core-62ec4c3f731a05eb: crates/core/src/lib.rs crates/core/src/capsule.rs crates/core/src/invocation.rs crates/core/src/management.rs crates/core/src/node_manager.rs crates/core/src/object.rs crates/core/src/relocator.rs crates/core/src/transparency.rs crates/core/src/world.rs
+
+crates/core/src/lib.rs:
+crates/core/src/capsule.rs:
+crates/core/src/invocation.rs:
+crates/core/src/management.rs:
+crates/core/src/node_manager.rs:
+crates/core/src/object.rs:
+crates/core/src/relocator.rs:
+crates/core/src/transparency.rs:
+crates/core/src/world.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/odp_core-f143bf21e8995807.d: crates/core/src/lib.rs crates/core/src/capsule.rs crates/core/src/invocation.rs crates/core/src/management.rs crates/core/src/node_manager.rs crates/core/src/object.rs crates/core/src/relocator.rs crates/core/src/transparency.rs crates/core/src/world.rs
+
+/root/repo/target/release/deps/libodp_core-f143bf21e8995807.rlib: crates/core/src/lib.rs crates/core/src/capsule.rs crates/core/src/invocation.rs crates/core/src/management.rs crates/core/src/node_manager.rs crates/core/src/object.rs crates/core/src/relocator.rs crates/core/src/transparency.rs crates/core/src/world.rs
+
+/root/repo/target/release/deps/libodp_core-f143bf21e8995807.rmeta: crates/core/src/lib.rs crates/core/src/capsule.rs crates/core/src/invocation.rs crates/core/src/management.rs crates/core/src/node_manager.rs crates/core/src/object.rs crates/core/src/relocator.rs crates/core/src/transparency.rs crates/core/src/world.rs
+
+crates/core/src/lib.rs:
+crates/core/src/capsule.rs:
+crates/core/src/invocation.rs:
+crates/core/src/management.rs:
+crates/core/src/node_manager.rs:
+crates/core/src/object.rs:
+crates/core/src/relocator.rs:
+crates/core/src/transparency.rs:
+crates/core/src/world.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/odp_federation-1898bab21990f6ca.d: crates/federation/src/lib.rs crates/federation/src/accounting.rs crates/federation/src/domain.rs crates/federation/src/interceptor.rs crates/federation/src/proxy.rs crates/federation/src/translate.rs
+
+/root/repo/target/release/deps/libodp_federation-1898bab21990f6ca.rlib: crates/federation/src/lib.rs crates/federation/src/accounting.rs crates/federation/src/domain.rs crates/federation/src/interceptor.rs crates/federation/src/proxy.rs crates/federation/src/translate.rs
+
+/root/repo/target/release/deps/libodp_federation-1898bab21990f6ca.rmeta: crates/federation/src/lib.rs crates/federation/src/accounting.rs crates/federation/src/domain.rs crates/federation/src/interceptor.rs crates/federation/src/proxy.rs crates/federation/src/translate.rs
+
+crates/federation/src/lib.rs:
+crates/federation/src/accounting.rs:
+crates/federation/src/domain.rs:
+crates/federation/src/interceptor.rs:
+crates/federation/src/proxy.rs:
+crates/federation/src/translate.rs:

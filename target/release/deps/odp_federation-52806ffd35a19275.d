@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/odp_federation-52806ffd35a19275.d: crates/federation/src/lib.rs crates/federation/src/accounting.rs crates/federation/src/domain.rs crates/federation/src/interceptor.rs crates/federation/src/proxy.rs crates/federation/src/translate.rs
+
+/root/repo/target/release/deps/odp_federation-52806ffd35a19275: crates/federation/src/lib.rs crates/federation/src/accounting.rs crates/federation/src/domain.rs crates/federation/src/interceptor.rs crates/federation/src/proxy.rs crates/federation/src/translate.rs
+
+crates/federation/src/lib.rs:
+crates/federation/src/accounting.rs:
+crates/federation/src/domain.rs:
+crates/federation/src/interceptor.rs:
+crates/federation/src/proxy.rs:
+crates/federation/src/translate.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/odp_gc-14cd611f73c97fed.d: crates/gc/src/lib.rs crates/gc/src/collector.rs crates/gc/src/idle.rs crates/gc/src/lease.rs crates/gc/src/registry.rs
+
+/root/repo/target/release/deps/libodp_gc-14cd611f73c97fed.rlib: crates/gc/src/lib.rs crates/gc/src/collector.rs crates/gc/src/idle.rs crates/gc/src/lease.rs crates/gc/src/registry.rs
+
+/root/repo/target/release/deps/libodp_gc-14cd611f73c97fed.rmeta: crates/gc/src/lib.rs crates/gc/src/collector.rs crates/gc/src/idle.rs crates/gc/src/lease.rs crates/gc/src/registry.rs
+
+crates/gc/src/lib.rs:
+crates/gc/src/collector.rs:
+crates/gc/src/idle.rs:
+crates/gc/src/lease.rs:
+crates/gc/src/registry.rs:

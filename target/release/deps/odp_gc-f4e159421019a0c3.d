@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/odp_gc-f4e159421019a0c3.d: crates/gc/src/lib.rs crates/gc/src/collector.rs crates/gc/src/idle.rs crates/gc/src/lease.rs crates/gc/src/registry.rs
+
+/root/repo/target/release/deps/libodp_gc-f4e159421019a0c3.rlib: crates/gc/src/lib.rs crates/gc/src/collector.rs crates/gc/src/idle.rs crates/gc/src/lease.rs crates/gc/src/registry.rs
+
+/root/repo/target/release/deps/libodp_gc-f4e159421019a0c3.rmeta: crates/gc/src/lib.rs crates/gc/src/collector.rs crates/gc/src/idle.rs crates/gc/src/lease.rs crates/gc/src/registry.rs
+
+crates/gc/src/lib.rs:
+crates/gc/src/collector.rs:
+crates/gc/src/idle.rs:
+crates/gc/src/lease.rs:
+crates/gc/src/registry.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/odp_groups-2f4857d7159944ed.d: crates/groups/src/lib.rs crates/groups/src/client.rs crates/groups/src/member.rs crates/groups/src/replicate.rs crates/groups/src/view.rs crates/groups/src/voting.rs
+
+/root/repo/target/release/deps/libodp_groups-2f4857d7159944ed.rlib: crates/groups/src/lib.rs crates/groups/src/client.rs crates/groups/src/member.rs crates/groups/src/replicate.rs crates/groups/src/view.rs crates/groups/src/voting.rs
+
+/root/repo/target/release/deps/libodp_groups-2f4857d7159944ed.rmeta: crates/groups/src/lib.rs crates/groups/src/client.rs crates/groups/src/member.rs crates/groups/src/replicate.rs crates/groups/src/view.rs crates/groups/src/voting.rs
+
+crates/groups/src/lib.rs:
+crates/groups/src/client.rs:
+crates/groups/src/member.rs:
+crates/groups/src/replicate.rs:
+crates/groups/src/view.rs:
+crates/groups/src/voting.rs:

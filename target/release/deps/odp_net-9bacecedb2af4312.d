@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/odp_net-9bacecedb2af4312.d: crates/net/src/lib.rs crates/net/src/rex.rs crates/net/src/sim.rs crates/net/src/tcp.rs crates/net/src/transport.rs
+
+/root/repo/target/release/deps/odp_net-9bacecedb2af4312: crates/net/src/lib.rs crates/net/src/rex.rs crates/net/src/sim.rs crates/net/src/tcp.rs crates/net/src/transport.rs
+
+crates/net/src/lib.rs:
+crates/net/src/rex.rs:
+crates/net/src/sim.rs:
+crates/net/src/tcp.rs:
+crates/net/src/transport.rs:

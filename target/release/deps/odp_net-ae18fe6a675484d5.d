@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/odp_net-ae18fe6a675484d5.d: crates/net/src/lib.rs crates/net/src/rex.rs crates/net/src/sim.rs crates/net/src/tcp.rs crates/net/src/transport.rs
+
+/root/repo/target/release/deps/libodp_net-ae18fe6a675484d5.rlib: crates/net/src/lib.rs crates/net/src/rex.rs crates/net/src/sim.rs crates/net/src/tcp.rs crates/net/src/transport.rs
+
+/root/repo/target/release/deps/libodp_net-ae18fe6a675484d5.rmeta: crates/net/src/lib.rs crates/net/src/rex.rs crates/net/src/sim.rs crates/net/src/tcp.rs crates/net/src/transport.rs
+
+crates/net/src/lib.rs:
+crates/net/src/rex.rs:
+crates/net/src/sim.rs:
+crates/net/src/tcp.rs:
+crates/net/src/transport.rs:

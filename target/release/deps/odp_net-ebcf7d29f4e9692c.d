@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/odp_net-ebcf7d29f4e9692c.d: crates/net/src/lib.rs crates/net/src/rex.rs crates/net/src/sim.rs crates/net/src/tcp.rs crates/net/src/transport.rs
+
+/root/repo/target/release/deps/libodp_net-ebcf7d29f4e9692c.rlib: crates/net/src/lib.rs crates/net/src/rex.rs crates/net/src/sim.rs crates/net/src/tcp.rs crates/net/src/transport.rs
+
+/root/repo/target/release/deps/libodp_net-ebcf7d29f4e9692c.rmeta: crates/net/src/lib.rs crates/net/src/rex.rs crates/net/src/sim.rs crates/net/src/tcp.rs crates/net/src/transport.rs
+
+crates/net/src/lib.rs:
+crates/net/src/rex.rs:
+crates/net/src/sim.rs:
+crates/net/src/tcp.rs:
+crates/net/src/transport.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/odp_security-0129a39bfc1dd3cb.d: crates/security/src/lib.rs crates/security/src/guard.rs crates/security/src/secret.rs crates/security/src/siphash.rs
+
+/root/repo/target/release/deps/odp_security-0129a39bfc1dd3cb: crates/security/src/lib.rs crates/security/src/guard.rs crates/security/src/secret.rs crates/security/src/siphash.rs
+
+crates/security/src/lib.rs:
+crates/security/src/guard.rs:
+crates/security/src/secret.rs:
+crates/security/src/siphash.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/odp_security-3dc63c578ea0c255.d: crates/security/src/lib.rs crates/security/src/guard.rs crates/security/src/secret.rs crates/security/src/siphash.rs
+
+/root/repo/target/release/deps/libodp_security-3dc63c578ea0c255.rlib: crates/security/src/lib.rs crates/security/src/guard.rs crates/security/src/secret.rs crates/security/src/siphash.rs
+
+/root/repo/target/release/deps/libodp_security-3dc63c578ea0c255.rmeta: crates/security/src/lib.rs crates/security/src/guard.rs crates/security/src/secret.rs crates/security/src/siphash.rs
+
+crates/security/src/lib.rs:
+crates/security/src/guard.rs:
+crates/security/src/secret.rs:
+crates/security/src/siphash.rs:

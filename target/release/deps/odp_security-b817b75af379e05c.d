@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/odp_security-b817b75af379e05c.d: crates/security/src/lib.rs crates/security/src/guard.rs crates/security/src/secret.rs crates/security/src/siphash.rs
+
+/root/repo/target/release/deps/libodp_security-b817b75af379e05c.rlib: crates/security/src/lib.rs crates/security/src/guard.rs crates/security/src/secret.rs crates/security/src/siphash.rs
+
+/root/repo/target/release/deps/libodp_security-b817b75af379e05c.rmeta: crates/security/src/lib.rs crates/security/src/guard.rs crates/security/src/secret.rs crates/security/src/siphash.rs
+
+crates/security/src/lib.rs:
+crates/security/src/guard.rs:
+crates/security/src/secret.rs:
+crates/security/src/siphash.rs:

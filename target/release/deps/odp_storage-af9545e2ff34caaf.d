@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/odp_storage-af9545e2ff34caaf.d: crates/storage/src/lib.rs crates/storage/src/checkpoint.rs crates/storage/src/passivate.rs crates/storage/src/recovery.rs crates/storage/src/repository.rs crates/storage/src/wal.rs
+
+/root/repo/target/release/deps/libodp_storage-af9545e2ff34caaf.rlib: crates/storage/src/lib.rs crates/storage/src/checkpoint.rs crates/storage/src/passivate.rs crates/storage/src/recovery.rs crates/storage/src/repository.rs crates/storage/src/wal.rs
+
+/root/repo/target/release/deps/libodp_storage-af9545e2ff34caaf.rmeta: crates/storage/src/lib.rs crates/storage/src/checkpoint.rs crates/storage/src/passivate.rs crates/storage/src/recovery.rs crates/storage/src/repository.rs crates/storage/src/wal.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/checkpoint.rs:
+crates/storage/src/passivate.rs:
+crates/storage/src/recovery.rs:
+crates/storage/src/repository.rs:
+crates/storage/src/wal.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/odp_storage-dda8ed36a44499a4.d: crates/storage/src/lib.rs crates/storage/src/checkpoint.rs crates/storage/src/passivate.rs crates/storage/src/recovery.rs crates/storage/src/repository.rs crates/storage/src/wal.rs
+
+/root/repo/target/release/deps/odp_storage-dda8ed36a44499a4: crates/storage/src/lib.rs crates/storage/src/checkpoint.rs crates/storage/src/passivate.rs crates/storage/src/recovery.rs crates/storage/src/repository.rs crates/storage/src/wal.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/checkpoint.rs:
+crates/storage/src/passivate.rs:
+crates/storage/src/recovery.rs:
+crates/storage/src/repository.rs:
+crates/storage/src/wal.rs:

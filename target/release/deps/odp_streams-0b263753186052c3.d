@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/odp_streams-0b263753186052c3.d: crates/streams/src/lib.rs crates/streams/src/binding.rs crates/streams/src/endpoint.rs crates/streams/src/qos.rs crates/streams/src/stream.rs crates/streams/src/sync.rs
+
+/root/repo/target/release/deps/libodp_streams-0b263753186052c3.rlib: crates/streams/src/lib.rs crates/streams/src/binding.rs crates/streams/src/endpoint.rs crates/streams/src/qos.rs crates/streams/src/stream.rs crates/streams/src/sync.rs
+
+/root/repo/target/release/deps/libodp_streams-0b263753186052c3.rmeta: crates/streams/src/lib.rs crates/streams/src/binding.rs crates/streams/src/endpoint.rs crates/streams/src/qos.rs crates/streams/src/stream.rs crates/streams/src/sync.rs
+
+crates/streams/src/lib.rs:
+crates/streams/src/binding.rs:
+crates/streams/src/endpoint.rs:
+crates/streams/src/qos.rs:
+crates/streams/src/stream.rs:
+crates/streams/src/sync.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/odp_streams-29de33863e0c2375.d: crates/streams/src/lib.rs crates/streams/src/binding.rs crates/streams/src/endpoint.rs crates/streams/src/qos.rs crates/streams/src/stream.rs crates/streams/src/sync.rs
+
+/root/repo/target/release/deps/odp_streams-29de33863e0c2375: crates/streams/src/lib.rs crates/streams/src/binding.rs crates/streams/src/endpoint.rs crates/streams/src/qos.rs crates/streams/src/stream.rs crates/streams/src/sync.rs
+
+crates/streams/src/lib.rs:
+crates/streams/src/binding.rs:
+crates/streams/src/endpoint.rs:
+crates/streams/src/qos.rs:
+crates/streams/src/stream.rs:
+crates/streams/src/sync.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/odp_streams-e469982e5a361673.d: crates/streams/src/lib.rs crates/streams/src/binding.rs crates/streams/src/endpoint.rs crates/streams/src/qos.rs crates/streams/src/stream.rs crates/streams/src/sync.rs
+
+/root/repo/target/release/deps/libodp_streams-e469982e5a361673.rlib: crates/streams/src/lib.rs crates/streams/src/binding.rs crates/streams/src/endpoint.rs crates/streams/src/qos.rs crates/streams/src/stream.rs crates/streams/src/sync.rs
+
+/root/repo/target/release/deps/libodp_streams-e469982e5a361673.rmeta: crates/streams/src/lib.rs crates/streams/src/binding.rs crates/streams/src/endpoint.rs crates/streams/src/qos.rs crates/streams/src/stream.rs crates/streams/src/sync.rs
+
+crates/streams/src/lib.rs:
+crates/streams/src/binding.rs:
+crates/streams/src/endpoint.rs:
+crates/streams/src/qos.rs:
+crates/streams/src/stream.rs:
+crates/streams/src/sync.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/odp_telemetry-68a9314a926aa75c.d: crates/telemetry/src/lib.rs crates/telemetry/src/context.rs crates/telemetry/src/hub.rs crates/telemetry/src/metrics.rs
+
+/root/repo/target/release/deps/odp_telemetry-68a9314a926aa75c: crates/telemetry/src/lib.rs crates/telemetry/src/context.rs crates/telemetry/src/hub.rs crates/telemetry/src/metrics.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/context.rs:
+crates/telemetry/src/hub.rs:
+crates/telemetry/src/metrics.rs:

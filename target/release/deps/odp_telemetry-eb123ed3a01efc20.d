@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/odp_telemetry-eb123ed3a01efc20.d: crates/telemetry/src/lib.rs crates/telemetry/src/context.rs crates/telemetry/src/hub.rs crates/telemetry/src/metrics.rs crates/telemetry/src/wire_stats.rs
+
+/root/repo/target/release/deps/libodp_telemetry-eb123ed3a01efc20.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/context.rs crates/telemetry/src/hub.rs crates/telemetry/src/metrics.rs crates/telemetry/src/wire_stats.rs
+
+/root/repo/target/release/deps/libodp_telemetry-eb123ed3a01efc20.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/context.rs crates/telemetry/src/hub.rs crates/telemetry/src/metrics.rs crates/telemetry/src/wire_stats.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/context.rs:
+crates/telemetry/src/hub.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/wire_stats.rs:

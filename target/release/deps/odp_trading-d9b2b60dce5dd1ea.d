@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/odp_trading-d9b2b60dce5dd1ea.d: crates/trading/src/lib.rs crates/trading/src/context_name.rs crates/trading/src/federation.rs crates/trading/src/offer.rs crates/trading/src/trader.rs
+
+/root/repo/target/release/deps/odp_trading-d9b2b60dce5dd1ea: crates/trading/src/lib.rs crates/trading/src/context_name.rs crates/trading/src/federation.rs crates/trading/src/offer.rs crates/trading/src/trader.rs
+
+crates/trading/src/lib.rs:
+crates/trading/src/context_name.rs:
+crates/trading/src/federation.rs:
+crates/trading/src/offer.rs:
+crates/trading/src/trader.rs:

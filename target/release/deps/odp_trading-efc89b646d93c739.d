@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/odp_trading-efc89b646d93c739.d: crates/trading/src/lib.rs crates/trading/src/context_name.rs crates/trading/src/federation.rs crates/trading/src/offer.rs crates/trading/src/trader.rs
+
+/root/repo/target/release/deps/libodp_trading-efc89b646d93c739.rlib: crates/trading/src/lib.rs crates/trading/src/context_name.rs crates/trading/src/federation.rs crates/trading/src/offer.rs crates/trading/src/trader.rs
+
+/root/repo/target/release/deps/libodp_trading-efc89b646d93c739.rmeta: crates/trading/src/lib.rs crates/trading/src/context_name.rs crates/trading/src/federation.rs crates/trading/src/offer.rs crates/trading/src/trader.rs
+
+crates/trading/src/lib.rs:
+crates/trading/src/context_name.rs:
+crates/trading/src/federation.rs:
+crates/trading/src/offer.rs:
+crates/trading/src/trader.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/odp_trading-fcef0cea3719037e.d: crates/trading/src/lib.rs crates/trading/src/context_name.rs crates/trading/src/federation.rs crates/trading/src/offer.rs crates/trading/src/trader.rs
+
+/root/repo/target/release/deps/libodp_trading-fcef0cea3719037e.rlib: crates/trading/src/lib.rs crates/trading/src/context_name.rs crates/trading/src/federation.rs crates/trading/src/offer.rs crates/trading/src/trader.rs
+
+/root/repo/target/release/deps/libodp_trading-fcef0cea3719037e.rmeta: crates/trading/src/lib.rs crates/trading/src/context_name.rs crates/trading/src/federation.rs crates/trading/src/offer.rs crates/trading/src/trader.rs
+
+crates/trading/src/lib.rs:
+crates/trading/src/context_name.rs:
+crates/trading/src/federation.rs:
+crates/trading/src/offer.rs:
+crates/trading/src/trader.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/odp_tx-3a470f09a93f68b5.d: crates/tx/src/lib.rs crates/tx/src/coordinator.rs crates/tx/src/deadlock.rs crates/tx/src/locks.rs crates/tx/src/runtime.rs
+
+/root/repo/target/release/deps/odp_tx-3a470f09a93f68b5: crates/tx/src/lib.rs crates/tx/src/coordinator.rs crates/tx/src/deadlock.rs crates/tx/src/locks.rs crates/tx/src/runtime.rs
+
+crates/tx/src/lib.rs:
+crates/tx/src/coordinator.rs:
+crates/tx/src/deadlock.rs:
+crates/tx/src/locks.rs:
+crates/tx/src/runtime.rs:

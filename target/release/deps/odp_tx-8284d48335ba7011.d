@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/odp_tx-8284d48335ba7011.d: crates/tx/src/lib.rs crates/tx/src/coordinator.rs crates/tx/src/deadlock.rs crates/tx/src/locks.rs crates/tx/src/runtime.rs
+
+/root/repo/target/release/deps/libodp_tx-8284d48335ba7011.rlib: crates/tx/src/lib.rs crates/tx/src/coordinator.rs crates/tx/src/deadlock.rs crates/tx/src/locks.rs crates/tx/src/runtime.rs
+
+/root/repo/target/release/deps/libodp_tx-8284d48335ba7011.rmeta: crates/tx/src/lib.rs crates/tx/src/coordinator.rs crates/tx/src/deadlock.rs crates/tx/src/locks.rs crates/tx/src/runtime.rs
+
+crates/tx/src/lib.rs:
+crates/tx/src/coordinator.rs:
+crates/tx/src/deadlock.rs:
+crates/tx/src/locks.rs:
+crates/tx/src/runtime.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/odp_types-dae0b17761b8ac79.d: crates/types/src/lib.rs crates/types/src/conformance.rs crates/types/src/ids.rs crates/types/src/signature.rs crates/types/src/type_manager.rs
+
+/root/repo/target/release/deps/odp_types-dae0b17761b8ac79: crates/types/src/lib.rs crates/types/src/conformance.rs crates/types/src/ids.rs crates/types/src/signature.rs crates/types/src/type_manager.rs
+
+crates/types/src/lib.rs:
+crates/types/src/conformance.rs:
+crates/types/src/ids.rs:
+crates/types/src/signature.rs:
+crates/types/src/type_manager.rs:

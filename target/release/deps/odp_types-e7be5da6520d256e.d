@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/odp_types-e7be5da6520d256e.d: crates/types/src/lib.rs crates/types/src/conformance.rs crates/types/src/ids.rs crates/types/src/signature.rs crates/types/src/type_manager.rs
+
+/root/repo/target/release/deps/libodp_types-e7be5da6520d256e.rlib: crates/types/src/lib.rs crates/types/src/conformance.rs crates/types/src/ids.rs crates/types/src/signature.rs crates/types/src/type_manager.rs
+
+/root/repo/target/release/deps/libodp_types-e7be5da6520d256e.rmeta: crates/types/src/lib.rs crates/types/src/conformance.rs crates/types/src/ids.rs crates/types/src/signature.rs crates/types/src/type_manager.rs
+
+crates/types/src/lib.rs:
+crates/types/src/conformance.rs:
+crates/types/src/ids.rs:
+crates/types/src/signature.rs:
+crates/types/src/type_manager.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/odp_wire-1ce15dfa2c1f3fa8.d: crates/wire/src/lib.rs crates/wire/src/decode.rs crates/wire/src/encode.rs crates/wire/src/ifref.rs crates/wire/src/pool.rs crates/wire/src/trace.rs crates/wire/src/typecheck.rs crates/wire/src/value.rs
+
+/root/repo/target/release/deps/libodp_wire-1ce15dfa2c1f3fa8.rlib: crates/wire/src/lib.rs crates/wire/src/decode.rs crates/wire/src/encode.rs crates/wire/src/ifref.rs crates/wire/src/pool.rs crates/wire/src/trace.rs crates/wire/src/typecheck.rs crates/wire/src/value.rs
+
+/root/repo/target/release/deps/libodp_wire-1ce15dfa2c1f3fa8.rmeta: crates/wire/src/lib.rs crates/wire/src/decode.rs crates/wire/src/encode.rs crates/wire/src/ifref.rs crates/wire/src/pool.rs crates/wire/src/trace.rs crates/wire/src/typecheck.rs crates/wire/src/value.rs
+
+crates/wire/src/lib.rs:
+crates/wire/src/decode.rs:
+crates/wire/src/encode.rs:
+crates/wire/src/ifref.rs:
+crates/wire/src/pool.rs:
+crates/wire/src/trace.rs:
+crates/wire/src/typecheck.rs:
+crates/wire/src/value.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/odp_wire-517572ac85ccd77c.d: crates/wire/src/lib.rs crates/wire/src/decode.rs crates/wire/src/encode.rs crates/wire/src/ifref.rs crates/wire/src/trace.rs crates/wire/src/typecheck.rs crates/wire/src/value.rs
+
+/root/repo/target/release/deps/odp_wire-517572ac85ccd77c: crates/wire/src/lib.rs crates/wire/src/decode.rs crates/wire/src/encode.rs crates/wire/src/ifref.rs crates/wire/src/trace.rs crates/wire/src/typecheck.rs crates/wire/src/value.rs
+
+crates/wire/src/lib.rs:
+crates/wire/src/decode.rs:
+crates/wire/src/encode.rs:
+crates/wire/src/ifref.rs:
+crates/wire/src/trace.rs:
+crates/wire/src/typecheck.rs:
+crates/wire/src/value.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-1055e615c0d1241f.d: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-1055e615c0d1241f.rlib: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-1055e615c0d1241f.rmeta: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/stubs/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-a2c8859e8d50f420.d: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-a2c8859e8d50f420.rlib: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-a2c8859e8d50f420.rmeta: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/stubs/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/partition_heal-e8cbbd2e94091d5f.d: crates/groups/tests/partition_heal.rs
+
+/root/repo/target/release/deps/partition_heal-e8cbbd2e94091d5f: crates/groups/tests/partition_heal.rs
+
+crates/groups/tests/partition_heal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/perf_snapshot-a43d42b84da37754.d: crates/bench/src/bin/perf_snapshot.rs
+
+/root/repo/target/release/deps/perf_snapshot-a43d42b84da37754: crates/bench/src/bin/perf_snapshot.rs
+
+crates/bench/src/bin/perf_snapshot.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/perf_snapshot-adb24809e7bc15ad.d: crates/bench/src/bin/perf_snapshot.rs
+
+/root/repo/target/release/deps/perf_snapshot-adb24809e7bc15ad: crates/bench/src/bin/perf_snapshot.rs
+
+crates/bench/src/bin/perf_snapshot.rs:

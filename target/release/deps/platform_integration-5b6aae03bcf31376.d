@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/platform_integration-5b6aae03bcf31376.d: crates/odp/../../tests/platform_integration.rs
+
+/root/repo/target/release/deps/platform_integration-5b6aae03bcf31376: crates/odp/../../tests/platform_integration.rs
+
+crates/odp/../../tests/platform_integration.rs:

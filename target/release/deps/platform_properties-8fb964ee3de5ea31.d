@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/platform_properties-8fb964ee3de5ea31.d: crates/odp/../../tests/platform_properties.rs
+
+/root/repo/target/release/deps/platform_properties-8fb964ee3de5ea31: crates/odp/../../tests/platform_properties.rs
+
+crates/odp/../../tests/platform_properties.rs:

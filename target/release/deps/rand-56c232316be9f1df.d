@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-56c232316be9f1df.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-56c232316be9f1df.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-56c232316be9f1df.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

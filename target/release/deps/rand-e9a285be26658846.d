@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-e9a285be26658846.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-e9a285be26658846.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-e9a285be26658846.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/recovery-64fd005317f6df69.d: crates/storage/tests/recovery.rs
+
+/root/repo/target/release/deps/recovery-64fd005317f6df69: crates/storage/tests/recovery.rs
+
+crates/storage/tests/recovery.rs:

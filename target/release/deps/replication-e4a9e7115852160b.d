@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/replication-e4a9e7115852160b.d: crates/groups/tests/replication.rs
+
+/root/repo/target/release/deps/replication-e4a9e7115852160b: crates/groups/tests/replication.rs
+
+crates/groups/tests/replication.rs:

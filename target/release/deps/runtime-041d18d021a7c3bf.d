@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/runtime-041d18d021a7c3bf.d: crates/core/tests/runtime.rs
+
+/root/repo/target/release/deps/runtime-041d18d021a7c3bf: crates/core/tests/runtime.rs
+
+crates/core/tests/runtime.rs:

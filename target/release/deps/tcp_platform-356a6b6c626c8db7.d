@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tcp_platform-356a6b6c626c8db7.d: crates/odp/../../tests/tcp_platform.rs
+
+/root/repo/target/release/deps/tcp_platform-356a6b6c626c8db7: crates/odp/../../tests/tcp_platform.rs
+
+crates/odp/../../tests/tcp_platform.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_propagation-360226a277ba16f6.d: crates/odp/../../tests/trace_propagation.rs
+
+/root/repo/target/release/deps/trace_propagation-360226a277ba16f6: crates/odp/../../tests/trace_propagation.rs
+
+crates/odp/../../tests/trace_propagation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/traded_streams-4333c43f3353350c.d: crates/streams/tests/traded_streams.rs
+
+/root/repo/target/release/deps/traded_streams-4333c43f3353350c: crates/streams/tests/traded_streams.rs
+
+crates/streams/tests/traded_streams.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/transactions-f3346c13f9fc97e9.d: crates/tx/tests/transactions.rs
+
+/root/repo/target/release/deps/transactions-f3346c13f9fc97e9: crates/tx/tests/transactions.rs
+
+crates/tx/tests/transactions.rs:

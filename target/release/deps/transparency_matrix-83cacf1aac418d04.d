@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/transparency_matrix-83cacf1aac418d04.d: crates/odp/../../tests/transparency_matrix.rs
+
+/root/repo/target/release/deps/transparency_matrix-83cacf1aac418d04: crates/odp/../../tests/transparency_matrix.rs
+
+crates/odp/../../tests/transparency_matrix.rs:

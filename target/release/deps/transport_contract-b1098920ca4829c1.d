@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/transport_contract-b1098920ca4829c1.d: crates/net/tests/transport_contract.rs
+
+/root/repo/target/release/deps/transport_contract-b1098920ca4829c1: crates/net/tests/transport_contract.rs
+
+crates/net/tests/transport_contract.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/zero_copy_fastpath-6be1aca9d2d69016.d: crates/odp/../../tests/zero_copy_fastpath.rs
+
+/root/repo/target/release/deps/zero_copy_fastpath-6be1aca9d2d69016: crates/odp/../../tests/zero_copy_fastpath.rs
+
+crates/odp/../../tests/zero_copy_fastpath.rs:

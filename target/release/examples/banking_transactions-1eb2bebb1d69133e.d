@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/banking_transactions-1eb2bebb1d69133e.d: crates/odp/../../examples/banking_transactions.rs
+
+/root/repo/target/release/examples/banking_transactions-1eb2bebb1d69133e: crates/odp/../../examples/banking_transactions.rs
+
+crates/odp/../../examples/banking_transactions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fault_tolerant_ledger-0b69331582e89b24.d: crates/odp/../../examples/fault_tolerant_ledger.rs
+
+/root/repo/target/release/examples/fault_tolerant_ledger-0b69331582e89b24: crates/odp/../../examples/fault_tolerant_ledger.rs
+
+crates/odp/../../examples/fault_tolerant_ledger.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/federated_printing-7d50ed22c5cf2eb9.d: crates/odp/../../examples/federated_printing.rs
+
+/root/repo/target/release/examples/federated_printing-7d50ed22c5cf2eb9: crates/odp/../../examples/federated_printing.rs
+
+crates/odp/../../examples/federated_printing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-8adb94a9b18e424e.d: crates/odp/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-8adb94a9b18e424e: crates/odp/../../examples/quickstart.rs
+
+crates/odp/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/trace_demo-5bcf401e6307c66b.d: crates/odp/../../examples/trace_demo.rs
+
+/root/repo/target/release/examples/trace_demo-5bcf401e6307c66b: crates/odp/../../examples/trace_demo.rs
+
+crates/odp/../../examples/trace_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/video_wall-a72ceb2a9bcbb7ac.d: crates/odp/../../examples/video_wall.rs
+
+/root/repo/target/release/examples/video_wall-a72ceb2a9bcbb7ac: crates/odp/../../examples/video_wall.rs
+
+crates/odp/../../examples/video_wall.rs:
