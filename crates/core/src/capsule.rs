@@ -225,6 +225,7 @@ impl Capsule {
             // registered, and a fresh export at epoch 0 is found via the
             // reference itself. Epoch > 0 means a move: register it.
             if epoch > 0 {
+                // odp-lint: allow(l6, reason = "relocator is optional; an unregistered location falls back to reference-carried addressing")
                 let _ = self.register_location(iface, self.node, epoch);
             }
         }
@@ -349,6 +350,7 @@ impl Capsule {
         let new_ref = target.export_at(iface, epoch + 1, servant, config);
         // The source also registers, in case the target has no relocator
         // configured.
+        // odp-lint: allow(l6, reason = "duplicate registration of the same move; the target's own registration is authoritative")
         let _ = self.register_location(iface, target.node, epoch + 1);
         Ok(new_ref)
     }

@@ -268,12 +268,14 @@ impl AccessLayer {
                 let spawned = std::thread::Builder::new()
                     .name("odp-announce".into())
                     .spawn(move || {
+                        // odp-lint: allow(l6, reason = "announcements are fire-and-forget by contract; the outcome has no addressee")
                         let _ = spawn_capsule.dispatch_entry_owned(spawn_req, true);
                     });
                 if spawned.is_err() {
                     // Thread exhaustion: run synchronously rather than
                     // panic or drop the announcement. The caller loses only
                     // the asynchrony, never the invocation.
+                    // odp-lint: allow(l6, reason = "announcements are fire-and-forget by contract; the outcome has no addressee")
                     let _ = capsule.dispatch_entry_owned(req, true);
                 }
                 return Ok(Outcome::ok(vec![]));

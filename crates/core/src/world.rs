@@ -88,6 +88,7 @@ impl WorldBuilder {
         });
         let transport: Arc<dyn Transport> = Arc::new(net.clone());
         let system = Capsule::with_workers(Arc::clone(&transport), SYSTEM_NODE, self.workers)
+            // odp-lint: allow(l1, reason = "world construction is setup, not a hot path; a fresh SimNet cannot already hold the system node")
             .expect("register system capsule");
         let relocator_servant = Arc::new(RelocationServant::new());
         let relocator_ref =
@@ -100,6 +101,7 @@ impl WorldBuilder {
                 NodeId(SYSTEM_NODE.raw() + 1 + i as u64),
                 self.workers,
             )
+            // odp-lint: allow(l1, reason = "world construction is setup, not a hot path; node ids are freshly enumerated")
             .expect("register capsule");
             capsule.set_relocator(relocator_ref.clone());
             capsules.push(capsule);
@@ -165,6 +167,7 @@ impl World {
     /// Panics if `i` is out of range.
     #[must_use]
     pub fn capsule(&self, i: usize) -> &Arc<Capsule> {
+        // odp-lint: allow(l1, reason = "documented panicking accessor for tests and experiments")
         &self.capsules[i]
     }
 
@@ -195,6 +198,7 @@ impl World {
     pub fn add_capsule(&mut self) -> Arc<Capsule> {
         let node = NodeId(SYSTEM_NODE.raw() + 1 + self.capsules.len() as u64);
         let capsule = Capsule::with_workers(Arc::clone(&self.transport), node, self.workers)
+            // odp-lint: allow(l1, reason = "documented panic: the next free node id cannot be a duplicate")
             .expect("register capsule");
         capsule.set_relocator(self.relocator_ref.clone());
         self.capsules.push(Arc::clone(&capsule));

@@ -69,6 +69,7 @@ impl ClientLayer for GroupLayer {
                 return Err(last_err.unwrap_or(InvokeError::Rex(RexError::Timeout)));
             }
             let idx = (start + attempt) % members.len();
+            // odp-lint: allow(l1, reason = "idx is reduced modulo members.len() on the line above")
             let member = &members[idx];
             let mut attempt_req = req.clone();
             attempt_req.target = member.clone();
@@ -79,6 +80,7 @@ impl ClientLayer for GroupLayer {
                         if let Some(pos) = members.iter().position(|m| m.home.raw() == *node as u64)
                         {
                             let mut redirect_req = req.clone();
+                            // odp-lint: allow(l1, reason = "pos comes from position() over the same members slice")
                             redirect_req.target = members[pos].clone();
                             match next.invoke(redirect_req) {
                                 Ok(out) if out.termination != NOT_SEQUENCER => {

@@ -369,13 +369,18 @@ impl GroupServant {
                     GroupPolicy::Active => {
                         // Synchronous: reply only after every reachable
                         // member has accepted the ordered operation.
-                        match binding.interrogate(ops::RELAY, relay_args.clone()) {
-                            Ok(out) if out.termination == STALE_SEQ => {
+                        let reply = binding.interrogate(ops::RELAY, relay_args.clone());
+                        match reply {
+                            ref r if is_stale_seq_signal(r) => {
                                 // The member already applied this sequence
                                 // number: a successor promoted while we were
                                 // unreachable and owns the sequence now.
                                 // Adopt its view and redirect the client
                                 // rather than acking a split-brain write.
+                                // (The signal arrives as an error when the
+                                // binding surface has already downgraded the
+                                // reserved termination — see
+                                // `is_stale_seq_signal`.)
                                 if let Ok(vout) = binding.interrogate(ops::GET_VIEW, vec![]) {
                                     if let Some(v) =
                                         vout.results.first().and_then(GroupView::decode)
@@ -413,6 +418,7 @@ impl GroupServant {
 
     fn first_live_predecessor(&self, view: &GroupView, my_pos: usize) -> Option<odp_types::NodeId> {
         let capsule = self.capsule_handle()?;
+        // odp-lint: allow(l1, reason = "my_pos is this member's position() in the same members vec")
         for pred in &view.members[..my_pos] {
             let binding = capsule.bind_with(
                 pred.clone(),
@@ -557,6 +563,21 @@ impl std::fmt::Debug for GroupServant {
             .field("view", &self.view.read().version)
             .field("applied", &self.applied.load(Ordering::Relaxed))
             .finish()
+    }
+}
+
+/// Whether a relay reply carries the [`STALE_SEQ`] fence signal.
+///
+/// The relay binding's `interrogate` downgrades reserved terminations it
+/// does not model into `InvokeError::Protocol` at the binding surface
+/// (after the transparency layers have run), so depending on the dispatch
+/// path the fence arrives either as a raw outcome or as that error. Both
+/// must stop the stale sequencer from acking a split-brain write.
+fn is_stale_seq_signal(reply: &Result<Outcome, odp_core::InvokeError>) -> bool {
+    match reply {
+        Ok(out) => out.termination == STALE_SEQ,
+        Err(odp_core::InvokeError::Protocol(msg)) => msg.contains(STALE_SEQ),
+        Err(_) => false,
     }
 }
 

@@ -107,8 +107,10 @@ impl GroupHandle {
     #[must_use]
     pub fn group_ref(&self) -> InterfaceRef {
         let view = self.view.read();
+        // odp-lint: allow(l1, reason = "documented panic: group_ref on an empty group is a caller bug")
         let seq = view.sequencer().expect("non-empty group");
         let mut r = seq.clone();
+        // odp-lint: allow(l1, reason = "the constructor rejects empty groups, servants is never empty")
         r.ty = self.servants[0].app().interface_type();
         r
     }

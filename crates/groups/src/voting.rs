@@ -85,9 +85,23 @@ impl ClientLayer for VotingLayer {
                 best = Some((votes, candidate));
             }
         }
+        // odp-lint: allow(l1, reason = "the caller returns early when outcomes is empty; best is always set by the loop")
         let (votes, winner) = best.expect("non-empty outcomes");
         if votes < outcomes.len() {
             self.dissents.fetch_add(1, Ordering::Relaxed);
+            // A dissenting version is the event N-version programming
+            // exists to surface — make it visible in the trace timeline.
+            odp_telemetry::hub().event(
+                "group.nversion.dissent",
+                req.target.home.raw(),
+                req.trace.trace_id,
+                format!(
+                    "op={} agreement {votes} of {} (quorum {})",
+                    req.op,
+                    outcomes.len(),
+                    self.quorum
+                ),
+            );
         }
         if votes >= self.quorum {
             Ok(winner.clone())

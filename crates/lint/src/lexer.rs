@@ -1,0 +1,457 @@
+//! A hand-rolled Rust token scanner — string/comment/attribute-aware, no
+//! `syn`.
+//!
+//! The lexer's contract is *lossless segmentation*, not full Rust parsing:
+//! every byte of the input lands in exactly one token, so concatenating
+//! `Token::text` over the stream reproduces the source verbatim (the
+//! property test in `tests/lexer_props.rs` checks exactly this). Rules walk
+//! the token stream and therefore can never be fooled by `panic!` inside a
+//! string literal or `.unwrap()` inside a comment, which is the failure
+//! mode of grep-based auditing this crate replaces.
+//!
+//! Handled surface: line/block comments (nested), doc comments, string /
+//! raw-string / byte-string / raw-byte-string / char / byte literals
+//! (including the `'a'` vs `'a` lifetime ambiguity), raw identifiers,
+//! numeric literals with suffixes, and multi-byte punctuation left as
+//! single-char tokens (rules match token *sequences*, so `::` arriving as
+//! `:` `:` is fine and keeps the scanner trivially correct).
+
+/// Classification of one source token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw `r#ident`).
+    Ident,
+    /// Lifetime such as `'a` (no closing quote).
+    Lifetime,
+    /// String / raw / byte / char literal of any flavor.
+    Literal,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Number,
+    /// One punctuation character (`.`, `::` arrives as two `:`).
+    Punct,
+    /// `// ...` comment, `///` and `//!` included. Text excludes newline.
+    LineComment,
+    /// `/* ... */` comment, nesting respected.
+    BlockComment,
+    /// Whitespace run (spaces, tabs, newlines).
+    Whitespace,
+}
+
+/// One lexed token: classification, verbatim text, and 1-based start line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token participates in code (not trivia).
+    #[must_use]
+    pub fn is_code(&self) -> bool {
+        !matches!(
+            self.kind,
+            TokKind::Whitespace | TokKind::LineComment | TokKind::BlockComment
+        )
+    }
+
+    /// The punctuation character, if this is a punct token.
+    #[must_use]
+    pub fn punct(&self) -> Option<char> {
+        if self.kind == TokKind::Punct {
+            self.text.chars().next()
+        } else {
+            None
+        }
+    }
+}
+
+/// Lexes `src` into a lossless token stream.
+///
+/// Never panics on malformed input: an unterminated literal or comment is
+/// returned as a single token running to end-of-file, and any byte the
+/// scanner does not model becomes a one-character `Punct`.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src,
+        chars: src.char_indices().peekable(),
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while let Some(&(start, c)) = self.chars.peek() {
+            let line = self.line;
+            let kind = match c {
+                c if c.is_whitespace() => self.whitespace(),
+                '/' if self.peek2() == Some('/') => self.line_comment(),
+                '/' if self.peek2() == Some('*') => self.block_comment(),
+                '"' => self.string(),
+                '\'' => self.char_or_lifetime(),
+                'r' | 'b' if self.literal_prefix() => self.prefixed_literal(),
+                c if c.is_alphabetic() || c == '_' => self.ident(),
+                c if c.is_ascii_digit() => self.number(),
+                _ => {
+                    self.bump();
+                    TokKind::Punct
+                }
+            };
+            let end = self.pos();
+            self.out.push(Token {
+                kind,
+                text: self.src[start..end].to_owned(),
+                line,
+            });
+        }
+        self.out
+    }
+
+    fn pos(&mut self) -> usize {
+        self.chars.peek().map_or(self.src.len(), |&(i, _)| i)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let (_, c) = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().map(|&(_, c)| c)
+    }
+
+    fn peek2(&mut self) -> Option<char> {
+        let mut ahead = self.chars.clone();
+        ahead.next();
+        ahead.next().map(|(_, c)| c)
+    }
+
+    fn peek_at(&mut self, n: usize) -> Option<char> {
+        let mut ahead = self.chars.clone();
+        for _ in 0..n {
+            ahead.next();
+        }
+        ahead.next().map(|(_, c)| c)
+    }
+
+    fn whitespace(&mut self) -> TokKind {
+        while self.peek().is_some_and(char::is_whitespace) {
+            self.bump();
+        }
+        TokKind::Whitespace
+    }
+
+    fn line_comment(&mut self) -> TokKind {
+        while self.peek().is_some_and(|c| c != '\n') {
+            self.bump();
+        }
+        TokKind::LineComment
+    }
+
+    fn block_comment(&mut self) -> TokKind {
+        self.bump(); // /
+        self.bump(); // *
+        let mut depth = 1u32;
+        while depth > 0 {
+            match self.bump() {
+                Some('/') if self.peek() == Some('*') => {
+                    self.bump();
+                    depth += 1;
+                }
+                Some('*') if self.peek() == Some('/') => {
+                    self.bump();
+                    depth -= 1;
+                }
+                Some(_) => {}
+                None => break, // unterminated: token runs to EOF
+            }
+        }
+        TokKind::BlockComment
+    }
+
+    fn string(&mut self) -> TokKind {
+        self.bump(); // opening "
+        loop {
+            match self.bump() {
+                Some('\\') => {
+                    self.bump();
+                }
+                Some('"') | None => break,
+                Some(_) => {}
+            }
+        }
+        TokKind::Literal
+    }
+
+    /// `'a'` is a char literal; `'a` (no closing quote) is a lifetime. The
+    /// decisive lookahead: after `'x` comes another `'` → char, else
+    /// lifetime. Escapes (`'\n'`) are always char literals.
+    fn char_or_lifetime(&mut self) -> TokKind {
+        self.bump(); // opening '
+        match self.peek() {
+            Some('\\') => {
+                self.bump();
+                self.bump(); // escaped char
+                if self.peek() == Some('\'') {
+                    self.bump();
+                }
+                TokKind::Literal
+            }
+            Some(c) if c.is_alphabetic() || c == '_' => {
+                // Could be 'a' (char) or 'a (lifetime) or 'abc (lifetime).
+                if self.peek2() == Some('\'') {
+                    self.bump();
+                    self.bump();
+                    TokKind::Literal
+                } else {
+                    while self.peek().is_some_and(|c| c.is_alphanumeric() || c == '_') {
+                        self.bump();
+                    }
+                    TokKind::Lifetime
+                }
+            }
+            Some('\'') | None => TokKind::Literal, // '' — malformed, tolerated
+            Some(_) => {
+                self.bump();
+                if self.peek() == Some('\'') {
+                    self.bump();
+                }
+                TokKind::Literal
+            }
+        }
+    }
+
+    /// Whether the upcoming `r`/`b` starts a literal (`r"`, `r#"`, `b"`,
+    /// `b'`, `br"`, `rb` does not exist, `r#ident` handled as ident).
+    fn literal_prefix(&mut self) -> bool {
+        let c0 = self.peek();
+        let c1 = self.peek2();
+        match (c0, c1) {
+            (Some('r'), Some('"')) => true,
+            (Some('r'), Some('#')) => {
+                // r#" raw string vs r#ident raw identifier
+                matches!(self.peek_at(2), Some('"' | '#'))
+            }
+            (Some('b'), Some('"' | '\'')) => true,
+            (Some('b'), Some('r')) => matches!(self.peek_at(2), Some('"' | '#')),
+            _ => false,
+        }
+    }
+
+    fn prefixed_literal(&mut self) -> TokKind {
+        // Decide the shape from the prefix before consuming anything:
+        // `b'` byte char, `b"` escaped byte string, everything else that
+        // passed `literal_prefix` (`r"`, `r#`, `br"`, `br#`) is a raw form.
+        let raw = self.peek() == Some('r') || self.peek2() == Some('r');
+        if self.peek() == Some('b') {
+            self.bump();
+            if self.peek() == Some('\'') {
+                return self.byte_char();
+            }
+        }
+        if self.peek() == Some('r') {
+            self.bump();
+        }
+        let mut hashes = 0usize;
+        while self.peek() == Some('#') {
+            self.bump();
+            hashes += 1;
+        }
+        if self.peek() != Some('"') {
+            return TokKind::Literal; // malformed (`r#!`), tolerated
+        }
+        self.bump();
+        if raw {
+            // Raw string: ends at `"` followed by exactly `hashes` hashes;
+            // backslash is not an escape.
+            'outer: loop {
+                match self.bump() {
+                    Some('"') => {
+                        let mut ahead = self.chars.clone();
+                        for _ in 0..hashes {
+                            if ahead.next().map(|(_, c)| c) != Some('#') {
+                                continue 'outer;
+                            }
+                        }
+                        for _ in 0..hashes {
+                            self.bump();
+                        }
+                        break;
+                    }
+                    Some(_) => {}
+                    None => break,
+                }
+            }
+        } else {
+            // b"..." — plain byte string honors escapes.
+            loop {
+                match self.bump() {
+                    Some('\\') => {
+                        self.bump();
+                    }
+                    Some('"') | None => break,
+                    Some(_) => {}
+                }
+            }
+        }
+        TokKind::Literal
+    }
+
+    fn byte_char(&mut self) -> TokKind {
+        self.bump(); // opening '
+        if self.bump() == Some('\\') {
+            self.bump();
+        }
+        if self.peek() == Some('\'') {
+            self.bump();
+        }
+        TokKind::Literal
+    }
+
+    fn ident(&mut self) -> TokKind {
+        if self.peek() == Some('r') && self.peek2() == Some('#') {
+            self.bump();
+            self.bump();
+        }
+        while self.peek().is_some_and(|c| c.is_alphanumeric() || c == '_') {
+            self.bump();
+        }
+        TokKind::Ident
+    }
+
+    fn number(&mut self) -> TokKind {
+        // Digits, base prefixes, underscores, one dot (not `..`), exponent,
+        // and trailing type suffix — all folded into one token.
+        while let Some(c) = self.peek() {
+            match c {
+                '0'..='9' | 'a'..='d' | 'f' | 'A'..='D' | 'F' | 'x' | 'o' | '_' | 'u' | 'i' => {
+                    self.bump();
+                }
+                '.' => {
+                    if self.peek2().is_some_and(|c| c.is_ascii_digit()) {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                'e' | 'E' => {
+                    self.bump();
+                    if matches!(self.peek(), Some('+' | '-')) {
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+        // Float/size suffixes that fall outside the hex range above.
+        while self.peek().is_some_and(|c| c.is_alphanumeric() || c == '_') {
+            self.bump();
+        }
+        TokKind::Number
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rejoin(toks: &[Token]) -> String {
+        toks.iter().map(|t| t.text.as_str()).collect()
+    }
+
+    #[test]
+    fn roundtrips_basic_source() {
+        let src = r#"fn main() { let x = "a\"b"; /* c /* d */ e */ println!("{x}"); } // tail"#;
+        let toks = lex(src);
+        assert_eq!(rejoin(&toks), src);
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let src = "let s = \"panic!() .unwrap()\"; // .unwrap() here too";
+        let toks = lex(src);
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "s"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r##"let s = r#"quote " inside"#; s"##;
+        let toks = lex(src);
+        assert_eq!(rejoin(&toks), src);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Literal && t.text.contains("inside")));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a"]);
+        let lits = toks.iter().filter(|t| t.kind == TokKind::Literal).count();
+        assert_eq!(lits, 2);
+    }
+
+    #[test]
+    fn byte_literals() {
+        let src = r##"let a = b"bytes"; let b = b'x'; let c = br#"raw"#;"##;
+        let toks = lex(src);
+        assert_eq!(rejoin(&toks), src);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<(String, u32)> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| (t.text.clone(), t.line))
+            .collect();
+        assert_eq!(
+            lines,
+            [
+                ("a".to_owned(), 1),
+                ("b".to_owned(), 2),
+                ("c".to_owned(), 4)
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_panic() {
+        for src in ["\"abc", "/* never closed", "r#\"open", "'", "b'", "1e"] {
+            let toks = lex(src);
+            assert_eq!(rejoin(&toks), src, "lossless on {src:?}");
+        }
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = lex("let r#type = 1;");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "r#type"));
+    }
+}

@@ -1,0 +1,81 @@
+//! L1 — panic-free hot paths.
+//!
+//! A capsule that panics tears down every export it hosts; the ODP failure
+//! model (crash-stop with recovery, DESIGN.md §5) only holds if the
+//! channel/capsule hot path turns faults into terminations instead of
+//! unwinding. Non-test code in `core`, `net`, `wire`, `groups` must not
+//! call `.unwrap()` / `.expect(...)`, invoke `panic!`-family macros, or
+//! index slices (out-of-bounds indexing is an implicit panic site).
+
+use super::{is_macro, method_call, Violation};
+use crate::lexer::TokKind;
+use crate::model::{Area, Workspace};
+
+const SCOPE: [&str; 4] = ["core", "net", "wire", "groups"];
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+pub fn check(ws: &Workspace, out: &mut Vec<Violation>) {
+    for file in &ws.files {
+        if !SCOPE.contains(&file.crate_name.as_str()) || file.area != Area::Src {
+            continue;
+        }
+        let code = file.code();
+        for i in 0..code.len() {
+            let line = code[i].line;
+            if file.is_test_line(line) {
+                continue;
+            }
+            for name in ["unwrap", "expect"] {
+                if method_call(&code, i, name).is_some() {
+                    out.push(violation(
+                        file,
+                        line,
+                        format!("`.{name}()` on a hot path can panic the capsule"),
+                        "return a typed error (`InvokeError`/`NetError`) or a \
+                         reserved termination; if the invariant is locally \
+                         provable, annotate with `// odp-lint: allow(l1, \
+                         reason = ...)`",
+                    ));
+                }
+            }
+            for name in PANIC_MACROS {
+                if is_macro(&code, i, name) {
+                    out.push(violation(
+                        file,
+                        line,
+                        format!("`{name}!` unwinds the capsule on a hot path"),
+                        "map the condition to a termination or typed error; \
+                         unreachable states should surface as protocol errors, \
+                         not process death",
+                    ));
+                }
+            }
+            if code[i].punct() == Some('[') && i > 0 {
+                let prev = code[i - 1];
+                let is_index =
+                    prev.kind == TokKind::Ident || matches!(prev.punct(), Some(')' | ']'));
+                if is_index {
+                    out.push(violation(
+                        file,
+                        line,
+                        "slice/collection indexing panics when out of bounds".to_owned(),
+                        "use `.get(..)` and handle `None`, or annotate with \
+                         `// odp-lint: allow(l1, reason = ...)` when the bound \
+                         is locally provable",
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn violation(file: &crate::model::SourceFile, line: u32, message: String, hint: &str) -> Violation {
+    Violation {
+        rule: "L1",
+        path: file.rel_path.clone(),
+        line,
+        krate: file.crate_name.clone(),
+        message,
+        hint: hint.to_owned(),
+    }
+}

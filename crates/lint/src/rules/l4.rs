@@ -1,0 +1,127 @@
+//! L4 — wire-tag exhaustiveness.
+//!
+//! The wire format is the contract between capsules on different nodes;
+//! a tag constant with an encode site but no decode arm (or vice versa)
+//! is a protocol asymmetry that only detonates when a peer sends the
+//! missing case. Every constant in `odp-wire`'s `tag`/`spec_tag` modules
+//! must have: a non-test *encode site* (any use that is not a match arm),
+//! a non-test *decode arm* (a use followed by `=>` or or-patterned with
+//! `|`), and a *test mention* (a use inside test code), so each tag is
+//! round-tripped by at least one test.
+
+use super::Violation;
+use crate::lexer::TokKind;
+use crate::model::Workspace;
+
+pub fn check(ws: &Workspace, out: &mut Vec<Violation>) {
+    let wire_files: Vec<_> = ws.files.iter().filter(|f| f.crate_name == "wire").collect();
+    // Collect constants per tag module, remembering the declaration site so
+    // diagnostics (and `allow-file` directives) anchor to the real file.
+    let mut consts: Vec<(String, String, String, u32)> = Vec::new(); // (module, name, path, line)
+    for file in &wire_files {
+        let code = file.code();
+        let mut i = 0;
+        while i < code.len() {
+            if code[i].text == "mod"
+                && code
+                    .get(i + 1)
+                    .is_some_and(|t| t.text == "tag" || t.text == "spec_tag")
+            {
+                let module = code[i + 1].text.clone();
+                // Walk the module body collecting `const NAME`.
+                let mut depth = 0u32;
+                let mut j = i + 2;
+                while j < code.len() {
+                    match code[j].punct() {
+                        Some('{') => depth += 1,
+                        Some('}') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {
+                            if code[j].text == "const" {
+                                if let Some(name) = code.get(j + 1) {
+                                    consts.push((
+                                        module.clone(),
+                                        name.text.clone(),
+                                        file.rel_path.clone(),
+                                        name.line,
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                    j += 1;
+                }
+                i = j;
+            }
+            i += 1;
+        }
+    }
+    if consts.is_empty() {
+        return;
+    }
+
+    for (module, name, decl_path, decl_line) in consts {
+        let mut encode_site = false;
+        let mut decode_arm = false;
+        let mut test_mention = false;
+        for file in &wire_files {
+            let code = file.code();
+            for i in 0..code.len() {
+                // Qualified use: `module :: NAME`.
+                let qualified = code[i].kind == TokKind::Ident
+                    && code[i].text == module
+                    && code.get(i + 1).and_then(|t| t.punct()) == Some(':')
+                    && code.get(i + 2).and_then(|t| t.punct()) == Some(':')
+                    && code.get(i + 3).is_some_and(|t| t.text == name);
+                if !qualified {
+                    continue;
+                }
+                let after = code.get(i + 4).map(|t| t.text.as_str());
+                let before = i.checked_sub(1).map(|p| code[p].text.as_str());
+                let in_test = file.is_test_line(code[i].line);
+                if in_test {
+                    test_mention = true;
+                } else if after == Some("=")
+                    && code.get(i + 5).map(|t| t.text.as_str()) == Some(">")
+                    || before == Some("|")
+                    || after == Some("|")
+                {
+                    // `X =>`, `.. | X`, or `X | ..` — the last also covers
+                    // the *leading* element of an or-pattern (tag consts
+                    // are never bitwise-or'd when encoding, so `|` next to
+                    // a tag use is a pattern, not arithmetic).
+                    decode_arm = true;
+                } else {
+                    encode_site = true;
+                }
+            }
+        }
+        let missing: Vec<&str> = [
+            (!encode_site).then_some("encode site"),
+            (!decode_arm).then_some("decode arm"),
+            (!test_mention).then_some("test mention"),
+        ]
+        .into_iter()
+        .flatten()
+        .collect();
+        if !missing.is_empty() {
+            out.push(Violation {
+                rule: "L4",
+                path: decl_path,
+                line: decl_line,
+                krate: "wire".to_owned(),
+                message: format!(
+                    "wire tag `{module}::{name}` is missing: {}",
+                    missing.join(", ")
+                ),
+                hint: "every tag constant needs an encoder use, a decoder \
+                       match arm, and a test that exercises the round trip"
+                    .to_owned(),
+            });
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! L5 — telemetry coverage of layer entry points.
+//!
+//! PR 2's invariant is "one interrogation, one connected span tree": every
+//! transparency layer and binding surface either records its own span or
+//! deliberately rides the ambient thread-local one. A layer file with no
+//! telemetry reference at all is invisible in the trace — retries,
+//! fail-overs and federation crossings it performs cannot be attributed.
+//!
+//! Granularity is the *file* (token scanning cannot attribute a call site
+//! to its enclosing function reliably): any `core`/`groups`/`federation`
+//! source file defining a layer entry point (`fn invoke`/`interrogate`/
+//! `announce`/`relay` taking `&self`) must mention a telemetry marker
+//! (`odp_telemetry`, `hub`, `record_span`, `child_of`, `begin_trace`,
+//! `TraceContext`). Files that inherit spans by construction annotate with
+//! `// odp-lint: allow-file(l5, reason = ...)`.
+
+use super::Violation;
+use crate::lexer::TokKind;
+use crate::model::{Area, Workspace};
+
+const SCOPE: [&str; 3] = ["core", "groups", "federation"];
+const ENTRY_POINTS: [&str; 4] = ["invoke", "interrogate", "announce", "relay"];
+const MARKERS: [&str; 6] = [
+    "odp_telemetry",
+    "hub",
+    "record_span",
+    "child_of",
+    "begin_trace",
+    "TraceContext",
+];
+
+pub fn check(ws: &Workspace, out: &mut Vec<Violation>) {
+    for file in &ws.files {
+        if !SCOPE.contains(&file.crate_name.as_str()) || file.area != Area::Src {
+            continue;
+        }
+        let code = file.code();
+        let mut entry_line = None;
+        let mut has_marker = false;
+        for i in 0..code.len() {
+            let t = code[i];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            if MARKERS.contains(&t.text.as_str()) {
+                has_marker = true;
+            }
+            if t.text == "fn"
+                && code.get(i + 1).is_some_and(|n| {
+                    ENTRY_POINTS.contains(&n.text.as_str())
+                        && code.get(i + 2).and_then(|p| p.punct()) == Some('(')
+                        && code.get(i + 3).and_then(|p| p.punct()) == Some('&')
+                        && code.get(i + 4).is_some_and(|s| s.text == "self")
+                })
+                && !file.is_test_line(t.line)
+                && entry_line.is_none()
+            {
+                entry_line = Some((t.line, code[i + 1].text.clone()));
+            }
+        }
+        if let Some((line, name)) = entry_line {
+            if !has_marker {
+                out.push(Violation {
+                    rule: "L5",
+                    path: file.rel_path.clone(),
+                    line,
+                    krate: file.crate_name.clone(),
+                    message: format!(
+                        "layer entry point `fn {name}` in a file with no \
+                         telemetry reference — this layer is invisible in traces"
+                    ),
+                    hint: "record a span (`odp_telemetry::hub().record_span(..)`) \
+                           or an event around the layer's work; if the layer \
+                           genuinely only forwards, annotate the file with \
+                           `// odp-lint: allow-file(l5, reason = ...)`"
+                        .to_owned(),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! L6 — no silently discarded `Result` in `core`/`net`.
+//!
+//! `let _ = fallible()` erases the error path at the two layers where a
+//! swallowed failure becomes a distributed-systems bug: a dropped send is
+//! a lost reply, a dropped deregistration is a leaked node id. The channel
+//! discipline demands the error either be handled, be impossible (and the
+//! annotation say why), or at minimum be bound to a named `_reason` that
+//! documents the discard.
+
+use super::Violation;
+use crate::model::{Area, Workspace};
+
+const SCOPE: [&str; 2] = ["core", "net"];
+
+pub fn check(ws: &Workspace, out: &mut Vec<Violation>) {
+    for file in &ws.files {
+        if !SCOPE.contains(&file.crate_name.as_str()) || file.area != Area::Src {
+            continue;
+        }
+        let code = file.code();
+        for i in 0..code.len() {
+            let line = code[i].line;
+            if file.is_test_line(line) {
+                continue;
+            }
+            if code[i].text == "let"
+                && code.get(i + 1).is_some_and(|t| t.text == "_")
+                && code.get(i + 2).and_then(|t| t.punct()) == Some('=')
+            {
+                out.push(Violation {
+                    rule: "L6",
+                    path: file.rel_path.clone(),
+                    line,
+                    krate: file.crate_name.clone(),
+                    message: "`let _ =` discards a Result on a core/net path".to_owned(),
+                    hint: "handle the error (log, count, or propagate), or \
+                           annotate with `// odp-lint: allow(l6, reason = ...)` \
+                           naming why the failure is benign"
+                        .to_owned(),
+                });
+            }
+        }
+    }
+}

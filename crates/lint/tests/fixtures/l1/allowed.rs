@@ -1,0 +1,5 @@
+//@ crate: core
+pub fn pick(o: Option<u8>) -> u8 {
+    // odp-lint: allow(l1, reason = "fixture: caller guarantees Some")
+    o.unwrap()
+}

@@ -1,0 +1,14 @@
+//@ crate: core
+// Fixture: panic-free equivalents, plus a test region where unwrap is fine.
+pub fn pick(v: &[u8], o: Option<u8>) -> Option<u8> {
+    let first = v.first().copied()?;
+    let x = o?;
+    Some(first + x)
+}
+#[test]
+fn unwrap_is_fine_in_tests() {
+    let o: Option<u8> = Some(1);
+    let x = o.unwrap();
+    let v = vec![1u8, 2];
+    assert_eq!(v[0] + x, 2);
+}

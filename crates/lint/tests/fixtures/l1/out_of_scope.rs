@@ -1,0 +1,5 @@
+//@ crate: telemetry
+// Fixture: L1 only covers core/net/wire/groups; other crates may unwrap.
+pub fn pick(o: Option<u8>) -> u8 {
+    o.unwrap()
+}

@@ -1,0 +1,11 @@
+//@ crate: core
+// Fixture: every L1-banned panic path in non-test core code.
+pub fn pick(v: &[u8], o: Option<u8>) -> u8 {
+    let first = v[0];
+    let x = o.unwrap();
+    let y = o.expect("present");
+    first + x + y
+}
+pub fn boom() {
+    panic!("nope");
+}

@@ -1,0 +1,8 @@
+//@ crate: core
+impl S {
+    fn send_under_lock(&self) {
+        let g = self.a.lock();
+        // odp-lint: allow(l2, reason = "fixture: rendezvous channel with a parked receiver")
+        self.tx.send(*g);
+    }
+}

@@ -1,0 +1,26 @@
+//@ crate: core
+// Fixture: guards released (drop, scope exit, deref copy) before blocking.
+impl S {
+    fn drop_then_send(&self) {
+        let g = self.a.lock();
+        let v = *g;
+        drop(g);
+        self.tx.send(v);
+    }
+    fn scope_then_send(&self) {
+        let v = {
+            let g = self.a.lock();
+            *g
+        };
+        self.tx.send(v);
+    }
+    fn deref_copy_then_send(&self) {
+        let v = *self.a.lock();
+        self.tx.send(v);
+    }
+    fn consistent_order(&self) {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        *gb += *ga;
+    }
+}

@@ -1,0 +1,18 @@
+//@ crate: core
+// Fixture: a guard held across a channel send, plus an a/b b/a order cycle.
+impl S {
+    fn held_across_send(&self) {
+        let g = self.a.lock();
+        self.tx.send(*g);
+    }
+    fn a_then_b(&self) {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        *gb += *ga;
+    }
+    fn b_then_a(&self) {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        *ga += *gb;
+    }
+}

@@ -1,0 +1,5 @@
+//@ crate: core
+pub fn pace() {
+    // odp-lint: allow(l3, reason = "fixture: deliberate backoff pacing")
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}

@@ -1,0 +1,5 @@
+//@ crate: net
+// Fixture: the transport layer is exempt — blocking is its job.
+pub fn pace() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}

@@ -1,0 +1,9 @@
+//@ crate: core
+// Fixture: sleeping and raw sockets above the transport layer.
+pub fn pace() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+pub fn dial() {
+    let s = TcpStream::connect("127.0.0.1:1");
+    let _ignore = s;
+}

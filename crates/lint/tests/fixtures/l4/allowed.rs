@@ -1,0 +1,8 @@
+//@ crate: wire
+// odp-lint: allow-file(l4, reason = "fixture: experimental tag space, not yet wired")
+pub(crate) mod tag {
+    pub const DRAFT: u8 = 0x7f;
+}
+pub fn encode(buf: &mut Vec<u8>) {
+    buf.push(tag::DRAFT);
+}

@@ -1,0 +1,25 @@
+//@ crate: wire
+// Fixture: every tag has an encode site, a decode arm, and a test mention.
+pub(crate) mod tag {
+    pub const PING: u8 = 0x00;
+    pub const PONG: u8 = 0x01;
+}
+pub fn encode(buf: &mut Vec<u8>) {
+    buf.push(tag::PING);
+    buf.push(tag::PONG);
+}
+pub fn decode(b: u8) -> bool {
+    match b {
+        tag::PING | tag::PONG => true,
+        _ => false,
+    }
+}
+#[cfg(test)]
+mod tests {
+    use super::*;
+    #[test]
+    fn tags_round_trip() {
+        assert!(decode(tag::PING));
+        assert!(decode(tag::PONG));
+    }
+}

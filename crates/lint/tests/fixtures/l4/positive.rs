@@ -1,0 +1,16 @@
+//@ crate: wire
+// Fixture: PING lacks a test mention; PONG is never decoded or tested.
+pub(crate) mod tag {
+    pub const PING: u8 = 0x00;
+    pub const PONG: u8 = 0x01;
+}
+pub fn encode(buf: &mut Vec<u8>) {
+    buf.push(tag::PING);
+    buf.push(tag::PONG);
+}
+pub fn decode(b: u8) -> bool {
+    match b {
+        tag::PING => true,
+        _ => false,
+    }
+}

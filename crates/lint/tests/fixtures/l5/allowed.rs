@@ -1,0 +1,7 @@
+//@ crate: groups
+// odp-lint: allow-file(l5, reason = "fixture: pure forwarder, ambient span covers it")
+impl Layer for Forwarder {
+    fn invoke(&self, req: Req) -> Out {
+        self.next.invoke(req)
+    }
+}

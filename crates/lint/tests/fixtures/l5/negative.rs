@@ -1,0 +1,8 @@
+//@ crate: groups
+// Fixture: the layer records an event, so it shows up in traces.
+impl Layer for Loud {
+    fn invoke(&self, req: Req) -> Out {
+        odp_telemetry::hub().event("loud.invoke", 0, req.trace_id, "fixture");
+        self.next.invoke(req)
+    }
+}

@@ -1,0 +1,7 @@
+//@ crate: groups
+// Fixture: a layer entry point in a file with no telemetry reference.
+impl Layer for Quiet {
+    fn invoke(&self, req: Req) -> Out {
+        self.next.invoke(req)
+    }
+}

@@ -1,0 +1,5 @@
+//@ crate: net
+pub fn notify(tx: &Sender) {
+    // odp-lint: allow(l6, reason = "fixture: receiver gone means shutdown, drop is correct")
+    let _ = tx.send(1);
+}

@@ -1,0 +1,11 @@
+//@ crate: net
+// Fixture: the error is counted, and test regions may discard freely.
+pub fn notify(tx: &Sender, drops: &Counter) {
+    if tx.send(1).is_err() {
+        drops.increment();
+    }
+}
+#[test]
+fn discard_in_test() {
+    let _ = fallible();
+}

@@ -1,0 +1,5 @@
+//@ crate: net
+// Fixture: a discarded Result on a net path.
+pub fn notify(tx: &Sender) {
+    let _ = tx.send(1);
+}

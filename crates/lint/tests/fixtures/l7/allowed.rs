@@ -1,0 +1,6 @@
+//@ crate: core
+pub fn channels() {
+    // odp-lint: allow(l7, reason = "fixture: scheduler admits at most one job per worker")
+    let (tx, rx) = crossbeam::channel::unbounded();
+    forward(tx, rx);
+}

@@ -1,0 +1,6 @@
+//@ crate: core
+// Fixture: bounded to the protocol window.
+pub fn channels() {
+    let (tx, rx) = crossbeam::channel::bounded(64);
+    forward(tx, rx);
+}

@@ -1,0 +1,7 @@
+//@ crate: core
+// Fixture: unbounded constructors on a hot path.
+pub fn channels() {
+    let (a_tx, a_rx) = crossbeam::channel::unbounded();
+    let (b_tx, b_rx) = std::sync::mpsc::channel();
+    forward(a_tx, a_rx, b_tx, b_rx);
+}

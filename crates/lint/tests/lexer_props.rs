@@ -1,0 +1,173 @@
+//! Property tests for the lint lexer, driven by the same deterministic
+//! xorshift64* generator the wire codec's property suite uses (seeded,
+//! reproducible, no external dependency).
+//!
+//! The lexer's contract is *losslessness*: every byte of input lands in
+//! exactly one token, so concatenating `Token::text` reproduces the source
+//! verbatim — that is what makes line numbers and allow-directive matching
+//! trustworthy. Two property families guard it:
+//!
+//! 1. **Round-trip equality** — arbitrary token soups (plausible Rust
+//!    fragments glued at random) re-concatenate to the input exactly.
+//! 2. **Adversarial hardening** — truncated strings, half-open comments,
+//!    raw strings with mismatched hash counts, and random UTF-8 junk never
+//!    panic, and still round-trip (the lexer must degrade to "rest of file
+//!    is one token", not bail).
+
+use odp_lint::lexer::lex;
+
+/// xorshift64* — deterministic, seedable, good enough for fuzzing shapes.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// Fragments chosen to hit every lexer mode and the boundaries between
+/// them: lifetimes vs char literals, raw strings vs idents starting with
+/// `r`, byte strings, nested block comments, numeric suffixes.
+const FRAGMENTS: &[&str] = &[
+    "fn f() { }",
+    "let x = 1;",
+    "'a'",
+    "'\\n'",
+    "'static",
+    "&'a str",
+    "b'x'",
+    "r\"raw\"",
+    "r#\"ra\"w\"#",
+    "r##\"#\"#\"##",
+    "br#\"bytes\"#",
+    "b\"bytes\\\"esc\"",
+    "\"str with \\\" escape\"",
+    "\"unicode ✓ é\"",
+    "// line comment\n",
+    "/* block */",
+    "/* nested /* deeper */ still */",
+    "/** doc */",
+    "0x1f_u64",
+    "1.5e-3",
+    "1_000_000",
+    "0b1010",
+    "r#match",
+    "ident_with_under",
+    "a..=b",
+    "x?;",
+    "#[cfg(test)]",
+    "::<>",
+    "=> | & * . , ; : ",
+    "\n\n\t  ",
+    "macro_rules! m { () => {} }",
+];
+
+fn arbitrary_soup(rng: &mut Rng) -> String {
+    let n = rng.below(40) as usize;
+    let mut s = String::new();
+    for _ in 0..n {
+        s.push_str(FRAGMENTS[rng.below(FRAGMENTS.len() as u64) as usize]);
+        // Random single-byte glue so fragments collide at odd boundaries.
+        if rng.below(3) == 0 {
+            s.push((b' ' + (rng.below(94) as u8)) as char);
+        }
+    }
+    s
+}
+
+fn assert_lossless(src: &str) {
+    let tokens = lex(src);
+    let rebuilt: String = tokens.iter().map(|t| t.text.as_str()).collect();
+    assert_eq!(
+        rebuilt,
+        src,
+        "lexer dropped or duplicated bytes (input {} bytes, output {})",
+        src.len(),
+        rebuilt.len()
+    );
+}
+
+#[test]
+fn arbitrary_token_soups_round_trip() {
+    let mut rng = Rng::new(0x0d9_1e57);
+    for _ in 0..500 {
+        assert_lossless(&arbitrary_soup(&mut rng));
+    }
+}
+
+#[test]
+fn truncations_of_soups_round_trip_without_panicking() {
+    let mut rng = Rng::new(0xbad_5eed);
+    for _ in 0..200 {
+        let soup = arbitrary_soup(&mut rng);
+        // Cut at an arbitrary char boundary: simulates half-written files
+        // and leaves strings/comments/raw-strings dangling open.
+        let mut cut = rng.below(soup.len().max(1) as u64) as usize;
+        while cut < soup.len() && !soup.is_char_boundary(cut) {
+            cut += 1;
+        }
+        assert_lossless(&soup[..cut]);
+    }
+}
+
+#[test]
+fn random_utf8_junk_round_trips() {
+    let mut rng = Rng::new(0x5eed_cafe);
+    for _ in 0..300 {
+        let n = rng.below(120) as usize;
+        let junk: String = (0..n)
+            .map(|_| match rng.below(8) {
+                0 => char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap_or('?'),
+                1 => '"',
+                2 => '\'',
+                3 => '\\',
+                4 => '#',
+                5 => 'r',
+                6 => '\n',
+                _ => char::from_u32(0xa1 + rng.below(0x400) as u32).unwrap_or('¿'),
+            })
+            .collect();
+        assert_lossless(&junk);
+    }
+}
+
+#[test]
+fn pathological_hand_picked_inputs_round_trip() {
+    for src in [
+        "",
+        "\"",
+        "'",
+        "r",
+        "r#",
+        "r#\"",
+        "r###\"unclosed",
+        "b\"",
+        "br##\"half\"#",
+        "/*",
+        "/* /* /*",
+        "//",
+        "0x",
+        "'\\",
+        "\"esc at eof \\",
+        "r#ident r#\"raw\"# r\"also\"",
+        "b'",
+        "b'x",
+        "'a'b'c'",
+        "1.2.3",
+    ] {
+        assert_lossless(src);
+    }
+}

@@ -506,6 +506,7 @@ impl RexEndpoint {
         let threads = std::mem::take(&mut *self.threads.lock());
         for t in threads {
             if std::thread::current().id() != t.thread().id() {
+                // odp-lint: allow(l6, reason = "a panicked protocol thread is already counted; shutdown still completes")
                 let _ = t.join();
             }
         }
@@ -527,7 +528,13 @@ impl RexEndpoint {
             let frame_len = env.payload.len();
             match parse(env.payload) {
                 Ok(Parsed::Reply { call_id, body }) => {
-                    if let Some(tx) = self.pending.lock().remove(&call_id) {
+                    // Take the waiter out under the lock, deliver after
+                    // releasing it: an `if let` on the locked map would pin
+                    // the scrutinee temporary — and the pending-map lock —
+                    // across the channel send.
+                    let waiter = self.pending.lock().remove(&call_id);
+                    if let Some(tx) = waiter {
+                        // odp-lint: allow(l6, reason = "receiver gone means the caller timed out; dropping the late reply is the protocol's answer")
                         let _ = tx.send(body);
                     }
                     // Late replies after timeout are silently dropped.
@@ -540,6 +547,7 @@ impl RexEndpoint {
                     body,
                     announcement,
                 }) => {
+                    // odp-lint: allow(l6, reason = "send fails only after shutdown closed the worker pool; the peer retries by deadline")
                     let _ = self.job_tx.send(RexJob {
                         from,
                         call_id,
@@ -587,6 +595,7 @@ impl RexEndpoint {
                     self.duplicates_suppressed.fetch_add(1, Ordering::Relaxed);
                     let reply = encode_reply(job.call_id, cached);
                     drop(server);
+                    // odp-lint: allow(l6, reason = "reply delivery is best-effort; the caller's retransmit re-requests it from the cache")
                     let _ = self.transport.send_frame(self.node, job.from, &reply);
                     continue;
                 }
@@ -627,6 +636,7 @@ impl RexEndpoint {
                     }
                 }
             }
+            // odp-lint: allow(l6, reason = "reply delivery is best-effort; the caller's retransmit re-requests it from the cache")
             let _ = self.transport.send_frame(self.node, job.from, &reply);
         }
     }
@@ -634,8 +644,11 @@ impl RexEndpoint {
 
 impl Drop for RexEndpoint {
     fn drop(&mut self) {
-        self.running.store(false, Ordering::SeqCst);
-        self.transport.deregister(self.node);
+        // Route through `shutdown` so a drop after an explicit shutdown does
+        // NOT deregister the node id again: a supervisor may already have
+        // re-registered a replacement endpoint under the same id, and a
+        // second deregister here would silently tear the replacement down.
+        self.shutdown();
     }
 }
 

@@ -228,6 +228,7 @@ impl Drop for PumpGuard {
             self.wake.notify_all();
         }
         if let Some(h) = self.handle.lock().take() {
+            // odp-lint: allow(l6, reason = "drop-path join; a panicked pump cannot be recovered here")
             let _ = h.join();
         }
     }
@@ -258,6 +259,7 @@ impl SimNet {
             std::thread::Builder::new()
                 .name("simnet-pump".into())
                 .spawn(move || Self::pump(&inner, &wake, &running, &stats))
+                // odp-lint: allow(l1, reason = "construction-time spawn; failing to start the fabric is unrecoverable")
                 .expect("spawn simnet pump")
         };
         Self {
@@ -409,8 +411,10 @@ impl SimNet {
             let now = Instant::now();
             // Deliver everything due.
             while guard.queue.peek().is_some_and(|s| s.due <= now) {
+                // odp-lint: allow(l1, reason = "peek on the line above proves the heap is non-empty")
                 let sched = guard.queue.pop().expect("peeked");
                 if let Some(tx) = guard.nodes.get(&sched.env.to) {
+                    // odp-lint: allow(l2, reason = "endpoint inboxes are unbounded, send never blocks; the scheduler lock is the delivery order")
                     if tx.send(sched.env).is_ok() {
                         stats.delivered.fetch_add(1, Ordering::Relaxed);
                     } else {
@@ -441,6 +445,7 @@ impl Transport for SimNet {
         if inner.nodes.contains_key(&node) {
             return Err(NetError::AlreadyRegistered(node));
         }
+        // odp-lint: allow(l7, reason = "sim fabric inbox; occupancy is bounded by the scheduler heap which delivers in due order")
         let (tx, rx) = unbounded();
         inner.nodes.insert(node, tx);
         Ok(Endpoint::new(node, rx))
@@ -494,6 +499,7 @@ impl Transport for SimNet {
         // Fast path: zero-delay messages skip the heap entirely.
         if delay.is_zero() && inner.queue.is_empty() {
             if let Some(tx) = inner.nodes.get(&env.to) {
+                // odp-lint: allow(l2, reason = "endpoint inboxes are unbounded, send never blocks; registry lock orders the fast path against pump")
                 if tx.send(env).is_ok() {
                     self.stats.delivered.fetch_add(1, Ordering::Relaxed);
                 } else {

@@ -70,6 +70,7 @@ fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<(NodeId, Bytes)>
     let mut header = [0u8; 12];
     let mut read = 0;
     while read < header.len() {
+        // odp-lint: allow(l1, reason = "read < header.len() on the line above bounds the slice")
         match stream.read(&mut header[read..]) {
             Ok(0) if read == 0 => return Ok(None),
             Ok(0) => {
@@ -85,6 +86,7 @@ fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<(NodeId, Bytes)>
     // Fixed-size copies: infallible by construction, so a framing bug can
     // never panic the reader thread.
     let mut len_bytes = [0u8; 4];
+    // odp-lint: allow(l1, reason = "fixed 12-byte header; [..4] is in bounds by construction")
     len_bytes.copy_from_slice(&header[..4]);
     let len = u32::from_be_bytes(len_bytes);
     if len > MAX_FRAME {
@@ -94,6 +96,7 @@ fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<(NodeId, Bytes)>
         ));
     }
     let mut from_bytes = [0u8; 8];
+    // odp-lint: allow(l1, reason = "fixed 12-byte header; [4..] is exactly 8 bytes by construction")
     from_bytes.copy_from_slice(&header[4..]);
     let from = NodeId(u64::from_be_bytes(from_bytes));
     let mut payload = vec![0u8; len as usize];
@@ -220,6 +223,7 @@ fn write_batch(
     match write_all_frames(&mut guard, batch) {
         Ok(()) => true,
         Err(e) if is_reset(e.kind()) => {
+            // odp-lint: allow(l6, reason = "socket is already dead; shutdown is a courtesy to the peer")
             let _ = guard.shutdown(std::net::Shutdown::Both);
             let Some(addr) = directory.lock().get(&to).map(|s| s.addr) else {
                 return false;
@@ -227,6 +231,7 @@ fn write_batch(
             let Ok(fresh) = TcpStream::connect(addr) else {
                 return false;
             };
+            // odp-lint: allow(l6, reason = "nodelay is a latency optimization; the reconnect works without it")
             let _ = fresh.set_nodelay(true);
             *guard = fresh;
             write_all_frames(&mut guard, batch).is_ok()
@@ -252,6 +257,7 @@ impl Transport for TcpNetwork {
         let addr = listener.local_addr().map_err(|e| io_err(&e))?;
         listener.set_nonblocking(true).map_err(|e| io_err(&e))?;
         let alive = Arc::new(AtomicBool::new(true));
+        // odp-lint: allow(l7, reason = "endpoint inbox; occupancy is bounded by peers' REX in-flight windows and deadline expiry")
         let (tx, rx) = unbounded();
         dir.insert(
             node,
@@ -345,6 +351,7 @@ fn accept_loop(
 fn read_loop(mut stream: TcpStream, node: NodeId, tx: &Sender<Envelope>, alive: &Arc<AtomicBool>) {
     // Block on reads, but wake periodically so a deregistered node's reader
     // threads drain away.
+    // odp-lint: allow(l6, reason = "without the timeout the reader still exits via connection teardown, just later")
     let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
     while alive.load(Ordering::SeqCst) {
         match read_frame(&mut stream) {

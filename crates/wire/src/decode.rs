@@ -132,6 +132,7 @@ impl<'a> Cursor<'a> {
         if self.remaining() < n {
             return Err(DecodeError::Truncated);
         }
+        // odp-lint: allow(l1, reason = "remaining() < n returns Truncated on the line above; the slice is in bounds")
         let s = &self.data[self.pos..self.pos + n];
         self.pos += n;
         Ok(s)

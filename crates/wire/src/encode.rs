@@ -461,4 +461,59 @@ mod tests {
         encode_value(&mut b, &v);
         assert_eq!(&a[..], &b[..]);
     }
+
+    fn first_byte(v: &Value) -> u8 {
+        let mut buf: Vec<u8> = Vec::new();
+        encode_value(&mut buf, v);
+        buf[0]
+    }
+
+    /// Every value tag constant is pinned to the leading byte its encoder
+    /// actually emits — renumbering a tag without revisiting both sides of
+    /// the codec breaks here (and trips odp-lint's L4 exhaustiveness rule).
+    #[test]
+    fn value_tags_are_exhaustive_and_pinned() {
+        use odp_types::{InterfaceId, NodeId};
+        assert_eq!(first_byte(&Value::Unit), tag::UNIT);
+        assert_eq!(first_byte(&Value::Bool(false)), tag::BOOL);
+        assert_eq!(first_byte(&Value::Int(-7)), tag::INT);
+        assert_eq!(first_byte(&Value::Float(1.5)), tag::FLOAT);
+        assert_eq!(first_byte(&Value::str("t")), tag::STR);
+        assert_eq!(first_byte(&Value::bytes(vec![9u8])), tag::BYTES);
+        assert_eq!(first_byte(&Value::from(vec![1i64])), tag::SEQ);
+        assert_eq!(
+            first_byte(&Value::record([("k", Value::Unit)])),
+            tag::RECORD
+        );
+        let iref = InterfaceRef::new(InterfaceId(1), NodeId(1), InterfaceType::new(Vec::new()));
+        assert_eq!(first_byte(&Value::Interface(iref)), tag::IFREF);
+    }
+
+    fn spec_byte(spec: &TypeSpec) -> u8 {
+        let mut buf: Vec<u8> = Vec::new();
+        encode_type_spec(&mut buf, spec);
+        buf[0]
+    }
+
+    /// Same pinning for the type-spec tag space, which is one constant
+    /// wider than the value space (`ANY` has no value-level counterpart).
+    #[test]
+    fn spec_tags_are_exhaustive_and_pinned() {
+        assert_eq!(spec_byte(&TypeSpec::Unit), spec_tag::UNIT);
+        assert_eq!(spec_byte(&TypeSpec::Bool), spec_tag::BOOL);
+        assert_eq!(spec_byte(&TypeSpec::Int), spec_tag::INT);
+        assert_eq!(spec_byte(&TypeSpec::Float), spec_tag::FLOAT);
+        assert_eq!(spec_byte(&TypeSpec::Str), spec_tag::STR);
+        assert_eq!(spec_byte(&TypeSpec::Bytes), spec_tag::BYTES);
+        assert_eq!(spec_byte(&TypeSpec::seq(TypeSpec::Int)), spec_tag::SEQ);
+        assert_eq!(
+            spec_byte(&TypeSpec::record([("f", TypeSpec::Int)])),
+            spec_tag::RECORD
+        );
+        assert_eq!(
+            spec_byte(&TypeSpec::interface(InterfaceType::new(Vec::new()))),
+            spec_tag::INTERFACE
+        );
+        assert_eq!(spec_byte(&TypeSpec::Any), spec_tag::ANY);
+    }
 }

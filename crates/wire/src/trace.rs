@@ -25,6 +25,7 @@ pub fn get_trace(buf: &mut Bytes) -> Option<TraceContext> {
     if buf.len() < TraceContext::WIRE_LEN {
         return None;
     }
+    // odp-lint: allow(l1, reason = "len() < WIRE_LEN returns None two lines above; the slice is in bounds")
     let ctx = TraceContext::from_bytes(&buf[..TraceContext::WIRE_LEN])?;
     buf.advance(TraceContext::WIRE_LEN);
     Some(ctx)

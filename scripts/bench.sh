@@ -60,4 +60,29 @@ print(f"bench: wrote {out_path} ({len(merged)} cases)")
 print(f"bench: e02/round_trip worst change {worst:+.1f}% (target <= -25%)")
 if worst > -25.0:
     sys.exit(f"bench: REGRESSION — e02/round_trip improvement below 25%")
+
+# General regression gate: ANY tracked case more than 10% slower than its
+# baseline fails, unless EXPERIMENTS.md records a waiver naming the case
+# (a line containing `bench-waiver: <case>`). New cases (no baseline)
+# are exempt — they become tracked once a baseline lands.
+waivers = set()
+try:
+    for line in open("EXPERIMENTS.md"):
+        if "bench-waiver:" in line:
+            waivers.add(line.split("bench-waiver:", 1)[1].strip().rstrip("`").strip())
+except FileNotFoundError:
+    pass
+regressed = [
+    (case, entry["change_pct"])
+    for case, entry in merged.items()
+    if entry.get("change_pct", 0.0) > 10.0 and case not in waivers
+]
+for case, pct in regressed:
+    print(f"bench: REGRESSION — {case} {pct:+.1f}% vs baseline (limit +10%, "
+          f"waive with `bench-waiver: {case}` in EXPERIMENTS.md)")
+if regressed:
+    sys.exit(1)
+waived = [c for c in waivers if merged.get(c, {}).get("change_pct", 0.0) > 10.0]
+for case in waived:
+    print(f"bench: waived regression {case} ({merged[case]['change_pct']:+.1f}%)")
 PY

@@ -11,6 +11,9 @@ cargo fmt --check
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== odp-lint (ratchet) =="
+cargo run -q -p odp-lint --bin odp-lint -- --ratchet lint-ratchet.json
+
 echo "== build (release) =="
 cargo build --release
 

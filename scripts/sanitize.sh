@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Dynamic-analysis companion to `odp-lint`'s static lock/channel rules:
+# run the concurrency-sensitive test targets natively, then again under
+# ThreadSanitizer and Miri where the toolchain provides them.
+#
+# Both sanitizers need nightly-only components (`-Z sanitizer=thread`
+# needs a nightly rustc plus the matching `rust-src`; Miri is a rustup
+# component). This container ships a stable toolchain only, so each stage
+# probes for its prerequisites and SKIPs — not fails — when absent: the
+# script is a gate on machines that can run it and a no-op elsewhere.
+#
+# Usage: scripts/sanitize.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# The targets that exercise the lock/channel surface odp-lint's L2/L7
+# reason about: transport plumbing, capsule scheduling, group membership.
+TARGETS=(-p odp-net -p odp-core -p odp-groups)
+
+echo "== native (baseline) =="
+cargo test -q "${TARGETS[@]}"
+
+echo "== ThreadSanitizer =="
+host="$(rustc -vV | sed -n 's/^host: //p')"
+if rustc +nightly -vV >/dev/null 2>&1 \
+    && rustc +nightly --print target-list 2>/dev/null | grep -qx "$host" \
+    && [ -d "$(rustc +nightly --print sysroot 2>/dev/null)/lib/rustlib/src/rust/library" ]; then
+    RUSTFLAGS="-Z sanitizer=thread" \
+        cargo +nightly test -Z build-std --target "$host" -q "${TARGETS[@]}"
+else
+    echo "sanitize: SKIP tsan (no nightly toolchain with rust-src on this machine)"
+fi
+
+echo "== Miri =="
+if cargo +nightly miri --version >/dev/null 2>&1; then
+    # Miri cannot run the socket-backed net tests; confine it to the
+    # in-memory layers where it can actually check aliasing/UB.
+    MIRIFLAGS="-Zmiri-disable-isolation" \
+        cargo +nightly miri test -q -p odp-wire -p odp-types
+elif cargo miri --version >/dev/null 2>&1; then
+    MIRIFLAGS="-Zmiri-disable-isolation" \
+        cargo miri test -q -p odp-wire -p odp-types
+else
+    echo "sanitize: SKIP miri (component not installed)"
+fi
+
+echo "sanitize: done"

@@ -1,0 +1,464 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build container has no registry access, so the workspace patches
+//! `bytes` to this in-tree implementation of the API subset odp-rs uses.
+//! Semantics match the real crate where it matters for the zero-copy hot
+//! path: `Bytes` is a cheaply clonable, refcounted view; `slice`/`split_to`
+//! share the underlying allocation instead of copying.
+
+use std::ops::{Deref, Range};
+use std::sync::Arc;
+
+/// Backing storage for a [`Bytes`] view.
+#[derive(Debug, Clone)]
+enum Storage {
+    /// Borrowed from static memory (`Bytes::from_static`).
+    Static(&'static [u8]),
+    /// Shared heap allocation.
+    Shared(Arc<Vec<u8>>),
+}
+
+impl Storage {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Storage::Static(s) => s,
+            Storage::Shared(v) => v.as_slice(),
+        }
+    }
+}
+
+/// A cheaply clonable, immutable, refcounted slice of contiguous memory.
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    storage: Storage,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Creates an empty `Bytes`.
+    #[must_use]
+    pub const fn new() -> Bytes {
+        Bytes {
+            storage: Storage::Static(&[]),
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// Creates a `Bytes` view of a static slice without copying.
+    #[must_use]
+    pub const fn from_static(s: &'static [u8]) -> Bytes {
+        Bytes {
+            storage: Storage::Static(s),
+            start: 0,
+            end: s.len(),
+        }
+    }
+
+    /// Copies `data` into a fresh shared allocation.
+    #[must_use]
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Length of the view in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The viewed bytes.
+    #[must_use]
+    pub fn as_ref(&self) -> &[u8] {
+        &self.storage.as_slice()[self.start..self.end]
+    }
+
+    /// Copies the viewed bytes into a fresh `Vec`.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+
+    /// Returns a sub-view sharing the same storage (no copy).
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds, matching the real crate.
+    #[must_use]
+    pub fn slice(&self, range: Range<usize>) -> Bytes {
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice out of bounds: {range:?} of {}",
+            self.len()
+        );
+        Bytes {
+            storage: self.storage.clone(),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Splits off and returns the first `n` bytes, advancing `self` past
+    /// them. Both halves share the original storage.
+    ///
+    /// # Panics
+    /// Panics if `n > self.len()`.
+    #[must_use]
+    pub fn split_to(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.len(), "split_to out of bounds");
+        let head = self.slice(0..n);
+        self.start += n;
+        head
+    }
+
+    /// Truncates the view to the first `n` bytes (no-op if shorter).
+    pub fn truncate(&mut self, n: usize) {
+        if n < self.len() {
+            self.end = self.start + n;
+        }
+    }
+
+    /// Clears the view.
+    pub fn clear(&mut self) {
+        self.end = self.start;
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_ref()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        Bytes::as_ref(self)
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let end = v.len();
+        Bytes {
+            storage: Storage::Shared(Arc::new(v)),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Bytes {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Bytes {
+        Bytes::from_static(s.as_bytes())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_ref() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_ref() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_ref() == other.as_slice()
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_ref().hash(state);
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self.as_ref().cmp(other.as_ref())
+    }
+}
+
+impl std::iter::FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Bytes {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+/// A growable, uniquely owned byte buffer; freeze into [`Bytes`] when done.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    #[must_use]
+    pub const fn new() -> BytesMut {
+        BytesMut { vec: Vec::new() }
+    }
+
+    /// Creates an empty buffer with room for `cap` bytes.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            vec: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+
+    /// Current capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.vec.capacity()
+    }
+
+    /// Reserves room for at least `n` more bytes.
+    pub fn reserve(&mut self, n: usize) {
+        self.vec.reserve(n);
+    }
+
+    /// Clears the contents, keeping capacity.
+    pub fn clear(&mut self) {
+        self.vec.clear();
+    }
+
+    /// Truncates to the first `n` bytes.
+    pub fn truncate(&mut self, n: usize) {
+        self.vec.truncate(n);
+    }
+
+    /// Appends a slice.
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.vec.extend_from_slice(data);
+    }
+
+    /// Converts into an immutable [`Bytes`] without copying.
+    #[must_use]
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.vec)
+    }
+
+    /// The buffered bytes.
+    #[must_use]
+    pub fn as_ref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(vec: Vec<u8>) -> BytesMut {
+        BytesMut { vec }
+    }
+}
+
+impl Extend<u8> for BytesMut {
+    fn extend<I: IntoIterator<Item = u8>>(&mut self, iter: I) {
+        self.vec.extend(iter);
+    }
+}
+
+/// Read cursor over a byte container (API subset of the real trait).
+///
+/// Integer accessors use network byte order (big-endian), like the real
+/// crate's `get_*` family.
+pub trait Buf {
+    /// Bytes remaining to read.
+    fn remaining(&self) -> usize;
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+    /// Skips `n` bytes.
+    ///
+    /// # Panics
+    /// Panics if fewer than `n` bytes remain.
+    fn advance(&mut self, n: usize);
+
+    /// Reads one byte.
+    ///
+    /// # Panics
+    /// Panics when empty.
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    /// Reads a big-endian `u16`.
+    ///
+    /// # Panics
+    /// Panics if fewer than 2 bytes remain.
+    fn get_u16(&mut self) -> u16 {
+        let mut raw = [0u8; 2];
+        raw.copy_from_slice(&self.chunk()[..2]);
+        self.advance(2);
+        u16::from_be_bytes(raw)
+    }
+
+    /// Reads a big-endian `u32`.
+    ///
+    /// # Panics
+    /// Panics if fewer than 4 bytes remain.
+    fn get_u32(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_be_bytes(raw)
+    }
+
+    /// Reads a big-endian `u64`.
+    ///
+    /// # Panics
+    /// Panics if fewer than 8 bytes remain.
+    fn get_u64(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_be_bytes(raw)
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self.as_ref()
+    }
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance out of bounds");
+        self.start += n;
+    }
+}
+
+/// Write sink for bytes (API subset of the real trait). Integer writers
+/// use network byte order (big-endian), like the real crate's `put_*`.
+pub trait BufMut {
+    /// Appends a slice.
+    fn put_slice(&mut self, s: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, b: u8) {
+        self.put_slice(&[b]);
+    }
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.vec.extend_from_slice(s);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_shares_storage() {
+        let b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn split_to_advances() {
+        let mut b = Bytes::from(vec![9, 8, 7]);
+        let head = b.split_to(2);
+        assert_eq!(&head[..], &[9, 8]);
+        assert_eq!(&b[..], &[7]);
+    }
+
+    #[test]
+    fn buf_roundtrip() {
+        let mut m = BytesMut::new();
+        m.put_u8(7);
+        m.put_u16(0x1234);
+        m.put_u32(0xDEAD_BEEF);
+        m.put_u64(42);
+        let mut b = m.freeze();
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u16(), 0x1234);
+        assert_eq!(b.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(b.get_u64(), 42);
+        assert_eq!(b.remaining(), 0);
+    }
+}
