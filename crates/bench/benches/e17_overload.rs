@@ -1,0 +1,273 @@
+//! E17 — the overload plane: goodput and latency vs offered load.
+//!
+//! Claim: with admission control in the server's dispatch path, pushing
+//! offered load past saturation produces a **flat knee**, not a cliff —
+//! goodput holds near capacity, admitted-call p99 stays bounded by the
+//! admission queue, and everything beyond the knee is rejected in local
+//! time (microseconds of queue math) instead of burning deadline time.
+//!
+//! Two parts:
+//!
+//! * `overload_knee()` (runs once, before Criterion): an open-loop,
+//!   coordinated-omission-free rate ladder at 0.5×/1×/2×/3× the
+//!   calibrated capacity of an admission-controlled export, printing a
+//!   goodput/latency table and asserting the knee conditions from the
+//!   experiment plan.
+//! * Criterion cases: the per-call overhead the admission layer adds on
+//!   an idle server, and the local-time cost of a shed.
+
+use criterion::{criterion_group, Criterion};
+use odp::chaos::{run_load, LoadGenConfig, LoadOp, OpResult};
+use odp::core::{AdmissionLayer, AdmissionPolicy, ServerLayer, ServerNext};
+use odp::prelude::*;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Fixed per-call service time of the workload servant: makes the
+/// export's capacity a known constant (`max_concurrent / SERVICE`), so
+/// the rate ladder's rungs sit at known multiples of saturation.
+const SERVICE: Duration = Duration::from_millis(5);
+
+/// Admission policy of the export under test.
+fn knee_policy() -> AdmissionPolicy {
+    AdmissionPolicy {
+        max_concurrent: 2,
+        queue_capacity: 8,
+        retry_after: Duration::from_millis(1),
+        max_wait: Duration::from_millis(150),
+    }
+}
+
+fn work_servant() -> Arc<dyn Servant> {
+    let ty = InterfaceTypeBuilder::new()
+        .interrogation("work", vec![], vec![OutcomeSig::ok(vec![TypeSpec::Int])])
+        .build();
+    Arc::new(FnServant::new(ty, |_op, _args, _ctx| {
+        std::thread::sleep(SERVICE);
+        Outcome::ok(vec![Value::Int(1)])
+    }))
+}
+
+struct Rung {
+    label: &'static str,
+    offered: f64,
+    report: odp::chaos::LoadReport,
+}
+
+/// The rate ladder. Runs exactly once (not under Criterion timing): the
+/// interesting output is the table and the knee assertions, not a mean.
+fn overload_knee() {
+    // Enough REX workers that queued calls (which hold their worker
+    // thread while waiting) never starve the shed path of threads:
+    // max_concurrent + queue_capacity + slack.
+    let world = World::builder().capsules(2).workers(16).build();
+    let policy = knee_policy();
+    let admission = AdmissionLayer::with_node(policy, world.capsule(0).node().raw());
+    let reference = world.capsule(0).export_with(
+        work_servant(),
+        ExportConfig {
+            layers: vec![admission.clone() as Arc<dyn ServerLayer>],
+            ..ExportConfig::default()
+        },
+    );
+    let binding = Arc::new(
+        world.capsule(1).bind_with(
+            reference,
+            TransparencyPolicy::default()
+                .with_qos(CallQos::with_deadline(Duration::from_millis(250)))
+                // No client retries: E17 measures the server's shedding, not
+                // the client's amplification (E15 covers the breaker).
+                .with_failure(None),
+        ),
+    );
+    // Warm the path and the admission EWMA.
+    for _ in 0..4 {
+        binding.interrogate("work", vec![]).expect("warmup call");
+    }
+
+    let capacity = policy.max_concurrent as f64 / SERVICE.as_secs_f64();
+    let run_rung = |label: &'static str, multiple: f64, seed: u64| -> Rung {
+        let b = Arc::clone(&binding);
+        let ops = vec![LoadOp::new("work", 1, move || {
+            match b.interrogate("work", vec![]) {
+                Ok(_) => OpResult::Ok,
+                Err(InvokeError::Rejected { .. }) => OpResult::Shed,
+                Err(_) => OpResult::Failed,
+            }
+        })];
+        let offered = capacity * multiple;
+        let report = run_load(
+            &LoadGenConfig {
+                seed,
+                rate_per_sec: offered,
+                duration: Duration::from_secs(1),
+                workers: 48,
+            },
+            &ops,
+        );
+        Rung {
+            label,
+            offered,
+            report,
+        }
+    };
+
+    let rungs = [
+        run_rung("0.5x", 0.5, 0xE1701),
+        run_rung("1.0x", 1.0, 0xE1702),
+        run_rung("2.0x", 2.0, 0xE1703),
+        run_rung("3.0x", 3.0, 0xE1704),
+    ];
+
+    println!("\ne17_overload knee (capacity ~= {capacity:.0}/s, service {SERVICE:?}, admission {policy:?})");
+    println!(
+        "{:>6} {:>9} {:>6} {:>6} {:>6} {:>6} {:>9} {:>10} {:>10} {:>10}",
+        "rung",
+        "offered/s",
+        "sent",
+        "ok",
+        "shed",
+        "fail",
+        "goodput/s",
+        "ok p50",
+        "ok p99",
+        "shed p99"
+    );
+    for r in &rungs {
+        println!(
+            "{:>6} {:>9.0} {:>6} {:>6} {:>6} {:>6} {:>9.0} {:>9.2}ms {:>9.2}ms {:>9.2}ms",
+            r.label,
+            r.offered,
+            r.report.sent(),
+            r.report.ok(),
+            r.report.shed(),
+            r.report.failed(),
+            r.report.goodput_per_sec(),
+            r.report.ok_latency_at(0.50) as f64 / 1e6,
+            r.report.ok_latency_at(0.99) as f64 / 1e6,
+            r.report.shed_latency_at(0.99) as f64 / 1e6,
+        );
+    }
+
+    // The knee conditions (experiment plan E17).
+    let peak = rungs
+        .iter()
+        .map(|r| r.report.goodput_per_sec())
+        .fold(0.0f64, f64::max);
+    let at_capacity = &rungs[1].report;
+    let at_2x = &rungs[2].report;
+    assert!(
+        at_2x.goodput_per_sec() >= 0.8 * peak,
+        "knee collapsed: goodput at 2x ({:.0}/s) below 80% of peak ({:.0}/s)",
+        at_2x.goodput_per_sec(),
+        peak
+    );
+    assert!(
+        at_2x.ok_latency_at(0.99) <= 2 * at_capacity.ok_latency_at(0.99).max(1),
+        "admitted p99 blew up at 2x: {} ns vs {} ns at capacity",
+        at_2x.ok_latency_at(0.99),
+        at_capacity.ok_latency_at(0.99)
+    );
+    assert!(
+        at_2x.shed() > 0,
+        "2x offered load must shed calls through admission control"
+    );
+    assert_eq!(
+        at_2x.failed() + rungs[3].report.failed(),
+        0,
+        "overload must surface as shed, never as failure"
+    );
+    println!(
+        "knee OK: goodput@2x {:.0}/s >= 80% of peak {:.0}/s; ok p99 {:.2} ms <= 2x {:.2} ms; {} shed\n",
+        at_2x.goodput_per_sec(),
+        peak,
+        at_2x.ok_latency_at(0.99) as f64 / 1e6,
+        at_capacity.ok_latency_at(0.99) as f64 / 1e6,
+        at_2x.shed()
+    );
+}
+
+/// Terminal `ServerNext` used by the micro-benches.
+struct Immediate;
+
+impl ServerNext for Immediate {
+    fn dispatch(&self, _ctx: &CallCtx, _op: &str, _args: Vec<Value>) -> Outcome {
+        Outcome::ok(vec![])
+    }
+}
+
+/// Blocks until released — pins the admission slot during the shed bench.
+struct Blocking(Arc<AtomicBool>);
+
+impl ServerNext for Blocking {
+    fn dispatch(&self, _ctx: &CallCtx, _op: &str, _args: Vec<Value>) -> Outcome {
+        while !self.0.load(Ordering::Acquire) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        Outcome::ok(vec![])
+    }
+}
+
+/// The per-call cost the admission layer adds on an *idle* server (fast
+/// path: one lock, no queueing) — this rides on every dispatch, so it
+/// must stay in the tens of nanoseconds.
+fn admission_overhead(c: &mut Criterion) {
+    let layer = AdmissionLayer::new(AdmissionPolicy::default());
+    let ctx = CallCtx::default();
+    c.bench_function("e17_admission/overhead_idle", |b| {
+        b.iter(|| black_box(layer.dispatch(&ctx, "op", vec![], &Immediate)));
+    });
+}
+
+/// Local-time cost of shedding: a saturated layer (slot pinned, zero
+/// queue) must reject in microseconds — the whole point of admission
+/// control is that excess load gets *cheaper* to refuse than to serve.
+fn shed_fast_reject(c: &mut Criterion) {
+    let layer = AdmissionLayer::new(AdmissionPolicy {
+        max_concurrent: 1,
+        queue_capacity: 0,
+        retry_after: Duration::from_millis(1),
+        max_wait: Duration::from_millis(50),
+    });
+    let release = Arc::new(AtomicBool::new(false));
+    let occupant = {
+        let layer = Arc::clone(&layer);
+        let release = Arc::clone(&release);
+        std::thread::spawn(move || {
+            layer.dispatch(&CallCtx::default(), "op", vec![], &Blocking(release))
+        })
+    };
+    while layer.admitted.load(Ordering::Relaxed) == 0 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let ctx = CallCtx::default();
+    c.bench_function("e17_admission/shed_queue_full", |b| {
+        b.iter(|| black_box(layer.dispatch(&ctx, "op", vec![], &Immediate)));
+    });
+    // Expired-deadline drop: the other microsecond shed path.
+    let expired = CallCtx {
+        deadline: Some(Instant::now() - Duration::from_millis(1)),
+        ..CallCtx::default()
+    };
+    c.bench_function("e17_admission/shed_expired_deadline", |b| {
+        b.iter(|| black_box(layer.dispatch(&expired, "op", vec![], &Immediate)));
+    });
+    release.store(true, Ordering::Release);
+    occupant.join().expect("occupant");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+    targets = admission_overhead, shed_fast_reject
+}
+
+fn main() {
+    overload_knee();
+    benches();
+}

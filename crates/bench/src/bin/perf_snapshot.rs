@@ -225,6 +225,39 @@ fn main() {
         }
     }
 
+    // --- E17: admission-control dispatch overhead and shed cost ----------
+    {
+        use odp::core::{ServerLayer, ServerNext};
+
+        struct Immediate;
+        impl ServerNext for Immediate {
+            fn dispatch(&self, _ctx: &CallCtx, _op: &str, _args: Vec<Value>) -> Outcome {
+                Outcome::ok(vec![])
+            }
+        }
+
+        let layer = AdmissionLayer::new(AdmissionPolicy::default());
+        let ctx = CallCtx::default();
+        record(
+            "e17/admission_overhead_idle/0".into(),
+            measure(|| {
+                black_box(layer.dispatch(&ctx, "op", vec![], &Immediate));
+            }),
+        );
+        // The µs-shed path: an already-expired deadline is rejected before
+        // any queueing or servant work.
+        let expired = CallCtx {
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+            ..CallCtx::default()
+        };
+        record(
+            "e17/shed_expired_deadline/0".into(),
+            measure(|| {
+                black_box(layer.dispatch(&expired, "op", vec![], &Immediate));
+            }),
+        );
+    }
+
     // Flat JSON, stable key order, no external serializer needed.
     out.sort();
     println!("{{");

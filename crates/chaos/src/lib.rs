@@ -13,6 +13,9 @@
 //!   run is a reproducible artifact, not an anecdote.
 //! * [`workload`] — an idempotent, recoverable ledger ([`LedgerServant`])
 //!   whose operation set makes safety externally checkable.
+//! * [`loadgen`] — open-loop, coordinated-omission-free load generation:
+//!   seeded Poisson arrival schedules at a configured offered rate,
+//!   latency measured from each call's *intended* start (E17).
 //! * [`runner`] — replays a schedule against a live multi-capsule
 //!   [`odp_core::World`] while client threads drive load through the full
 //!   hardened access path (retry budgets, decorrelated-jitter backoff,
@@ -33,11 +36,13 @@
 #![forbid(unsafe_code)]
 
 pub mod invariants;
+pub mod loadgen;
 pub mod runner;
 pub mod schedule;
 pub mod workload;
 
 pub use invariants::{verify_run, InvariantReport};
+pub use loadgen::{run_load, KindStats, LoadGenConfig, LoadOp, LoadReport, OpResult};
 pub use runner::{run, ChaosConfig, ChaosReport, Timeline};
 pub use schedule::{ChaosAction, ChaosEvent, ChaosProfile, FaultSchedule, SplitMix64, Topology};
 pub use workload::{

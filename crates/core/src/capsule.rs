@@ -456,6 +456,8 @@ impl Capsule {
             announcement,
             annotations: req.annotations,
             trace: req.trace,
+            priority: req.qos.priority,
+            deadline: req.deadline,
         };
         self.dispatch_entry(&mut ctx, &req.op, req.args)
     }
@@ -478,6 +480,8 @@ impl Capsule {
             announcement: req.announcement,
             annotations,
             trace: req.trace,
+            priority: req.priority,
+            deadline: req.deadline,
         };
         let outcome = self.dispatch_entry(&mut ctx, &req.op, args);
         object::encode_outcome_pooled(&outcome)

@@ -102,6 +102,14 @@ pub enum InvokeError {
     /// without touching the network (failure transparency, load-shedding
     /// half).
     CircuitOpen,
+    /// The *server's* admission control shed the call before dispatch.
+    /// Distinct from failure: the server is healthy but saturated, the
+    /// call was never executed, and retrying immediately only amplifies
+    /// the overload — honor `retry_after` instead.
+    Rejected {
+        /// Server's back-off hint before re-offering the call.
+        retry_after: std::time::Duration,
+    },
     /// A security guard refused the interaction (§7.1).
     Denied(String),
     /// A concurrency-control layer aborted the interaction (§5.2).
@@ -129,6 +137,12 @@ impl fmt::Display for InvokeError {
                 write!(f, "reference to {iface} is stale (hint: {hint:?})")
             }
             InvokeError::CircuitOpen => write!(f, "circuit breaker open: call shed"),
+            InvokeError::Rejected { retry_after } => {
+                write!(
+                    f,
+                    "server shed the call (overloaded); retry after {retry_after:?}"
+                )
+            }
             InvokeError::Denied(why) => write!(f, "access denied: {why}"),
             InvokeError::Aborted(why) => write!(f, "aborted by concurrency control: {why}"),
             InvokeError::RemoteTypeError(why) => write!(f, "server rejected arguments: {why}"),
@@ -603,6 +617,13 @@ impl ClientBinding {
             terminations::TYPE_ERROR => Err(InvokeError::RemoteTypeError(first_str)),
             terminations::DENIED => Err(InvokeError::Denied(first_str)),
             terminations::ABORTED => Err(InvokeError::Aborted(first_str)),
+            terminations::REJECTED => Err(InvokeError::Rejected {
+                retry_after: odp_wire::overload::parse_rejection(
+                    &outcome.termination,
+                    &outcome.results,
+                )
+                .unwrap_or_default(),
+            }),
             other => Err(InvokeError::Protocol(format!(
                 "unhandled engineering termination `{other}`"
             ))),

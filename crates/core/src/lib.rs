@@ -47,6 +47,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod admission;
 pub mod capsule;
 pub mod invocation;
 pub mod management;
@@ -56,6 +57,7 @@ pub mod relocator;
 pub mod transparency;
 pub mod world;
 
+pub use admission::{AdmissionLayer, AdmissionPolicy};
 pub use capsule::{Capsule, ExportConfig, SyncDiscipline};
 pub use invocation::{
     CallRequest, ClientBinding, ClientLayer, ClientNext, InvokeError, ServerLayer, ServerNext,

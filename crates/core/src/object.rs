@@ -39,6 +39,10 @@ pub mod terminations {
     pub const ABORTED: &str = "__aborted";
     /// The interface is passivated and must be activated before use (§5.5).
     pub const PASSIVE: &str = "__passive";
+    /// Admission control shed the call before dispatch; results carry
+    /// `[Int(retry_after_µs)]`. Aliases the wire crate's constant so the
+    /// envelope codec and the dispatch path can never drift apart.
+    pub const REJECTED: &str = odp_wire::overload::REJECTED_TERMINATION;
 
     /// True if `name` is reserved for the engineering infrastructure.
     #[must_use]
@@ -148,6 +152,15 @@ pub struct CallCtx {
     /// envelope, or directly from the caller on the co-located fast
     /// path); [`odp_telemetry::TraceContext::NONE`] when untraced.
     pub trace: odp_telemetry::TraceContext,
+    /// Scheduling class the call arrived with (from the request envelope;
+    /// `Normal` on the co-located fast path unless the policy says
+    /// otherwise). Admission control dequeues strictly highest-first.
+    pub priority: odp_wire::CallPriority,
+    /// Absolute deadline reconstructed from the envelope's relative
+    /// budget, anchored at the frame's *arrival* instant so time spent in
+    /// admission queues counts against it. `None` for announcements and
+    /// calls sent without a deadline.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl CallCtx {

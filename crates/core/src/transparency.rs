@@ -406,7 +406,16 @@ impl ClientLayer for RetryLayer {
                     last_err = Some(e);
                 }
                 other => {
-                    if other.is_ok() {
+                    // A server-shed call (`__rejected`) completed the
+                    // exchange but did no work: pass it through without
+                    // retrying *and* without depositing retry budget — a
+                    // saturated server must not look like a healthy one
+                    // refilling the bucket that amplifies its overload.
+                    let shed = matches!(
+                        &other,
+                        Ok(o) if o.termination == terminations::REJECTED
+                    );
+                    if other.is_ok() && !shed {
                         if let Some(budget) = &self.budget {
                             budget.deposit();
                         }
@@ -504,12 +513,16 @@ impl ClientLayer for CircuitBreakerLayer {
         };
         let trace_id = req.trace.trace_id;
         let result = next.invoke(req);
+        // A server-shed call (`__rejected`) means the target is saturated:
+        // it counts toward opening exactly like a communication failure, so
+        // sustained shedding trips the breaker and the client stops
+        // offering load the server will only throw away.
         let comm_failure = matches!(
             result,
             Err(InvokeError::Rex(
                 RexError::Timeout | RexError::Unreachable(_) | RexError::Transport(_)
             ))
-        );
+        ) || matches!(&result, Ok(o) if o.termination == terminations::REJECTED);
         let mut inner = self.inner.lock();
         if is_probe {
             inner.probing = false;
@@ -916,5 +929,81 @@ mod tests {
             start.elapsed()
         );
         assert!(next.calls.load(Ordering::SeqCst) < 100);
+    }
+
+    /// A next that always answers with the server-shed termination.
+    struct SheddingNext {
+        calls: std::sync::atomic::AtomicU64,
+    }
+
+    impl SheddingNext {
+        fn new() -> Self {
+            Self {
+                calls: std::sync::atomic::AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl crate::invocation::ClientNext for SheddingNext {
+        fn invoke(&self, _req: CallRequest) -> Result<Outcome, InvokeError> {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            Ok(Outcome::engineering(
+                terminations::REJECTED,
+                odp_wire::overload::rejection_results(Duration::from_millis(2)),
+            ))
+        }
+    }
+
+    #[test]
+    fn retry_layer_passes_shed_calls_through_without_amplifying() {
+        let layer = RetryLayer::new(RetryPolicy {
+            max_retries: 3,
+            backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            budget: Some(2),
+        });
+        // Spend one budget token on a genuine transient failure so the
+        // bucket sits below its cap (deposits would be visible).
+        let flaky = ScriptedNext::failing(1);
+        layer.invoke(dummy_request(), &flaky).unwrap();
+        assert_eq!(layer.budget().unwrap().balance(), 1);
+        // Shed responses: exactly one attempt each (no retry), and no
+        // budget deposits — ten of them must not refill the bucket the
+        // way ten successes would.
+        let shedding = SheddingNext::new();
+        for _ in 0..10 {
+            let out = layer.invoke(dummy_request(), &shedding).unwrap();
+            assert_eq!(out.termination, terminations::REJECTED);
+        }
+        assert_eq!(
+            shedding.calls.load(Ordering::SeqCst),
+            10,
+            "a shed call must never be retried"
+        );
+        assert_eq!(
+            layer.budget().unwrap().balance(),
+            1,
+            "shed calls must not deposit retry budget"
+        );
+    }
+
+    #[test]
+    fn sustained_shedding_opens_the_breaker() {
+        let policy = CircuitBreakerPolicy {
+            failure_threshold: 2,
+            cooldown: Duration::from_secs(30),
+        };
+        let breaker = CircuitBreakerLayer::new(policy);
+        let shedding = SheddingNext::new();
+        // Shed responses complete the exchange but count as failures.
+        for _ in 0..2 {
+            let out = breaker.invoke(dummy_request(), &shedding).unwrap();
+            assert_eq!(out.termination, terminations::REJECTED);
+        }
+        assert_eq!(breaker.state(), BreakerState::Open);
+        // Open: the overloaded server no longer sees this client at all.
+        let err = breaker.invoke(dummy_request(), &shedding).unwrap_err();
+        assert_eq!(err, InvokeError::CircuitOpen);
+        assert_eq!(shedding.calls.load(Ordering::SeqCst), 2);
     }
 }

@@ -340,6 +340,7 @@ fn retry_layer_rides_out_transient_loss() {
     let policy = TransparencyPolicy::default().with_qos(CallQos {
         deadline: Duration::from_millis(300),
         retry_interval: Duration::from_millis(10),
+        priority: odp_wire::CallPriority::Normal,
     });
     let binding = world.capsule(1).bind_with(r, policy);
     for _ in 0..10 {

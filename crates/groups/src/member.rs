@@ -69,6 +69,9 @@ pub const GAP_TIMEOUT: Duration = Duration::from_millis(500);
 pub const PROBE_QOS: CallQos = CallQos {
     deadline: Duration::from_millis(200),
     retry_interval: Duration::from_millis(50),
+    // Probes are control-plane traffic: they must get through ahead of the
+    // application load whose health they are measuring.
+    priority: odp_wire::CallPriority::High,
 };
 
 struct Job {

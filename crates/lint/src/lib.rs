@@ -8,7 +8,7 @@
 //! allow-directive tracking ([`model`]), seven ODP rules ([`rules`]), and
 //! a monotone violation ratchet ([`ratchet`]) wired into CI.
 //!
-//! Rule summary (full specs in DESIGN.md §7):
+//! Rule summary (full specs in DESIGN.md §8):
 //!
 //! | id | invariant |
 //! |----|-----------|

@@ -1,4 +1,4 @@
-//! `odp-lint` CLI — see `--help` or DESIGN.md §7.
+//! `odp-lint` CLI — see `--help` or DESIGN.md §8.
 //!
 //! Exit codes: 0 clean (or within ratchet), 1 violations over budget or a
 //! lock-order cycle, 2 usage/I-O error.

@@ -9,7 +9,7 @@
 //! every other thread contending the lock (the reactor-rewrite hazard the
 //! ROADMAP names).
 //!
-//! Heuristics (DESIGN.md §7 documents the precision trade): a lock
+//! Heuristics (DESIGN.md §8 documents the precision trade): a lock
 //! identity is `crate/receiver-ident`, so two same-named fields in one
 //! crate share a node (conservative: may merge, never misses); guards
 //! bound by `let` live to end of scope or `drop(guard)`, bare

@@ -1,6 +1,6 @@
 //! The ODP rule engine: seven rules over the lexed source model.
 //!
-//! Each rule encodes one engineering-model invariant (DESIGN.md §7 has the
+//! Each rule encodes one engineering-model invariant (DESIGN.md §8 has the
 //! full specifications). Rules emit [`Violation`]s; the engine filters them
 //! through the per-file `// odp-lint: allow(...)` directives, so every
 //! surviving diagnostic is either a defect or a missing justification.

@@ -28,8 +28,9 @@ use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use odp_telemetry::TraceContext;
 use odp_types::{InterfaceId, NodeId};
+use odp_wire::overload::{get_overload, put_overload, OVERLOAD_WIRE_LEN};
 use odp_wire::trace::get_trace;
-use odp_wire::PooledBuf;
+use odp_wire::{CallPriority, PooledBuf};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
@@ -44,6 +45,9 @@ pub struct CallQos {
     pub deadline: Duration,
     /// Gap between retransmissions of an unanswered request.
     pub retry_interval: Duration,
+    /// Scheduling class stamped into the request envelope; the server's
+    /// admission control queues (and sheds) by it under overload.
+    pub priority: CallPriority,
 }
 
 impl Default for CallQos {
@@ -51,6 +55,7 @@ impl Default for CallQos {
         Self {
             deadline: Duration::from_secs(2),
             retry_interval: Duration::from_millis(100),
+            priority: CallPriority::Normal,
         }
     }
 }
@@ -63,7 +68,15 @@ impl CallQos {
         Self {
             deadline,
             retry_interval: (deadline / 4).max(Duration::from_millis(1)),
+            priority: CallPriority::Normal,
         }
+    }
+
+    /// This QoS with the given scheduling class.
+    #[must_use]
+    pub fn with_priority(mut self, priority: CallPriority) -> Self {
+        self.priority = priority;
+        self
     }
 
     /// This QoS with its deadline clamped to `remaining` — deadline
@@ -75,6 +88,7 @@ impl CallQos {
         Self {
             deadline: self.deadline.min(remaining),
             retry_interval: self.retry_interval,
+            priority: self.priority,
         }
     }
 }
@@ -125,6 +139,14 @@ pub struct RexRequest {
     /// Trace context carried in the request envelope
     /// ([`TraceContext::NONE`] when the caller was untraced).
     pub trace: TraceContext,
+    /// Scheduling class carried in the request envelope; admission
+    /// control queues (and sheds) by it under overload.
+    pub priority: CallPriority,
+    /// Absolute deadline reconstructed from the envelope's relative
+    /// budget, anchored at the frame's *arrival* instant so queueing
+    /// delay inside this endpoint counts against it. `None` when the
+    /// caller sent no budget (announcements).
+    pub deadline: Option<Instant>,
 }
 
 /// Server-side request handler: returns the marshalled reply body in a
@@ -140,15 +162,19 @@ fn encode_request(
     kind: u8,
     call_id: u64,
     trace: &TraceContext,
+    // Wire-envelope overload fields: (priority, relative budget in µs).
+    (priority, budget_micros): (CallPriority, u64),
     iface: InterfaceId,
     op: &str,
     body: &[u8],
 ) -> PooledBuf {
-    let mut buf =
-        PooledBuf::acquire(1 + 8 + TraceContext::WIRE_LEN + 8 + 2 + op.len() + body.len());
+    let mut buf = PooledBuf::acquire(
+        1 + 8 + TraceContext::WIRE_LEN + OVERLOAD_WIRE_LEN + 8 + 2 + op.len() + body.len(),
+    );
     buf.extend_from_slice(&[kind]);
     buf.extend_from_slice(&call_id.to_be_bytes());
     odp_wire::trace::put_trace(&mut buf, trace);
+    put_overload(&mut buf, priority, budget_micros);
     buf.extend_from_slice(&iface.raw().to_be_bytes());
     buf.extend_from_slice(&(op.len() as u16).to_be_bytes());
     buf.extend_from_slice(op.as_bytes());
@@ -168,6 +194,10 @@ enum Parsed {
     Request {
         call_id: u64,
         trace: TraceContext,
+        priority: CallPriority,
+        /// Relative deadline budget in microseconds (`0` = none); the
+        /// demux anchors it to the arrival instant.
+        budget_micros: u64,
         iface: InterfaceId,
         op: String,
         body: Bytes,
@@ -193,6 +223,8 @@ fn parse(mut payload: Bytes) -> Result<Parsed, RexError> {
         }),
         KIND_REQUEST | KIND_ANNOUNCE => {
             let trace = get_trace(&mut payload).ok_or(RexError::Malformed)?;
+            let (priority, budget_micros) =
+                get_overload(&mut payload).ok_or(RexError::Malformed)?;
             if payload.len() < 10 {
                 return Err(RexError::Malformed);
             }
@@ -208,6 +240,8 @@ fn parse(mut payload: Bytes) -> Result<Parsed, RexError> {
             Ok(Parsed::Request {
                 call_id,
                 trace,
+                priority,
+                budget_micros,
                 iface,
                 op,
                 body: payload,
@@ -264,6 +298,11 @@ struct RexJob {
     from: NodeId,
     call_id: u64,
     trace: TraceContext,
+    priority: CallPriority,
+    /// Absolute deadline anchored at arrival; `None` when no budget was
+    /// sent. Anchoring happens in the demux thread so time spent queued
+    /// behind other jobs counts against the caller's budget.
+    deadline: Option<Instant>,
     iface: InterfaceId,
     op: String,
     body: Bytes,
@@ -414,8 +453,21 @@ impl RexEndpoint {
             call_id,
         };
         // Encoded once into a pooled buffer and reused verbatim for every
-        // retransmission; the drop at return recycles it.
-        let msg = encode_request(KIND_REQUEST, call_id, &trace, iface, op, body);
+        // retransmission; the drop at return recycles it. The deadline
+        // budget is *relative* (clocks are unsynchronized): the server
+        // re-anchors it at arrival, so it is stamped once at first send —
+        // retransmissions deliberately carry the original budget, since a
+        // duplicate is answered from the reply cache anyway.
+        let budget_micros = u64::try_from(qos.deadline.as_micros()).unwrap_or(u64::MAX);
+        let msg = encode_request(
+            KIND_REQUEST,
+            call_id,
+            &trace,
+            (qos.priority, budget_micros),
+            iface,
+            op,
+            body,
+        );
         let deadline = Instant::now() + qos.deadline;
         loop {
             match self.transport.send_frame(self.node, to, &msg) {
@@ -484,7 +536,17 @@ impl RexEndpoint {
             return Err(RexError::Closed);
         }
         let call_id = self.next_call.fetch_add(1, Ordering::Relaxed);
-        let msg = encode_request(KIND_ANNOUNCE, call_id, &trace, iface, op, body);
+        // Announcements are best-effort bulk traffic with no reply and no
+        // caller waiting: lowest priority, no deadline budget.
+        let msg = encode_request(
+            KIND_ANNOUNCE,
+            call_id,
+            &trace,
+            (CallPriority::Low, 0),
+            iface,
+            op,
+            body,
+        );
         match self.transport.send_frame(self.node, to, &msg) {
             Ok(()) => Ok(()),
             Err(NetError::UnknownNode(n) | NetError::Unreachable(n)) => {
@@ -542,16 +604,22 @@ impl RexEndpoint {
                 Ok(Parsed::Request {
                     call_id,
                     trace,
+                    priority,
+                    budget_micros,
                     iface,
                     op,
                     body,
                     announcement,
                 }) => {
+                    let deadline = (budget_micros > 0)
+                        .then(|| Instant::now() + Duration::from_micros(budget_micros));
                     // odp-lint: allow(l6, reason = "send fails only after shutdown closed the worker pool; the peer retries by deadline")
                     let _ = self.job_tx.send(RexJob {
                         from,
                         call_id,
                         trace,
+                        priority,
+                        deadline,
                         iface,
                         op,
                         body,
@@ -616,6 +684,8 @@ impl RexEndpoint {
                         body: job.body,
                         announcement: job.announcement,
                         trace: job.trace,
+                        priority: job.priority,
+                        deadline: job.deadline,
                     })
                 }
                 None => PooledBuf::default(),
@@ -769,6 +839,7 @@ mod tests {
         let qos = CallQos {
             deadline: Duration::from_millis(500),
             retry_interval: Duration::from_millis(50),
+            priority: CallPriority::Normal,
         };
         assert_eq!(
             qos.clamp_to(Duration::from_millis(200)).deadline,
@@ -806,6 +877,7 @@ mod tests {
         let qos = CallQos {
             deadline: Duration::from_secs(10),
             retry_interval: Duration::from_millis(5),
+            priority: CallPriority::Normal,
         };
         for _ in 0..10 {
             let reply = a
@@ -833,6 +905,7 @@ mod tests {
         let qos = CallQos {
             deadline: Duration::from_secs(10),
             retry_interval: Duration::from_millis(5),
+            priority: CallPriority::Normal,
         };
         let reply = a
             .call(NodeId(2), InterfaceId(1), "echo", b"q", qos)
@@ -952,6 +1025,17 @@ mod tests {
             parse(truncated.freeze()),
             Err(RexError::Malformed)
         ));
+        // A request whose trace context is complete but whose overload
+        // fields (priority + deadline budget) are truncated.
+        let mut no_overload = BytesMut::new();
+        no_overload.put_u8(KIND_REQUEST);
+        no_overload.put_u64(42);
+        no_overload.extend_from_slice(&[0u8; TraceContext::WIRE_LEN]);
+        no_overload.extend_from_slice(&[0u8; 3]);
+        assert!(matches!(
+            parse(no_overload.freeze()),
+            Err(RexError::Malformed)
+        ));
     }
 
     #[test]
@@ -962,7 +1046,15 @@ mod tests {
             parent_span: 6,
             flags: odp_telemetry::FLAG_SAMPLED,
         };
-        let msg = encode_request(KIND_REQUEST, 1, &ctx, InterfaceId(3), "op", b"body");
+        let msg = encode_request(
+            KIND_REQUEST,
+            1,
+            &ctx,
+            (CallPriority::Normal, 0),
+            InterfaceId(3),
+            "op",
+            b"body",
+        );
         match parse(Bytes::copy_from_slice(&msg)).unwrap() {
             Parsed::Request { trace, op, .. } => {
                 assert_eq!(trace, ctx);
@@ -970,6 +1062,64 @@ mod tests {
             }
             Parsed::Reply { .. } => panic!("parsed as reply"),
         }
+    }
+
+    #[test]
+    fn request_overload_fields_survive_the_wire() {
+        let msg = encode_request(
+            KIND_REQUEST,
+            2,
+            &TraceContext::NONE,
+            (CallPriority::High, 750_000),
+            InterfaceId(3),
+            "op",
+            b"",
+        );
+        match parse(Bytes::copy_from_slice(&msg)).unwrap() {
+            Parsed::Request {
+                priority,
+                budget_micros,
+                ..
+            } => {
+                assert_eq!(priority, CallPriority::High);
+                assert_eq!(budget_micros, 750_000);
+            }
+            Parsed::Reply { .. } => panic!("parsed as reply"),
+        }
+    }
+
+    #[test]
+    fn handler_sees_priority_and_arrival_anchored_deadline() {
+        let net = SimNet::perfect();
+        let (a, b) = pair(&net);
+        type SeenOverload = Option<(CallPriority, Option<Instant>)>;
+        let seen: Arc<Mutex<SeenOverload>> = Arc::new(Mutex::new(None));
+        let s = Arc::clone(&seen);
+        b.set_handler(Arc::new(move |req: RexRequest| {
+            *s.lock() = Some((req.priority, req.deadline));
+            PooledBuf::from_slice(&req.body)
+        }));
+        let qos =
+            CallQos::with_deadline(Duration::from_millis(500)).with_priority(CallPriority::High);
+        let before = Instant::now();
+        a.call(NodeId(2), InterfaceId(1), "echo", b"x", qos)
+            .unwrap();
+        let (priority, deadline) = seen.lock().take().expect("handler ran");
+        assert_eq!(priority, CallPriority::High);
+        let deadline = deadline.expect("interrogations carry a budget");
+        // Anchored at arrival: the reconstructed deadline sits within the
+        // caller's budget window of the send instant.
+        assert!(deadline > before);
+        assert!(deadline <= Instant::now() + Duration::from_millis(500));
+        // Announcements carry no budget and the bulk priority.
+        a.announce(NodeId(2), InterfaceId(1), "tick", b"").unwrap();
+        let wait = Instant::now() + Duration::from_secs(2);
+        while seen.lock().is_none() && Instant::now() < wait {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let (priority, deadline) = seen.lock().take().expect("announcement arrived");
+        assert_eq!(priority, CallPriority::Low);
+        assert_eq!(deadline, None);
     }
 
     #[test]

@@ -150,6 +150,7 @@ fn at_most_once_across_seeds() {
         let qos = CallQos {
             deadline: Duration::from_secs(20),
             retry_interval: Duration::from_millis(5),
+            priority: odp_wire::CallPriority::Normal,
         };
         for i in 0..20u64 {
             let body = i.to_be_bytes();

@@ -78,11 +78,11 @@ pub use odp_wire as wire;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use odp_core::{
-        CallCtx, Capsule, ClientBinding, ExportConfig, FnServant, InvokeError, Outcome, Servant,
-        SyncDiscipline, TelemetryServant, TransparencyPolicy, World,
+        AdmissionLayer, AdmissionPolicy, CallCtx, Capsule, ClientBinding, ExportConfig, FnServant,
+        InvokeError, Outcome, Servant, SyncDiscipline, TelemetryServant, TransparencyPolicy, World,
     };
     pub use odp_net::{CallQos, LinkConfig, SimNet, TcpNetwork, Transport};
     pub use odp_types::signature::{InterfaceTypeBuilder, OutcomeSig};
     pub use odp_types::{InterfaceType, NodeId, TypeSpec};
-    pub use odp_wire::{InterfaceRef, Value};
+    pub use odp_wire::{CallPriority, InterfaceRef, Value};
 }

@@ -37,5 +37,5 @@ mod wire_stats;
 
 pub use context::{current, set_current, CurrentGuard, TraceContext, FLAG_SAMPLED};
 pub use hub::{hub, EventRecord, Sampling, SpanRecord, TelemetryHub};
-pub use metrics::{LayerMetrics, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{LayerMetrics, MetricsRegistry, MetricsSnapshot, QueueGauge, QueueSnapshot};
 pub use wire_stats::{wire_stats, WireStats, WireStatsSnapshot};

@@ -128,12 +128,105 @@ pub struct MetricsSnapshot {
     pub p99_ns: u64,
 }
 
+/// A depth gauge for a bounded queue (admission queues, writer queues):
+/// current depth, high-water mark, and enter/drop counters. All atomics
+/// with relaxed ordering — wait-free on the enqueue/dequeue hot path.
+#[derive(Debug, Default)]
+pub struct QueueGauge {
+    depth: AtomicU64,
+    high_water: AtomicU64,
+    enqueued: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl QueueGauge {
+    /// Record one element entering the queue.
+    pub fn enter(&self) {
+        self.enqueued.fetch_add(1, Ordering::Relaxed);
+        let depth = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.high_water.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Record one element leaving the queue (dispatched).
+    pub fn leave(&self) {
+        // Saturating: a leave without a matched enter (e.g. after `clear`)
+        // must not wrap the gauge to u64::MAX.
+        let _ = self
+            .depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+                Some(d.saturating_sub(1))
+            });
+    }
+
+    /// Record one element rejected instead of enqueued (shed).
+    pub fn drop_one(&self) {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current queue depth.
+    pub fn depth(&self) -> u64 {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Deepest the queue has ever been.
+    pub fn high_water(&self) -> u64 {
+        self.high_water.load(Ordering::Relaxed)
+    }
+
+    /// Total elements that entered the queue.
+    pub fn enqueued(&self) -> u64 {
+        self.enqueued.load(Ordering::Relaxed)
+    }
+
+    /// Total elements rejected instead of enqueued.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.depth.store(0, Ordering::Relaxed);
+        self.high_water.store(0, Ordering::Relaxed);
+        self.enqueued.store(0, Ordering::Relaxed);
+        self.dropped.store(0, Ordering::Relaxed);
+    }
+
+    /// Point-in-time view of the gauge.
+    pub fn snapshot(&self, node: u64, queue: &'static str) -> QueueSnapshot {
+        QueueSnapshot {
+            node,
+            queue,
+            depth: self.depth(),
+            high_water: self.high_water(),
+            enqueued: self.enqueued(),
+            dropped: self.dropped(),
+        }
+    }
+}
+
+/// Point-in-time view of one `(node, queue)` gauge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueSnapshot {
+    /// Node the queue lives on.
+    pub node: u64,
+    /// Queue name, e.g. `"admission.high"`.
+    pub queue: &'static str,
+    /// Depth at snapshot time.
+    pub depth: u64,
+    /// Deepest the queue has ever been.
+    pub high_water: u64,
+    /// Total elements that entered the queue.
+    pub enqueued: u64,
+    /// Total elements rejected instead of enqueued.
+    pub dropped: u64,
+}
+
 /// Registry mapping `(node, layer)` to its metric cell. Registration
 /// takes a write lock (cold: once per binding/capsule); recording uses
 /// the returned `Arc` directly and never touches the registry again.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     cells: RwLock<BTreeMap<(u64, &'static str), Arc<LayerMetrics>>>,
+    gauges: RwLock<BTreeMap<(u64, &'static str), Arc<QueueGauge>>>,
 }
 
 impl MetricsRegistry {
@@ -155,12 +248,34 @@ impl MetricsRegistry {
         )
     }
 
+    /// Fetch (or create) the queue gauge for `(node, queue)`.
+    pub fn register_gauge(&self, node: u64, queue: &'static str) -> Arc<QueueGauge> {
+        if let Some(gauge) = self.gauges.read().get(&(node, queue)) {
+            return Arc::clone(gauge);
+        }
+        Arc::clone(
+            self.gauges
+                .write()
+                .entry((node, queue))
+                .or_insert_with(|| Arc::new(QueueGauge::default())),
+        )
+    }
+
     /// Snapshot every registered cell, ordered by `(node, layer)`.
     pub fn snapshot_all(&self) -> Vec<MetricsSnapshot> {
         self.cells
             .read()
             .iter()
             .map(|(&(node, layer), cell)| cell.snapshot(node, layer))
+            .collect()
+    }
+
+    /// Snapshot every registered queue gauge, ordered by `(node, queue)`.
+    pub fn snapshot_gauges(&self) -> Vec<QueueSnapshot> {
+        self.gauges
+            .read()
+            .iter()
+            .map(|(&(node, queue), gauge)| gauge.snapshot(node, queue))
             .collect()
     }
 
@@ -171,6 +286,9 @@ impl MetricsRegistry {
     pub fn clear(&self) {
         for cell in self.cells.read().values() {
             cell.reset();
+        }
+        for gauge in self.gauges.read().values() {
+            gauge.reset();
         }
     }
 }
@@ -223,6 +341,30 @@ mod tests {
         assert_eq!(snaps[0].calls, 0);
         a.count(false);
         assert_eq!(r.snapshot_all()[0].calls, 1);
+    }
+
+    #[test]
+    fn queue_gauge_tracks_depth_and_high_water() {
+        let r = MetricsRegistry::new();
+        let g = r.register_gauge(1, "admission.normal");
+        assert!(Arc::ptr_eq(&g, &r.register_gauge(1, "admission.normal")));
+        g.enter();
+        g.enter();
+        g.enter();
+        g.leave();
+        g.drop_one();
+        let snap = &r.snapshot_gauges()[0];
+        assert_eq!(snap.depth, 2);
+        assert_eq!(snap.high_water, 3);
+        assert_eq!(snap.enqueued, 3);
+        assert_eq!(snap.dropped, 1);
+        // Leaves never wrap below zero, and clear resets in place.
+        g.leave();
+        g.leave();
+        g.leave();
+        assert_eq!(g.depth(), 0);
+        r.clear();
+        assert_eq!(r.snapshot_gauges()[0].high_water, 0);
     }
 
     #[test]

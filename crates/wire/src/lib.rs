@@ -39,6 +39,7 @@
 pub mod decode;
 pub mod encode;
 pub mod ifref;
+pub mod overload;
 pub mod pool;
 pub mod trace;
 pub mod typecheck;
@@ -47,6 +48,7 @@ pub mod value;
 pub use decode::{decode_interface_type, decode_value, DecodeError};
 pub use encode::{encode_interface_type, encode_value, encoded_len, EncodeBuf};
 pub use ifref::InterfaceRef;
+pub use overload::CallPriority;
 pub use pool::PooledBuf;
 pub use typecheck::{check_value, TypeCheckError};
 pub use value::{Value, WireStr};

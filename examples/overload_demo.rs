@@ -1,0 +1,116 @@
+//! Overload smoke scenario: the flat knee, live.
+//!
+//! Exports a fixed-service-time servant behind an [`AdmissionLayer`]
+//! (bounded per-priority queues, deadline-aware shedding), then drives it
+//! with the open-loop load generator at half capacity and at twice
+//! capacity. The point of the demo: past saturation, goodput holds near
+//! the knee and excess calls come back as `Rejected { retry_after }` in
+//! local time, instead of the whole offered load timing out together.
+//!
+//! Run with `cargo overload` (alias) or
+//! `cargo run -p odp --release --example overload_demo`.
+
+use odp::chaos::{run_load, LoadGenConfig, LoadOp, LoadReport, OpResult};
+use odp::core::{AdmissionLayer, AdmissionPolicy, ServerLayer};
+use odp::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Fixed servant service time: capacity = max_concurrent / SERVICE.
+const SERVICE: Duration = Duration::from_millis(5);
+
+fn print_report(label: &str, offered: f64, report: &LoadReport) {
+    println!(
+        "  {label:<14} offered {offered:>5.0}/s  sent {:>4}  ok {:>4}  shed {:>4}  failed {:>2}  \
+         goodput {:>4.0}/s  ok p99 {:>6.2} ms  shed p99 {:>5.2} ms",
+        report.sent(),
+        report.ok(),
+        report.shed(),
+        report.failed(),
+        report.goodput_per_sec(),
+        report.ok_latency_at(0.99) as f64 / 1e6,
+        report.shed_latency_at(0.99) as f64 / 1e6,
+    );
+}
+
+fn main() {
+    let world = World::builder().capsules(2).workers(16).build();
+    let policy = AdmissionPolicy {
+        max_concurrent: 2,
+        queue_capacity: 8,
+        retry_after: Duration::from_millis(1),
+        max_wait: Duration::from_millis(150),
+    };
+    let admission = AdmissionLayer::with_node(policy, world.capsule(0).node().raw());
+
+    let ty = InterfaceTypeBuilder::new()
+        .interrogation("work", vec![], vec![OutcomeSig::ok(vec![TypeSpec::Int])])
+        .build();
+    let servant = FnServant::new(ty, |_op, _args, _ctx| {
+        std::thread::sleep(SERVICE);
+        Outcome::ok(vec![Value::Int(1)])
+    });
+    let reference = world.capsule(0).export_with(
+        Arc::new(servant),
+        ExportConfig {
+            layers: vec![admission.clone() as Arc<dyn ServerLayer>],
+            ..ExportConfig::default()
+        },
+    );
+    let binding = Arc::new(
+        world.capsule(1).bind_with(
+            reference,
+            TransparencyPolicy::default()
+                .with_qos(CallQos::with_deadline(Duration::from_millis(250)))
+                .with_failure(None),
+        ),
+    );
+    for _ in 0..4 {
+        binding.interrogate("work", vec![]).expect("warmup");
+    }
+
+    let capacity = policy.max_concurrent as f64 / SERVICE.as_secs_f64();
+    println!(
+        "overload demo: capacity ~{capacity:.0} calls/s \
+         (service {SERVICE:?} x {} lanes, queue {})",
+        policy.max_concurrent, policy.queue_capacity
+    );
+
+    for (label, multiple) in [("half capacity", 0.5), ("2x capacity", 2.0)] {
+        let b = Arc::clone(&binding);
+        let ops = vec![LoadOp::new("work", 1, move || {
+            match b.interrogate("work", vec![]) {
+                Ok(_) => OpResult::Ok,
+                Err(InvokeError::Rejected { .. }) => OpResult::Shed,
+                Err(_) => OpResult::Failed,
+            }
+        })];
+        let offered = capacity * multiple;
+        let report = run_load(
+            &LoadGenConfig {
+                seed: 7,
+                rate_per_sec: offered,
+                duration: Duration::from_secs(1),
+                workers: 48,
+            },
+            &ops,
+        );
+        print_report(label, offered, &report);
+    }
+
+    println!("\nadmission queues:");
+    for gauge in odp::telemetry::hub().metrics().snapshot_gauges() {
+        println!(
+            "  node {} {:<16} depth {} high-water {} enqueued {} dropped {}",
+            gauge.node, gauge.queue, gauge.depth, gauge.high_water, gauge.enqueued, gauge.dropped
+        );
+    }
+    println!(
+        "layer counters: admitted {} shed {} (expired {})",
+        admission
+            .admitted
+            .load(std::sync::atomic::Ordering::Relaxed),
+        admission.shed.load(std::sync::atomic::Ordering::Relaxed),
+        admission.expired.load(std::sync::atomic::Ordering::Relaxed),
+    );
+}

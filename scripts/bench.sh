@@ -5,8 +5,8 @@
 # Two stages:
 #   1. Run the Criterion benches touched by the zero-copy hot path
 #      (e01 access ladder, e02 marshalling, e03 invocation styles,
-#      e14 scale, e16 telemetry) so every measured workload is
-#      exercised end to end.
+#      e14 scale, e16 telemetry) plus the e17 overload knee so every
+#      measured workload is exercised end to end.
 #   2. Run the `perf_snapshot` bin (plain Instant harness, median ns/op,
 #      flat JSON — see its doc comment for why the bench trajectory does
 #      not parse Criterion output) and join it against the frozen
@@ -25,7 +25,7 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_PR5.json}"
 baseline="scripts/bench_baseline_pr5.json"
 
-for bench in e01_access_ladder e02_marshalling e03_invocation_styles e14_scale e16_telemetry; do
+for bench in e01_access_ladder e02_marshalling e03_invocation_styles e14_scale e16_telemetry e17_overload; do
     echo "== cargo bench: $bench =="
     cargo bench -q -p odp-bench --bench "$bench"
 done

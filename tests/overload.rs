@@ -1,0 +1,166 @@
+//! End-to-end overload-plane tests: open-loop load against an
+//! admission-controlled export, through the full access path (client
+//! stack, wire, REX, server stack).
+//!
+//! The knee claim in miniature: at 2x the export's capacity, goodput must
+//! hold within 20% of the at-capacity goodput, nothing may surface as a
+//! *failure* (overload is shed, not broken), and a shed call must come
+//! back as the typed [`InvokeError::Rejected`] carrying the server's
+//! `retry_after` hint — exactly once, with no retry amplification.
+
+use odp::chaos::{run_load, LoadGenConfig, LoadOp, LoadReport, OpResult};
+use odp::core::{AdmissionLayer, AdmissionPolicy, ServerLayer};
+use odp::prelude::*;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+const SERVICE: Duration = Duration::from_millis(5);
+
+/// An admission-controlled fixed-service-time export plus a client
+/// binding with deadlines but no client-side failure machinery (the soak
+/// measures the server's shedding, not the client's retries).
+fn overloadable_world() -> (World, Arc<AdmissionLayer>, Arc<ClientBinding>, f64) {
+    let world = World::builder().capsules(2).workers(16).build();
+    let policy = AdmissionPolicy {
+        max_concurrent: 2,
+        queue_capacity: 8,
+        retry_after: Duration::from_millis(1),
+        max_wait: Duration::from_millis(150),
+    };
+    let admission = AdmissionLayer::with_node(policy, world.capsule(0).node().raw());
+    let ty = InterfaceTypeBuilder::new()
+        .interrogation("work", vec![], vec![OutcomeSig::ok(vec![TypeSpec::Int])])
+        .build();
+    let servant = FnServant::new(ty, |_op, _args, _ctx| {
+        std::thread::sleep(SERVICE);
+        Outcome::ok(vec![Value::Int(1)])
+    });
+    let reference = world.capsule(0).export_with(
+        Arc::new(servant),
+        ExportConfig {
+            layers: vec![admission.clone() as Arc<dyn ServerLayer>],
+            ..ExportConfig::default()
+        },
+    );
+    let binding = Arc::new(
+        world.capsule(1).bind_with(
+            reference,
+            TransparencyPolicy::default()
+                .with_qos(CallQos::with_deadline(Duration::from_millis(250)))
+                .with_failure(None),
+        ),
+    );
+    for _ in 0..4 {
+        binding.interrogate("work", vec![]).expect("warmup");
+    }
+    let capacity = policy.max_concurrent as f64 / SERVICE.as_secs_f64();
+    (world, admission, binding, capacity)
+}
+
+fn drive(binding: &Arc<ClientBinding>, rate: f64, seed: u64) -> LoadReport {
+    let b = Arc::clone(binding);
+    let ops = vec![LoadOp::new("work", 1, move || {
+        match b.interrogate("work", vec![]) {
+            Ok(_) => OpResult::Ok,
+            Err(InvokeError::Rejected { .. }) => OpResult::Shed,
+            Err(_) => OpResult::Failed,
+        }
+    })];
+    run_load(
+        &LoadGenConfig {
+            seed,
+            rate_per_sec: rate,
+            duration: Duration::from_secs(1),
+            workers: 48,
+        },
+        &ops,
+    )
+}
+
+/// Soak at 2x capacity: goodput stays within 20% of the at-capacity
+/// goodput, the excess is shed (never failed), and sheds come back fast.
+#[test]
+fn soak_at_twice_capacity_holds_goodput() {
+    let (_world, admission, binding, capacity) = overloadable_world();
+    let at_capacity = drive(&binding, capacity, 11);
+    let at_2x = drive(&binding, capacity * 2.0, 12);
+
+    assert_eq!(
+        at_capacity.failed(),
+        0,
+        "at-capacity failures: {at_capacity:?}"
+    );
+    assert_eq!(at_2x.failed(), 0, "overload must shed, not fail: {at_2x:?}");
+    assert!(at_2x.shed() > 0, "2x offered load must shed something");
+    assert!(
+        at_2x.goodput_per_sec() >= 0.8 * at_capacity.goodput_per_sec(),
+        "goodput collapsed past the knee: {:.0}/s at 2x vs {:.0}/s at capacity",
+        at_2x.goodput_per_sec(),
+        at_capacity.goodput_per_sec()
+    );
+    // Shedding happens in queue-math time, far below the 250 ms deadline.
+    assert!(
+        at_2x.shed_latency_at(0.99) < Duration::from_millis(100).as_nanos() as u64,
+        "shed p99 too slow: {} ns",
+        at_2x.shed_latency_at(0.99)
+    );
+    assert!(admission.shed.load(Ordering::Relaxed) >= at_2x.shed());
+}
+
+/// A shed call surfaces as the *typed* rejection with the server's
+/// back-off hint — and the client retry layer does not amplify it: one
+/// client call is exactly one server-side shed.
+#[test]
+fn rejection_surfaces_typed_retry_after_without_amplification() {
+    let world = World::builder().capsules(2).workers(8).build();
+    let policy = AdmissionPolicy {
+        max_concurrent: 1,
+        queue_capacity: 0,
+        retry_after: Duration::from_millis(7),
+        max_wait: Duration::from_millis(100),
+    };
+    let admission = AdmissionLayer::with_node(policy, world.capsule(0).node().raw());
+    let ty = InterfaceTypeBuilder::new()
+        .interrogation("work", vec![], vec![OutcomeSig::ok(vec![TypeSpec::Int])])
+        .build();
+    let servant = FnServant::new(ty, |_op, _args, _ctx| {
+        std::thread::sleep(Duration::from_millis(300));
+        Outcome::ok(vec![Value::Int(1)])
+    });
+    let reference = world.capsule(0).export_with(
+        Arc::new(servant),
+        ExportConfig {
+            layers: vec![admission.clone() as Arc<dyn ServerLayer>],
+            ..ExportConfig::default()
+        },
+    );
+    // Default transparency policy: retry machinery ENABLED — the point is
+    // that rejections pass through it untouched.
+    let binding = Arc::new(world.capsule(1).bind(reference));
+
+    // Pin the single slot with a long call from another thread.
+    let occupant = {
+        let binding = Arc::clone(&binding);
+        std::thread::spawn(move || binding.interrogate("work", vec![]))
+    };
+    while admission.admitted.load(Ordering::Relaxed) == 0 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    match binding.interrogate("work", vec![]) {
+        Err(InvokeError::Rejected { retry_after }) => {
+            assert_eq!(
+                retry_after, policy.retry_after,
+                "retry_after hint must survive the wire"
+            );
+        }
+        other => panic!("expected typed rejection, got {other:?}"),
+    }
+    assert_eq!(
+        admission.shed.load(Ordering::Relaxed),
+        1,
+        "one client call must be exactly one server-side shed (no retry amplification)"
+    );
+    occupant.join().unwrap().expect("occupant call");
+}
