@@ -1,0 +1,86 @@
+//! E18 — the Observatory's overhead budget.
+//!
+//! PR 9 makes two additions to paths that E16 already meters: every
+//! histogram landing also stores a per-bucket exemplar (two relaxed
+//! stores), and every produced span/event is additionally pushed into the
+//! always-on flight recorder (one clone + bounded-ring push, but only on
+//! *sampled* calls — the recording-off hot path is untouched, preserving
+//! the E16 contract of a single relaxed load).
+//!
+//! The claim to hold (EXPERIMENTS.md E18): on the forced-remote round
+//! trip with every call sampled — the worst case, since unsampled calls
+//! never reach either addition — enabling the recorder + exemplars costs
+//! **< 5%** over the same path with the recorder disabled.
+//!
+//! Rungs:
+//!   1. `remote_sampled_recorder_off` — full span pipeline, recorder off
+//!   2. `remote_sampled_recorder_on`  — the shipped default
+//!   3. `remote_counters_recorder_on` — counters mode (no spans: the
+//!      recorder is never consulted, so this must match E16 counters)
+//!   4. `render_prometheus`           — cost of one full exposition
+//!   5. `render_json`                 — same registry as JSON
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use odp::prelude::*;
+use odp::telemetry::{hub, render_json, render_prometheus, ExpositionData, Sampling};
+use odp_bench::counter;
+use std::hint::black_box;
+
+fn observatory_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e18_observatory");
+
+    let world = World::quick();
+    let r = world.capsule(0).export(counter());
+    let forced = world
+        .capsule(0)
+        .bind_with(r, TransparencyPolicy::default().with_force_remote(true));
+
+    let rungs: [(&str, Sampling, bool); 3] = [
+        ("remote_sampled_recorder_off", Sampling::All, false),
+        ("remote_sampled_recorder_on", Sampling::All, true),
+        ("remote_counters_recorder_on", Sampling::Off, true),
+    ];
+    for (name, sampling, recorder) in rungs {
+        hub().clear();
+        hub().recorder().clear();
+        hub().set_recording(true);
+        hub().set_sampling(sampling);
+        hub().recorder().set_enabled(recorder);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(forced.interrogate("add", vec![Value::Int(1)]).unwrap());
+            });
+        });
+    }
+
+    // Exposition cost over the registry the rungs above populated: this
+    // is the scrape-time price, paid by the reader, never the hot path.
+    group.bench_function("render_prometheus", |b| {
+        b.iter(|| black_box(render_prometheus(&ExpositionData::gather())));
+    });
+    group.bench_function("render_json", |b| {
+        b.iter(|| black_box(render_json(&ExpositionData::gather())));
+    });
+
+    let stats = hub().recorder().stats();
+    eprintln!(
+        "[e18] recorder entries={} appended={} evicted={}",
+        stats.entries, stats.appended, stats.evicted
+    );
+    hub().set_recording(false);
+    hub().set_sampling(Sampling::Off);
+    hub().recorder().set_enabled(true);
+    hub().recorder().clear();
+    hub().clear();
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(30);
+    targets = observatory_overhead
+}
+criterion_main!(benches);

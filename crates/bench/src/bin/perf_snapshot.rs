@@ -258,6 +258,65 @@ fn main() {
         );
     }
 
+    // --- E18: Observatory overhead on the remote round-trip path ---------
+    // Worst case for the always-on recorder + exemplars: every call
+    // sampled, so every call produces a span (recorder push) and a
+    // histogram landing (exemplar stores). bench.sh gates recorder_on
+    // within 5% of recorder_off.
+    {
+        use odp::telemetry::{hub, render_prometheus, ExpositionData, Sampling};
+
+        let world = World::quick();
+        let r = world.capsule(0).export(counter());
+        let forced = world
+            .capsule(0)
+            .bind_with(r, TransparencyPolicy::default().with_force_remote(true));
+        let hub = hub();
+        hub.set_recording(true);
+        hub.set_sampling(Sampling::All);
+
+        // Paired batches, interleaved off/on, median per rung — machine
+        // drift cancels instead of landing on whichever rung ran last
+        // (the same trick as the E16 paired harness). The 5% gate in
+        // bench.sh compares exactly these two numbers.
+        let batch_ns = |on: bool| {
+            hub.recorder().set_enabled(on);
+            const BATCH: u64 = 400;
+            let t = Instant::now();
+            for _ in 0..BATCH {
+                black_box(forced.interrogate("add", vec![Value::Int(1)]).unwrap());
+            }
+            u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX) / BATCH
+        };
+        batch_ns(false); // warm-up, discarded
+        let (mut offs, mut ons) = (Vec::new(), Vec::new());
+        for _ in 0..15 {
+            offs.push(batch_ns(false));
+            ons.push(batch_ns(true));
+        }
+        offs.sort_unstable();
+        ons.sort_unstable();
+        record(
+            "e18/remote_sampled_recorder_off/0".into(),
+            offs[offs.len() / 2],
+        );
+        record(
+            "e18/remote_sampled_recorder_on/0".into(),
+            ons[ons.len() / 2],
+        );
+        hub.recorder().set_enabled(true);
+        record(
+            "e18/render_prometheus/0".into(),
+            measure(|| {
+                black_box(render_prometheus(&ExpositionData::gather()));
+            }),
+        );
+        hub.set_recording(false);
+        hub.set_sampling(Sampling::Off);
+        hub.recorder().clear();
+        hub.clear();
+    }
+
     // Flat JSON, stable key order, no external serializer needed.
     out.sort();
     println!("{{");

@@ -130,6 +130,12 @@ pub struct ChaosReport {
     /// Tail of the merged telemetry timeline (chaos events + sampled
     /// invocation spans, causally ordered) captured after the probe.
     pub event_timeline: Vec<String>,
+    /// Flight-recorder freeze dump, captured by triggering the recorder
+    /// when the invariant sweep fails (empty on a clean run). Unlike
+    /// `event_timeline`, this survives even when recording was off and
+    /// includes everything the always-on ring held at the moment of the
+    /// violation.
+    pub recorder_dump: Vec<String>,
 }
 
 /// One restartable node: the slot survives the capsule.
@@ -441,6 +447,15 @@ pub fn run(config: &ChaosConfig) -> Result<ChaosReport, String> {
 
     let committed = committed.into_inner();
     let invariants = verify_run(&committed, &final_ledger, probe_ok);
+    // An invariant violation is the incident the flight recorder exists
+    // for: freeze it *now*, before anything else perturbs the ring, and
+    // carry the dump in the report for the soak harness to print.
+    let recorder_dump = if invariants.ok() {
+        Vec::new()
+    } else {
+        let hub = odp_telemetry::hub();
+        hub.recorder().trigger("chaos.invariant", hub.now_ns())
+    };
     let dup_deliveries = harness.dup_accumulated
         + harness
             .current_ledger
@@ -465,6 +480,7 @@ pub fn run(config: &ChaosConfig) -> Result<ChaosReport, String> {
         final_ledger,
         invariants,
         event_timeline: odp_telemetry::hub().render_timeline(200),
+        recorder_dump,
     })
 }
 

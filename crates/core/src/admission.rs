@@ -92,7 +92,16 @@ pub struct AdmissionLayer {
     /// Calls dropped because their deadline had already expired (or
     /// expired while queued) — a subset of `shed`.
     pub expired: AtomicU64,
+    /// Consecutive sheds since the last admission; reaching
+    /// [`SHED_BURST_TRIGGER`] freezes the flight recorder.
+    shed_run: AtomicU64,
 }
+
+/// Consecutive sheds (with no admission in between) that count as a shed
+/// *burst* and trigger a flight-recorder freeze: one-off rejections under
+/// transient pressure are normal E17 behaviour, a solid run of them means
+/// the server is saturated and the lead-up is worth keeping.
+pub const SHED_BURST_TRIGGER: u64 = 32;
 
 /// Gauge names parallel to [`CallPriority::ALL`].
 const GAUGE_NAMES: [&str; 3] = ["admission.high", "admission.normal", "admission.low"];
@@ -138,6 +147,7 @@ impl AdmissionLayer {
             admitted: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             expired: AtomicU64::new(0),
+            shed_run: AtomicU64::new(0),
         })
     }
 
@@ -184,12 +194,18 @@ impl AdmissionLayer {
 
     fn reject(&self, ctx: &CallCtx, op: &str, reason: &str) -> Outcome {
         self.shed.fetch_add(1, Ordering::Relaxed);
-        odp_telemetry::hub().event(
+        let hub = odp_telemetry::hub();
+        hub.event(
             "load.shed",
             self.node,
             ctx.trace.trace_id,
             format!("op={op} priority={:?} reason={reason}", ctx.priority),
         );
+        // Exactly-once per burst: only the shed that *reaches* the
+        // threshold triggers; the counter re-arms on the next admission.
+        if self.shed_run.fetch_add(1, Ordering::Relaxed) + 1 == SHED_BURST_TRIGGER {
+            hub.recorder().trigger("load.shed.burst", hub.now_ns());
+        }
         Outcome::engineering(
             terminations::REJECTED,
             rejection_results(self.policy.retry_after),
@@ -298,6 +314,7 @@ impl ServerLayer for AdmissionLayer {
         // guard frees it (and wakes waiters) even on panic.
         let guard = SlotGuard(self);
         self.admitted.fetch_add(1, Ordering::Relaxed);
+        self.shed_run.store(0, Ordering::Relaxed);
         odp_telemetry::hub().event(
             "load.admit",
             self.node,

@@ -506,8 +506,12 @@ impl Capsule {
         let start = hub.now_ns();
         let outcome = self.dispatch_inner(ctx, op, args);
         let end = hub.now_ns();
-        self.dispatch_metrics
-            .record_call_ns(end.saturating_sub(start), outcome.is_engineering());
+        self.dispatch_metrics.record_call_exemplar(
+            end.saturating_sub(start),
+            outcome.is_engineering(),
+            span_ctx.trace_id,
+            self.node.raw(),
+        );
         hub.record_span(odp_telemetry::SpanRecord {
             trace_id: span_ctx.trace_id,
             span_id: span_ctx.span_id,

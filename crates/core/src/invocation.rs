@@ -378,7 +378,12 @@ impl StackNext<'_> {
         let start = hub.now_ns();
         let result = body(req);
         let end = hub.now_ns();
-        metric.record_call_ns(end.saturating_sub(start), result.is_err());
+        metric.record_call_exemplar(
+            end.saturating_sub(start),
+            result.is_err(),
+            ctx.trace_id,
+            self.node,
+        );
         hub.record_span(SpanRecord {
             trace_id: ctx.trace_id,
             span_id: ctx.span_id,
@@ -503,8 +508,12 @@ impl ClientBinding {
         let start = hub.now_ns();
         let result = self.stack().invoke(req);
         let end = hub.now_ns();
-        self.stub_metrics
-            .record_call_ns(end.saturating_sub(start), result.is_err());
+        self.stub_metrics.record_call_exemplar(
+            end.saturating_sub(start),
+            result.is_err(),
+            ctx.trace_id,
+            self.node,
+        );
         hub.record_span(SpanRecord {
             trace_id: ctx.trace_id,
             span_id: ctx.span_id,

@@ -89,6 +89,30 @@ pub fn telemetry_interface_type() -> InterfaceType {
             vec![TypeSpec::Int],
             vec![OutcomeSig::ok(vec![])],
         )
+        .interrogation(
+            "export_text",
+            vec![],
+            vec![OutcomeSig::ok(vec![TypeSpec::Str])],
+        )
+        .interrogation(
+            "export_json",
+            vec![],
+            vec![OutcomeSig::ok(vec![TypeSpec::Str])],
+        )
+        .interrogation(
+            "recorder",
+            vec![TypeSpec::Int],
+            vec![OutcomeSig::ok(vec![TypeSpec::seq(TypeSpec::Str)])],
+        )
+        .interrogation(
+            "recorder_dump",
+            vec![],
+            vec![
+                OutcomeSig::ok(vec![TypeSpec::Str, TypeSpec::seq(TypeSpec::Str)]),
+                OutcomeSig::new("none", vec![]),
+            ],
+        )
+        .interrogation("recorder_thaw", vec![], vec![OutcomeSig::ok(vec![])])
         .build()
 }
 
@@ -175,6 +199,38 @@ impl Servant for TelemetryServant {
                     return Outcome::fail("recording requires 0 or 1");
                 };
                 hub.set_recording(on != 0);
+                Outcome::ok(vec![])
+            }
+            "export_text" => {
+                let data = odp_telemetry::ExpositionData::gather();
+                Outcome::ok(vec![Value::str(odp_telemetry::render_prometheus(&data))])
+            }
+            "export_json" => {
+                let data = odp_telemetry::ExpositionData::gather();
+                Outcome::ok(vec![Value::str(odp_telemetry::render_json(&data))])
+            }
+            "recorder" => {
+                let limit = args
+                    .first()
+                    .and_then(Value::as_int)
+                    .map_or(100, |n| n.max(0) as usize);
+                Outcome::ok(vec![Value::Seq(
+                    hub.recorder()
+                        .render(limit)
+                        .into_iter()
+                        .map(Value::str)
+                        .collect(),
+                )])
+            }
+            "recorder_dump" => match hub.recorder().last_dump() {
+                Some(dump) => Outcome::ok(vec![
+                    Value::str(dump.reason),
+                    Value::Seq(dump.lines.into_iter().map(Value::str).collect()),
+                ]),
+                None => Outcome::new("none", vec![]),
+            },
+            "recorder_thaw" => {
+                hub.recorder().thaw();
                 Outcome::ok(vec![])
             }
             _ => Outcome::fail("unknown operation"),
@@ -342,5 +398,51 @@ mod tests {
         assert!(out.is_ok());
         assert!(!hub.recording());
         hub.set_sampling(odp_telemetry::Sampling::Off);
+    }
+
+    #[test]
+    fn observatory_ops_serve_exposition_and_recorder() {
+        let world = World::quick();
+        let capsule = world.capsule(0);
+        let tel_ref = capsule.export(Arc::new(TelemetryServant::new(capsule)));
+        let binding = world.capsule(1).bind(tel_ref);
+
+        // Seed a registry cell directly so the histogram families render
+        // regardless of the global recording flag (which other tests in
+        // this binary toggle concurrently).
+        let hub = odp_telemetry::hub();
+        let cell = hub.metrics().register(424_242, "observatory.test");
+        cell.record_call_exemplar(1_000, false, 7, 424_242);
+
+        let out = binding.interrogate("export_text", vec![]).unwrap();
+        let text = out.result().unwrap().as_str().unwrap().to_string();
+        assert!(text.contains("# TYPE odp_layer_calls_total counter"));
+        assert!(
+            text.contains("odp_layer_latency_ns_bucket{node=\"424242\",layer=\"observatory.test\"")
+        );
+
+        let out = binding.interrogate("export_json", vec![]).unwrap();
+        let json = out.result().unwrap().as_str().unwrap().to_string();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"metrics\""));
+
+        // The flight recorder is reachable: its live tail renders, and
+        // after a trigger the frozen dump is served until thawed.
+        let out = binding
+            .interrogate("recorder", vec![Value::Int(10)])
+            .unwrap();
+        assert!(out.is_ok());
+
+        let hub = odp_telemetry::hub();
+        hub.recorder().trigger("test.management", hub.now_ns());
+        let out = binding.interrogate("recorder_dump", vec![]).unwrap();
+        assert!(out.is_ok());
+        assert_eq!(
+            out.results.first().and_then(Value::as_str),
+            Some("test.management")
+        );
+        let out = binding.interrogate("recorder_thaw", vec![]).unwrap();
+        assert!(out.is_ok());
+        assert!(!hub.recorder().stats().frozen);
     }
 }

@@ -534,12 +534,16 @@ impl ClientLayer for CircuitBreakerLayer {
                 inner.state = BreakerState::Open;
                 inner.opened_at = Some(Instant::now());
                 if !was_open {
-                    odp_telemetry::hub().event(
+                    let hub = odp_telemetry::hub();
+                    hub.event(
                         "breaker.open",
                         0,
                         trace_id,
                         format!("consecutive_failures={}", inner.consecutive_failures),
                     );
+                    // A breaker opening is an incident: freeze the flight
+                    // recorder so the lead-up survives for the post-mortem.
+                    hub.recorder().trigger("breaker.open", hub.now_ns());
                 }
             }
         } else {

@@ -7,19 +7,26 @@
 //! fail-overs and federation crossings it performs cannot be attributed.
 //!
 //! Granularity is the *file* (token scanning cannot attribute a call site
-//! to its enclosing function reliably): any `core`/`groups`/`federation`
-//! source file defining a layer entry point (`fn invoke`/`interrogate`/
-//! `announce`/`relay` taking `&self`) must mention a telemetry marker
-//! (`odp_telemetry`, `hub`, `record_span`, `child_of`, `begin_trace`,
-//! `TraceContext`). Files that inherit spans by construction annotate with
+//! to its enclosing function reliably): any `core`/`groups`/`federation`/
+//! `net` source file defining a layer entry point (`fn invoke`/
+//! `interrogate`/`announce`/`relay` taking `&self`, or one of the
+//! Observatory serving paths `fn serve_one`/`fn route` — free functions
+//! handed a socket) must mention a telemetry marker (`odp_telemetry`,
+//! `hub`, `record_span`, `child_of`, `begin_trace`, `TraceContext`). An
+//! exposition endpoint that cannot see the hub can only serve stale or
+//! empty data, so the same "invisible layer" argument applies. Files that
+//! inherit spans by construction annotate with
 //! `// odp-lint: allow-file(l5, reason = ...)`.
 
 use super::Violation;
 use crate::lexer::TokKind;
 use crate::model::{Area, Workspace};
 
-const SCOPE: [&str; 3] = ["core", "groups", "federation"];
+const SCOPE: [&str; 4] = ["core", "groups", "federation", "net"];
 const ENTRY_POINTS: [&str; 4] = ["invoke", "interrogate", "announce", "relay"];
+/// Entry points that are free functions (no `&self`): the Observatory
+/// scrape path, which serves hub-rendered exposition over a socket.
+const FREE_ENTRY_POINTS: [&str; 2] = ["serve_one", "route"];
 const MARKERS: [&str; 6] = [
     "odp_telemetry",
     "hub",
@@ -47,10 +54,13 @@ pub fn check(ws: &Workspace, out: &mut Vec<Violation>) {
             }
             if t.text == "fn"
                 && code.get(i + 1).is_some_and(|n| {
-                    ENTRY_POINTS.contains(&n.text.as_str())
+                    let method = ENTRY_POINTS.contains(&n.text.as_str())
                         && code.get(i + 2).and_then(|p| p.punct()) == Some('(')
                         && code.get(i + 3).and_then(|p| p.punct()) == Some('&')
-                        && code.get(i + 4).is_some_and(|s| s.text == "self")
+                        && code.get(i + 4).is_some_and(|s| s.text == "self");
+                    let free = FREE_ENTRY_POINTS.contains(&n.text.as_str())
+                        && code.get(i + 2).and_then(|p| p.punct()) == Some('(');
+                    method || free
                 })
                 && !file.is_test_line(t.line)
                 && entry_line.is_none()

@@ -24,6 +24,10 @@
 //!   §5.1's "for both kinds of invocation, communications quality of
 //!   service constraints must be specified (either explicitly or by
 //!   default)".
+//! * [`scrape`] — [`ScrapeServer`]: a tiny read-only HTTP/1.0 listener
+//!   serving the Observatory exposition (`/metrics`, `/metrics.json`,
+//!   `/recorder`, `/trace/<id>`) to non-ODP clients such as Prometheus
+//!   and `odp-top`.
 //!
 //! The crate deliberately knows nothing about values, signatures or
 //! transparencies: payloads are opaque [`bytes::Bytes`].
@@ -32,11 +36,13 @@
 #![forbid(unsafe_code)]
 
 pub mod rex;
+pub mod scrape;
 pub mod sim;
 pub mod tcp;
 pub mod transport;
 
 pub use rex::{CallQos, RexEndpoint, RexError, RexRequest};
+pub use scrape::ScrapeServer;
 pub use sim::{LinkConfig, NetFault, SimNet, SimNetConfig, SimNetStats};
 pub use tcp::TcpNetwork;
 pub use transport::{Endpoint, Envelope, NetError, Transport};

@@ -13,6 +13,7 @@
 
 use crate::context::{TraceContext, FLAG_SAMPLED};
 use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::recorder::{FlightEntry, FlightRecorder};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
@@ -85,6 +86,7 @@ pub struct TelemetryHub {
     spans: Mutex<VecDeque<SpanRecord>>,
     events: Mutex<VecDeque<EventRecord>>,
     registry: MetricsRegistry,
+    recorder: FlightRecorder,
 }
 
 static HUB: OnceLock<TelemetryHub> = OnceLock::new();
@@ -101,6 +103,7 @@ pub fn hub() -> &'static TelemetryHub {
         spans: Mutex::new(VecDeque::new()),
         events: Mutex::new(VecDeque::new()),
         registry: MetricsRegistry::new(),
+        recorder: FlightRecorder::new(),
     })
 }
 
@@ -178,8 +181,13 @@ impl TelemetryHub {
         }
     }
 
-    /// Store a completed span (bounded ring; oldest evicted first).
+    /// Store a completed span (bounded ring; oldest evicted first). A
+    /// copy also lands in the flight recorder, which survives ring
+    /// eviction and [`clear`](TelemetryHub::clear).
     pub fn record_span(&self, span: SpanRecord) {
+        if self.recorder.accepting() {
+            self.recorder.push(FlightEntry::Span(span.clone()));
+        }
         let mut ring = self.spans.lock();
         if ring.len() >= RING_CAP {
             ring.pop_front();
@@ -187,10 +195,13 @@ impl TelemetryHub {
         ring.push_back(span);
     }
 
-    /// Record a point event on the shared timeline. No-op when
-    /// recording is off.
+    /// Record a point event on the shared timeline. With recording off
+    /// the timeline ring skips it, but the always-on flight recorder
+    /// still captures it — breaker opens and load sheds stay on the
+    /// post-mortem record no matter what the recording switch says.
     pub fn event(&self, kind: &'static str, node: u64, trace_id: u64, detail: impl Into<String>) {
-        if !self.recording() {
+        let recording = self.recording();
+        if !recording && !self.recorder.accepting() {
             return;
         }
         let record = EventRecord {
@@ -200,11 +211,23 @@ impl TelemetryHub {
             trace_id,
             detail: detail.into(),
         };
+        if !recording {
+            // Recorder-only path (production default): move the record,
+            // no clone, one ring append.
+            self.recorder.push(FlightEntry::Event(record));
+            return;
+        }
+        self.recorder.push(FlightEntry::Event(record.clone()));
         let mut ring = self.events.lock();
         if ring.len() >= RING_CAP {
             ring.pop_front();
         }
         ring.push_back(record);
+    }
+
+    /// The always-on flight recorder.
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
     }
 
     /// The per-layer metric registry.
@@ -239,6 +262,9 @@ impl TelemetryHub {
 
     /// Drop all retained spans and events and reset metrics (test
     /// isolation; the sampling/recording switches are left alone).
+    /// The flight recorder is deliberately *not* cleared — surviving
+    /// routine clears is its reason to exist; use
+    /// [`recorder()`](TelemetryHub::recorder)`.clear()` explicitly.
     pub fn clear(&self) {
         self.spans.lock().clear();
         self.events.lock().clear();

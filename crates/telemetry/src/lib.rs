@@ -22,6 +22,14 @@
 //!    path — encode-buffer pool hits/misses, borrowed-vs-copied decode
 //!    bytes, and transport write coalescing — so the marshalling
 //!    optimizations of §4.5 are observable (and assertable in tests).
+//! 5. [`export`]: the Observatory exposition — the full registry (layer
+//!    cells with exemplar-linked log₂ histograms, queue gauges, wire
+//!    stats, recorder state) rendered as Prometheus text and JSON, served
+//!    by the `TelemetryServant` and the `odp-net` scrape listener.
+//! 6. [`FlightRecorder`]: an always-on bounded ring of recent
+//!    spans/events, independent of the `recording` switch, with freeze
+//!    triggers (breaker-open, shed bursts, chaos invariant violations)
+//!    so post-mortems never depend on having had recording enabled.
 //!
 //! This crate sits at the bottom of the dependency graph (std +
 //! `parking_lot` only); nodes are identified by raw `u64` so it does not
@@ -31,11 +39,17 @@
 #![forbid(unsafe_code)]
 
 mod context;
+pub mod export;
 mod hub;
 mod metrics;
+pub mod recorder;
 mod wire_stats;
 
 pub use context::{current, set_current, CurrentGuard, TraceContext, FLAG_SAMPLED};
+pub use export::{render_json, render_prometheus, ExpositionData};
 pub use hub::{hub, EventRecord, Sampling, SpanRecord, TelemetryHub};
-pub use metrics::{LayerMetrics, MetricsRegistry, MetricsSnapshot, QueueGauge, QueueSnapshot};
+pub use metrics::{
+    Exemplar, LayerMetrics, MetricsRegistry, MetricsSnapshot, QueueGauge, QueueSnapshot, BUCKETS,
+};
+pub use recorder::{FlightEntry, FlightRecorder, FreezeDump, RecorderStats};
 pub use wire_stats::{wire_stats, WireStats, WireStatsSnapshot};

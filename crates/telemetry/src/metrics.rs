@@ -13,17 +13,37 @@ use std::sync::Arc;
 
 /// Number of log₂ latency buckets: bucket `i` holds samples with
 /// `floor(log2(ns)) == i`, covering 1 ns … ~17 minutes.
-const BUCKETS: usize = 40;
+pub const BUCKETS: usize = 40;
+
+/// An exemplar: the most recent call that landed in a histogram bucket,
+/// identified well enough to jump from the bucket straight to its trace
+/// tree (`TelemetryHub::render_trace`). A zero `trace_id` means no
+/// sampled call has landed in the bucket yet.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Exemplar {
+    /// Trace of the exemplar call (zero: none recorded).
+    pub trace_id: u64,
+    /// Node the exemplar call was recorded on.
+    pub node: u64,
+}
 
 /// Per-layer metric cell: two counters and a latency histogram.
 ///
 /// All fields are atomics updated with relaxed ordering; a handle is an
-/// `Arc` resolved at bind time, so recording is wait-free.
+/// `Arc` resolved at bind time, so recording is wait-free. Each histogram
+/// bucket also remembers the most recent `(trace_id, node)` that landed
+/// in it — the [`Exemplar`] linking a hot p99 bucket to a concrete trace.
+/// The pair is two relaxed stores, not one atomic unit: under a race the
+/// node may belong to a different call than the trace, but both are real
+/// calls from the same latency class, so the operator's jump target stays
+/// valid.
 #[derive(Debug)]
 pub struct LayerMetrics {
     calls: AtomicU64,
     failures: AtomicU64,
     buckets: [AtomicU64; BUCKETS],
+    exemplar_trace: [AtomicU64; BUCKETS],
+    exemplar_node: [AtomicU64; BUCKETS],
 }
 
 impl LayerMetrics {
@@ -32,6 +52,8 @@ impl LayerMetrics {
             calls: AtomicU64::new(0),
             failures: AtomicU64::new(0),
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            exemplar_trace: std::array::from_fn(|_| AtomicU64::new(0)),
+            exemplar_node: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
@@ -46,9 +68,21 @@ impl LayerMetrics {
 
     /// Count one call with a latency sample in nanoseconds.
     pub fn record_call_ns(&self, ns: u64, failed: bool) {
+        self.record_call_exemplar(ns, failed, 0, 0);
+    }
+
+    /// Count one call with a latency sample and remember it as the
+    /// bucket's exemplar: the most recent `(trace_id, node)` that landed
+    /// there. A zero `trace_id` records the sample without touching the
+    /// exemplar, so unlinked samples never erase a usable jump target.
+    pub fn record_call_exemplar(&self, ns: u64, failed: bool, trace_id: u64, node: u64) {
         self.count(failed);
         let bucket = (64 - ns.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
         self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        if trace_id != 0 {
+            self.exemplar_trace[bucket].store(trace_id, Ordering::Relaxed);
+            self.exemplar_node[bucket].store(node, Ordering::Relaxed);
+        }
     }
 
     /// Total calls recorded so far.
@@ -82,8 +116,10 @@ impl LayerMetrics {
     fn reset(&self) {
         self.calls.store(0, Ordering::Relaxed);
         self.failures.store(0, Ordering::Relaxed);
-        for bucket in &self.buckets {
-            bucket.store(0, Ordering::Relaxed);
+        for i in 0..BUCKETS {
+            self.buckets[i].store(0, Ordering::Relaxed);
+            self.exemplar_trace[i].store(0, Ordering::Relaxed);
+            self.exemplar_node[i].store(0, Ordering::Relaxed);
         }
     }
 
@@ -101,6 +137,11 @@ impl LayerMetrics {
             p50_ns: self.quantile(&counts, samples, 0.50),
             p95_ns: self.quantile(&counts, samples, 0.95),
             p99_ns: self.quantile(&counts, samples, 0.99),
+            buckets: counts,
+            exemplars: std::array::from_fn(|i| Exemplar {
+                trace_id: self.exemplar_trace[i].load(Ordering::Relaxed),
+                node: self.exemplar_node[i].load(Ordering::Relaxed),
+            }),
         }
     }
 }
@@ -126,6 +167,25 @@ pub struct MetricsSnapshot {
     pub p95_ns: u64,
     /// 99th-percentile latency in nanoseconds (bucket midpoint).
     pub p99_ns: u64,
+    /// Raw per-bucket sample counts (`buckets[i]` holds samples with
+    /// `floor(log2(ns)) == i`).
+    pub buckets: [u64; BUCKETS],
+    /// Per-bucket exemplars: the most recent sampled call that landed in
+    /// each bucket (`trace_id == 0` when none has).
+    pub exemplars: [Exemplar; BUCKETS],
+}
+
+impl MetricsSnapshot {
+    /// The exemplar of the highest-index non-empty bucket — the jump
+    /// target for "the p99/worst-latency bucket is hot, show me a call".
+    /// `None` when no bucket has both samples and a recorded exemplar.
+    #[must_use]
+    pub fn hot_exemplar(&self) -> Option<(usize, Exemplar)> {
+        (0..BUCKETS)
+            .rev()
+            .find(|&i| self.buckets[i] > 0 && self.exemplars[i].trace_id != 0)
+            .map(|i| (i, self.exemplars[i]))
+    }
 }
 
 /// A depth gauge for a bounded queue (admission queues, writer queues):
@@ -365,6 +425,42 @@ mod tests {
         assert_eq!(g.depth(), 0);
         r.clear();
         assert_eq!(r.snapshot_gauges()[0].high_water, 0);
+    }
+
+    #[test]
+    fn exemplars_remember_the_latest_landing() {
+        let m = LayerMetrics::new();
+        // Two calls in the [512, 1023] ns bucket: the later one wins.
+        m.record_call_exemplar(1_000, false, 41, 7);
+        m.record_call_exemplar(1_010, false, 42, 7);
+        // A slow call in a different bucket keeps its own exemplar.
+        m.record_call_exemplar(40_000_000, true, 99, 3);
+        // An unlinked sample (trace 0) never erases a jump target.
+        m.record_call_exemplar(1_015, false, 0, 0);
+        let s = m.snapshot(7, "test");
+        let fast_bucket = (64 - 1_000u64.leading_zeros() as usize) - 1;
+        let slow_bucket = (64 - 40_000_000u64.leading_zeros() as usize) - 1;
+        assert_eq!(
+            s.exemplars[fast_bucket],
+            Exemplar {
+                trace_id: 42,
+                node: 7
+            }
+        );
+        assert_eq!(
+            s.exemplars[slow_bucket],
+            Exemplar {
+                trace_id: 99,
+                node: 3
+            }
+        );
+        assert_eq!(
+            s.hot_exemplar(),
+            Some((slow_bucket, s.exemplars[slow_bucket]))
+        );
+        assert_eq!(s.buckets.iter().sum::<u64>(), s.samples);
+        m.reset();
+        assert_eq!(m.snapshot(7, "test").hot_exemplar(), None);
     }
 
     #[test]

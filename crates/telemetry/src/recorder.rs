@@ -1,0 +1,304 @@
+//! The flight recorder: an always-on bounded ring of recent spans and
+//! events, independent of the hub's `recording` switch and untouched by
+//! [`TelemetryHub::clear`](crate::TelemetryHub::clear).
+//!
+//! The span/event rings of PR 2 answer "what happened?" only if recording
+//! was enabled *and* nothing cleared the rings before the interesting
+//! moment. The recorder fixes both failure modes for post-mortems:
+//!
+//! * it captures a copy of every span and event the hub sees — and it
+//!   captures events even while `recording` is **off**, so trigger-grade
+//!   occurrences (breaker opens, load sheds, chaos faults) are always on
+//!   the record;
+//! * test isolation (`hub().clear()`) never wipes it;
+//! * **triggers** (`trigger`) freeze the ring the instant something bad
+//!   is detected — breaker-open, a `load.shed` burst, a chaos invariant
+//!   violation — and stash a rendered dump, so the moments *before* the
+//!   incident survive however long the process keeps running afterwards.
+//!
+//! Cost model: when enabled and unfrozen, one (short, uncontended) mutex
+//! push per span/event the hub records — the E18 bench pins the total
+//! always-on overhead (recorder + exemplars) inside the <5% telemetry
+//! budget. When disabled, one relaxed load.
+
+use crate::hub::{EventRecord, SpanRecord};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Ring capacity: enough for the last few seconds of a busy node without
+/// holding a whole soak run in memory.
+pub const RECORDER_CAP: usize = 16_384;
+
+/// One retained entry: a copy of a span or an event, in arrival order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlightEntry {
+    /// A completed span (sampled traces only — unsampled calls produce no
+    /// spans anywhere).
+    Span(SpanRecord),
+    /// A point event; captured even when hub recording is off.
+    Event(EventRecord),
+}
+
+impl FlightEntry {
+    /// Arrival timestamp (hub-epoch nanoseconds) used for ordering.
+    fn at_ns(&self) -> u64 {
+        match self {
+            FlightEntry::Span(s) => s.start_ns,
+            FlightEntry::Event(e) => e.at_ns,
+        }
+    }
+
+    /// One post-mortem line, same shape as the hub timeline renderer.
+    fn render(&self) -> String {
+        match self {
+            FlightEntry::Span(s) => format!(
+                "[{:>12}ns] span  {:<22} node={} trace={} span={} parent={} op={} {}ns -> {}",
+                s.start_ns,
+                s.layer,
+                s.node,
+                s.trace_id,
+                s.span_id,
+                s.parent_span,
+                s.op.as_deref().unwrap_or("-"),
+                s.end_ns.saturating_sub(s.start_ns),
+                s.termination
+            ),
+            FlightEntry::Event(e) => format!(
+                "[{:>12}ns] event {:<22} node={} trace={} {}",
+                e.at_ns, e.kind, e.node, e.trace_id, e.detail
+            ),
+        }
+    }
+}
+
+/// A stored incident dump: why the ring froze and what it held.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FreezeDump {
+    /// The trigger kind, e.g. `"breaker.open"` or `"invariant.violation"`.
+    pub reason: String,
+    /// Hub-epoch nanoseconds at which the trigger fired.
+    pub at_ns: u64,
+    /// Rendered ring contents at the moment of the freeze, oldest first.
+    pub lines: Vec<String>,
+}
+
+/// Counter snapshot of the recorder, for exposition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecorderStats {
+    /// Entries currently retained in the ring.
+    pub entries: u64,
+    /// Entries appended over the recorder's lifetime.
+    pub appended: u64,
+    /// Entries evicted (ring overflow) over the recorder's lifetime.
+    pub evicted: u64,
+    /// Triggers fired over the recorder's lifetime.
+    pub triggers: u64,
+    /// Whether the ring is currently frozen.
+    pub frozen: bool,
+}
+
+/// The always-on bounded ring. One lives inside the hub
+/// ([`crate::TelemetryHub::recorder`]); standalone instances exist only
+/// in tests.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    enabled: AtomicBool,
+    frozen: AtomicBool,
+    appended: AtomicU64,
+    evicted: AtomicU64,
+    triggers: AtomicU64,
+    ring: Mutex<VecDeque<FlightEntry>>,
+    last_dump: Mutex<Option<FreezeDump>>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FlightRecorder {
+    /// An enabled, unfrozen, empty recorder.
+    #[must_use]
+    pub fn new() -> FlightRecorder {
+        FlightRecorder {
+            enabled: AtomicBool::new(true),
+            frozen: AtomicBool::new(false),
+            appended: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            triggers: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::new()),
+            last_dump: Mutex::new(None),
+        }
+    }
+
+    /// Is the recorder accepting entries? (Enabled and not frozen.)
+    #[inline]
+    pub fn accepting(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed) && !self.frozen.load(Ordering::Relaxed)
+    }
+
+    /// Master switch (on by default). Unlike the hub's `recording` flag
+    /// this is meant to stay on in production; turning it off exists for
+    /// overhead comparison (the E18 bench) and paranoid tuning.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Append one entry (dropped while disabled or frozen).
+    pub fn push(&self, entry: FlightEntry) {
+        if !self.accepting() {
+            return;
+        }
+        self.appended.fetch_add(1, Ordering::Relaxed);
+        let mut ring = self.ring.lock();
+        if ring.len() >= RECORDER_CAP {
+            ring.pop_front();
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(entry);
+    }
+
+    /// Freeze the ring and stash a rendered dump under `reason`. The
+    /// first trigger wins: while frozen, later triggers only count — the
+    /// stored dump keeps describing the *original* incident until
+    /// [`thaw`](FlightRecorder::thaw). Returns the dump lines.
+    pub fn trigger(&self, reason: &str, at_ns: u64) -> Vec<String> {
+        self.triggers.fetch_add(1, Ordering::Relaxed);
+        if self.frozen.swap(true, Ordering::SeqCst) {
+            return self.dump();
+        }
+        let lines = self.render(usize::MAX);
+        *self.last_dump.lock() = Some(FreezeDump {
+            reason: reason.to_owned(),
+            at_ns,
+            lines: lines.clone(),
+        });
+        lines
+    }
+
+    /// Resume appending after an incident has been harvested.
+    pub fn thaw(&self) {
+        self.frozen.store(false, Ordering::SeqCst);
+    }
+
+    /// The stored incident dump, if any trigger has fired. The dump
+    /// survives [`thaw`](FlightRecorder::thaw); only the next post-thaw
+    /// trigger replaces it.
+    #[must_use]
+    pub fn last_dump(&self) -> Option<FreezeDump> {
+        self.last_dump.lock().clone()
+    }
+
+    /// Render the last `limit` retained entries, oldest first (the live
+    /// tail; use [`trigger`](FlightRecorder::trigger)/
+    /// [`last_dump`](FlightRecorder::last_dump) for incident dumps).
+    #[must_use]
+    pub fn render(&self, limit: usize) -> Vec<String> {
+        let ring = self.ring.lock();
+        let mut entries: Vec<&FlightEntry> = ring.iter().collect();
+        entries.sort_by_key(|e| e.at_ns());
+        let skip = entries.len().saturating_sub(limit);
+        entries
+            .into_iter()
+            .skip(skip)
+            .map(FlightEntry::render)
+            .collect()
+    }
+
+    /// The stored dump's lines, or the live tail when nothing is stored.
+    #[must_use]
+    pub fn dump(&self) -> Vec<String> {
+        match self.last_dump.lock().as_ref() {
+            Some(dump) => dump.lines.clone(),
+            None => self.render(usize::MAX),
+        }
+    }
+
+    /// Counter snapshot for exposition.
+    #[must_use]
+    pub fn stats(&self) -> RecorderStats {
+        RecorderStats {
+            entries: self.ring.lock().len() as u64,
+            appended: self.appended.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+            triggers: self.triggers.load(Ordering::Relaxed),
+            frozen: self.frozen.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Drop retained entries and the stored dump, and unfreeze (test
+    /// isolation — deliberately *not* wired into the hub's `clear`, which
+    /// is the whole point of the recorder).
+    pub fn clear(&self) {
+        self.ring.lock().clear();
+        *self.last_dump.lock() = None;
+        self.frozen.store(false, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(kind: &'static str, at_ns: u64) -> FlightEntry {
+        FlightEntry::Event(EventRecord {
+            at_ns,
+            kind,
+            node: 1,
+            trace_id: 9,
+            detail: "d".into(),
+        })
+    }
+
+    #[test]
+    fn ring_is_bounded_and_ordered() {
+        let r = FlightRecorder::new();
+        for i in 0..(RECORDER_CAP as u64 + 10) {
+            r.push(event("overflow", i));
+        }
+        let stats = r.stats();
+        assert_eq!(stats.entries, RECORDER_CAP as u64);
+        assert_eq!(stats.evicted, 10);
+        assert_eq!(stats.appended, RECORDER_CAP as u64 + 10);
+        let tail = r.render(2);
+        assert_eq!(tail.len(), 2);
+        assert!(tail[1].contains(&format!("{}ns", RECORDER_CAP + 9)));
+    }
+
+    #[test]
+    fn trigger_freezes_and_first_incident_wins() {
+        let r = FlightRecorder::new();
+        r.push(event("before", 1));
+        let dump = r.trigger("breaker.open", 2);
+        assert_eq!(dump.len(), 1);
+        assert!(dump[0].contains("before"));
+        // Frozen: nothing is appended, the dump stays the incident's.
+        r.push(event("after", 3));
+        assert!(!r.accepting());
+        let second = r.trigger("load.shed_burst", 4);
+        assert_eq!(second, dump);
+        let stored = r.last_dump().expect("dump stored");
+        assert_eq!(stored.reason, "breaker.open");
+        assert_eq!(stored.lines, dump);
+        assert_eq!(r.stats().triggers, 2);
+        // Thaw: appending resumes, the stored dump survives until the
+        // next trigger replaces it.
+        r.thaw();
+        r.push(event("recovered", 5));
+        assert_eq!(r.stats().entries, 2);
+        assert_eq!(r.last_dump().expect("still stored").reason, "breaker.open");
+    }
+
+    #[test]
+    fn disabled_recorder_drops_entries() {
+        let r = FlightRecorder::new();
+        r.set_enabled(false);
+        r.push(event("ignored", 1));
+        assert_eq!(r.stats().entries, 0);
+        r.set_enabled(true);
+        r.push(event("kept", 2));
+        assert_eq!(r.stats().entries, 1);
+    }
+}

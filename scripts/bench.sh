@@ -1,47 +1,74 @@
 #!/usr/bin/env bash
-# PR 5 bench harness: exercise the wire/transport Criterion benches and
-# emit a machine-readable before/after snapshot of the hot-path cases.
+# PR 9 bench harness: exercise every tracked Criterion bench and emit a
+# machine-readable before/after snapshot of the hot-path cases.
 #
 # Two stages:
-#   1. Run the Criterion benches touched by the zero-copy hot path
-#      (e01 access ladder, e02 marshalling, e03 invocation styles,
-#      e14 scale, e16 telemetry) plus the e17 overload knee so every
-#      measured workload is exercised end to end.
-#   2. Run the `perf_snapshot` bin (plain Instant harness, median ns/op,
+#   1. Run the `perf_snapshot` bin (plain Instant harness, median ns/op,
 #      flat JSON — see its doc comment for why the bench trajectory does
 #      not parse Criterion output) and join it against the frozen
 #      pre-PR baseline into `{case: {before_ns, after_ns, change_pct}}`.
+#      This stage runs FIRST, on a quiet machine: the baseline was
+#      captured cold, and ~10 minutes of Criterion load beforehand was
+#      measured to shift this container's clock enough (+10–28% on
+#      individual cases) to trip the 10% gate on pure window drift.
+#   2. Run the tracked Criterion benches end to end (e01 access ladder,
+#      e02 marshalling, e03 invocation styles, e14 scale, e16 telemetry,
+#      e17 overload knee, e18 observatory overhead) so every measured
+#      workload is exercised under the real harness. Exercise-only:
+#      their output is not parsed.
 #
-# The baseline (`scripts/bench_baseline_pr5.json`) was captured with the
+# The baseline (`scripts/bench_baseline_pr9.json`) was captured with the
 # same perf_snapshot harness on the same container at the last commit
-# before the zero-copy path landed; it is checked in because that code
-# no longer exists to re-measure. Cases new in this PR (e.g. the
-# `round_trip_copying` comparison path) have `before_ns: null`.
+# before the Observatory landed — as the per-case MIN of three runs
+# interleaved with runs of the post-PR binary, so machine drift (±20%
+# run-to-run on this shared container) lands on both sides equally; it
+# is checked in because that code no longer exists to re-measure. (The PR 5 zero-copy improvement now lives
+# *inside* this baseline, so the old "e02 must stay ≥25% faster" gate is
+# retired — the general regression gate below protects it instead.)
+# Cases new in this PR (the `e18/*` observatory rungs) have
+# `before_ns: null` and are tracked by the E18 gate instead.
 #
-# Usage: scripts/bench.sh [out.json]      (default: BENCH_PR5.json)
+# Gates, in order:
+#   * E18 observatory overhead: `e18/remote_sampled_recorder_on/0` must be
+#     within 5% of `e18/remote_sampled_recorder_off/0` — the flight
+#     recorder's cost on a fully sampled remote call stays under the
+#     EXPERIMENTS.md E18 claim.
+#   * General regression: ANY case with a baseline that is more than 10%
+#     slower fails, unless EXPERIMENTS.md carries a `bench-waiver: <case>`
+#     line naming it.
+#
+# Usage: scripts/bench.sh [out.json]      (default: BENCH_PR9.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR5.json}"
-baseline="scripts/bench_baseline_pr5.json"
+out="${1:-BENCH_PR9.json}"
+baseline="scripts/bench_baseline_pr9.json"
 
-for bench in e01_access_ladder e02_marshalling e03_invocation_styles e14_scale e16_telemetry e17_overload; do
-    echo "== cargo bench: $bench =="
-    cargo bench -q -p odp-bench --bench "$bench"
-done
-
-echo "== perf_snapshot (release) =="
+echo "== perf_snapshot (release, best of 3) =="
+# One run swings ±20% on a shared container; the baseline was captured as
+# the per-case MIN of three runs, so the after side must be measured the
+# same way — min-vs-min is the noise-robust comparison for a 10% gate.
 cargo build --release -q -p odp-bench --bin perf_snapshot
-after="$(mktemp /tmp/odp-bench-after.XXXXXX.json)"
-trap 'rm -f "$after"' EXIT
-./target/release/perf_snapshot 2>/dev/null > "$after"
+after1="$(mktemp /tmp/odp-bench-after.XXXXXX.json)"
+after2="$(mktemp /tmp/odp-bench-after.XXXXXX.json)"
+after3="$(mktemp /tmp/odp-bench-after.XXXXXX.json)"
+trap 'rm -f "$after1" "$after2" "$after3"' EXIT
+./target/release/perf_snapshot 2>/dev/null > "$after1"
+./target/release/perf_snapshot 2>/dev/null > "$after2"
+./target/release/perf_snapshot 2>/dev/null > "$after3"
 
-python3 - "$baseline" "$after" "$out" <<'PY'
+python3 - "$baseline" "$after1" "$after2" "$after3" "$out" <<'PY'
 import json, sys
 
-baseline_path, after_path, out_path = sys.argv[1:4]
+baseline_path = sys.argv[1]
+after_paths = sys.argv[2:5]
+out_path = sys.argv[5]
 before = json.load(open(baseline_path))
-after = json.load(open(after_path))
+runs = [json.load(open(p)) for p in after_paths]
+after = {
+    case: min(r[case] for r in runs if case in r)
+    for case in set().union(*runs)
+}
 
 merged = {}
 for case in sorted(set(before) | set(after)):
@@ -53,13 +80,20 @@ for case in sorted(set(before) | set(after)):
 
 json.dump(merged, open(out_path, "w"), indent=2)
 open(out_path, "a").write("\n")
-
-tracked = [c for c in merged if c.startswith("e02/round_trip/")]
-worst = max(merged[c].get("change_pct", 0.0) for c in tracked)
 print(f"bench: wrote {out_path} ({len(merged)} cases)")
-print(f"bench: e02/round_trip worst change {worst:+.1f}% (target <= -25%)")
-if worst > -25.0:
-    sys.exit(f"bench: REGRESSION — e02/round_trip improvement below 25%")
+
+# E18 gate: the always-on flight recorder must cost <5% on a fully
+# sampled remote call (the EXPERIMENTS.md E18 claim). Both rungs are
+# measured in this run, so the gate is self-contained — no baseline.
+rec_off = merged.get("e18/remote_sampled_recorder_off/0", {}).get("after_ns")
+rec_on = merged.get("e18/remote_sampled_recorder_on/0", {}).get("after_ns")
+if not rec_off or not rec_on:
+    sys.exit("bench: MISSING — e18 recorder rungs absent from perf_snapshot")
+overhead = 100.0 * (rec_on - rec_off) / rec_off
+print(f"bench: e18 recorder overhead {overhead:+.1f}% (limit +5%)")
+if overhead > 5.0:
+    sys.exit("bench: REGRESSION — flight recorder costs more than 5% on the "
+             "sampled remote path")
 
 # General regression gate: ANY tracked case more than 10% slower than its
 # baseline fails, unless EXPERIMENTS.md records a waiver naming the case
@@ -86,3 +120,8 @@ waived = [c for c in waivers if merged.get(c, {}).get("change_pct", 0.0) > 10.0]
 for case in waived:
     print(f"bench: waived regression {case} ({merged[case]['change_pct']:+.1f}%)")
 PY
+
+for bench in e01_access_ladder e02_marshalling e03_invocation_styles e14_scale e16_telemetry e17_overload e18_observatory; do
+    echo "== cargo bench: $bench =="
+    cargo bench -q -p odp-bench --bench "$bench"
+done

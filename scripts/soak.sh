@@ -6,8 +6,10 @@
 # latency spike, forced relocation, mixed) generates its schedule from that
 # family. A failing round prints the seed — re-exporting it reproduces the
 # exact fault timeline, bit for bit — plus the tail of the merged telemetry
-# timeline (chaos events interleaved with sampled invocation spans) that the
-# failing test dumped, and the script exits non-zero.
+# timeline (chaos events interleaved with sampled invocation spans) and the
+# flight-recorder freeze dump (the always-on ring, frozen at the moment of
+# the violation) that the failing test dumped, and the script exits
+# non-zero.
 #
 # Usage: scripts/soak.sh [rounds]      (default: 10)
 set -uo pipefail
@@ -25,12 +27,17 @@ for i in $(seq 1 "$rounds"); do
         echo ""
         echo "soak: FAILED at round $i (CHAOS_SEED=$seed)" >&2
         echo "---- event timeline tail from the failing round ----" >&2
-        # The failing test printed the merged timeline between these
-        # markers; fall back to the last lines of the log if it did not.
+        # The failing test printed the merged timeline and the flight
+        # recorder's freeze dump between these markers; fall back to the
+        # last lines of the log if it did not.
         if grep -q "=== event timeline tail" "$log"; then
             sed -n '/=== event timeline tail/,/=== end timeline/p' "$log" >&2
         else
             tail -n 40 "$log" >&2
+        fi
+        if grep -q "=== flight recorder dump" "$log"; then
+            echo "---- flight recorder dump from the failing round ----" >&2
+            sed -n '/=== flight recorder dump/,/=== end recorder/p' "$log" >&2
         fi
         exit 1
     fi

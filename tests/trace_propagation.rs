@@ -204,6 +204,70 @@ fn one_call_through_retry_and_relocation_is_one_connected_tree() {
     assert!(healed_layers.contains("dispatch"));
 }
 
+/// The Observatory's operator workflow, end to end: a deliberately slow
+/// call lands in a high log₂ bucket, that bucket's exemplar names the
+/// call's trace id, and `render_trace(trace_id)` yields the connected
+/// span tree for exactly that call. (The 300 ms sleep puts it in bucket
+/// ≥27 — far above anything else this binary's tests record on the same
+/// shared client cell, so the *hot* exemplar is deterministically ours.)
+#[test]
+fn hot_bucket_exemplar_links_to_a_connected_trace() {
+    enable_tracing();
+    struct Sleeper;
+    impl Servant for Sleeper {
+        fn interface_type(&self) -> InterfaceType {
+            InterfaceTypeBuilder::new()
+                .interrogation("tp_exemplar_slow", vec![], vec![OutcomeSig::ok(vec![])])
+                .build()
+        }
+        fn dispatch(&self, _op: &str, _args: Vec<Value>, _ctx: &CallCtx) -> Outcome {
+            std::thread::sleep(Duration::from_millis(300));
+            Outcome::ok(vec![])
+        }
+    }
+    let world = World::builder().capsules(2).build();
+    let r = world.capsule(0).export(Arc::new(Sleeper));
+    let client_node = world.capsule(1).node().raw();
+    let client = world.capsule(1).bind_with(
+        r,
+        TransparencyPolicy::default().with_qos(CallQos::with_deadline(Duration::from_secs(5))),
+    );
+    client.interrogate("tp_exemplar_slow", vec![]).unwrap();
+
+    let roots = new_roots("tp_exemplar_slow", &BTreeSet::new());
+    assert_eq!(roots.len(), 1, "exactly one root for the slow call");
+    let slow_trace = roots[0].trace_id;
+
+    let cell = hub()
+        .metrics_snapshot()
+        .into_iter()
+        .find(|m| m.node == client_node && m.layer == "client")
+        .expect("client-layer cell for the slow call's node");
+    let (bucket, exemplar) = cell.hot_exemplar().expect("hot bucket has an exemplar");
+    assert!(
+        bucket >= 27,
+        "a 300 ms call must land in a slow bucket, got {bucket}"
+    );
+    assert_eq!(
+        exemplar.trace_id, slow_trace,
+        "the hot bucket's exemplar must name the slow call"
+    );
+    assert_eq!(exemplar.node, client_node);
+
+    // The jump an operator makes from a hot p99 bucket: exemplar trace id
+    // straight into the span-tree renderer.
+    let rendered = hub().render_trace(exemplar.trace_id);
+    assert!(
+        !rendered.is_empty(),
+        "render_trace must resolve the exemplar's trace"
+    );
+    let layers = assert_connected(exemplar.trace_id);
+    assert!(
+        layers.contains("dispatch"),
+        "exemplar trace reaches the remote dispatch: {layers:?}"
+    );
+}
+
 #[test]
 fn group_fan_out_and_failover_stay_on_one_tree() {
     enable_tracing();
